@@ -1,0 +1,91 @@
+// Shared helpers for the experiment benches (one binary per paper table /
+// figure). Every bench honours:
+//   HS_SCALE  = 0 (default): smoke run — same code paths, shrunk counts,
+//               finishes in seconds-to-a-minute on one core;
+//   HS_SCALE  = 1: paper-shaped run (long);
+//   HS_SEED   : experiment seed;
+//   HS_ROUNDS : override FL communication rounds.
+// and prints the paper-style table plus a CSV copy next to the binary.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "data/builder.h"
+#include "fl/eval.h"
+#include "fl/simulation.h"
+#include "fl/trainer.h"
+#include "nn/model_zoo.h"
+#include "util/config.h"
+#include "util/rng.h"
+#include "util/stats.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace hetero::bench {
+
+/// Experiment knobs resolved from HS_* plus smoke/paper defaults.
+struct Scale {
+  BenchConfig env = BenchConfig::from_env();
+
+  std::int64_t rounds(std::int64_t smoke, std::int64_t paper) const {
+    return env.pick_rounds(smoke, paper);
+  }
+  std::int64_t n(std::int64_t smoke, std::int64_t paper) const {
+    return env.pick(smoke, paper);
+  }
+  std::uint64_t seed() const { return env.seed; }
+  bool paper_scale() const { return env.scale >= 1; }
+  /// HS_REPEATS: how many seeds to average metrics over (default 1).
+  std::size_t repeats() const {
+    return static_cast<std::size_t>(std::max<std::int64_t>(
+        1, env_int("HS_REPEATS", 1)));
+  }
+};
+
+/// Prints a standard bench header.
+inline void print_header(const char* id, const char* title,
+                         const Scale& scale) {
+  std::printf("== %s: %s ==\n", id, title);
+  std::printf("   scale=%s seed=%llu  (HS_SCALE=1 for paper-shaped run)\n\n",
+              scale.paper_scale() ? "paper" : "smoke",
+              static_cast<unsigned long long>(scale.seed()));
+}
+
+/// Centralized training: E epochs of SGD on one dataset.
+inline void train_epochs(Model& model, const Dataset& data, std::size_t epochs,
+                         const LocalTrainConfig& cfg, Rng& rng,
+                         const TrainHooks& hooks = {}) {
+  for (std::size_t e = 0; e < epochs; ++e) {
+    local_train(model, data, cfg, rng, hooks);
+  }
+}
+
+/// Relative model-quality degradation (the paper's headline metric):
+/// (reference - actual) / reference, as a fraction. Negative values mean
+/// the deployment accuracy exceeded the reference.
+inline double degradation(double reference, double actual) {
+  if (reference <= 0.0) return 0.0;
+  return (reference - actual) / reference;
+}
+
+/// The paper's FL hyperparameters (Appendix A.2): lr=0.1, B=10, E=1.
+inline LocalTrainConfig paper_local_config() {
+  LocalTrainConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.batch_size = 10;
+  cfg.epochs = 1;
+  return cfg;
+}
+
+/// Writes the CSV copy and reports where it went.
+inline void finish(const Table& table, const std::string& csv_name) {
+  table.print(std::cout);
+  const std::string path = csv_name + ".csv";
+  if (table.write_csv(path)) {
+    std::printf("\n[csv] %s\n", path.c_str());
+  }
+}
+
+}  // namespace hetero::bench

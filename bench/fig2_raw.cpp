@@ -1,0 +1,78 @@
+// Fig 2: model quality degradation when training directly on RAW data
+// (no ISP), isolating sensor-hardware heterogeneity.
+//
+// For each target device, the bar reports the mean degradation over models
+// trained on each *other* device's RAW data, with error bars (min/max).
+// The paper's finding: RAW-to-RAW transfer degrades more than the ISP-
+// processed equivalent (31.7% - 56.4% means), because the ISP partially
+// normalizes sensor differences.
+#include "bench_common.h"
+
+using namespace hetero;
+using namespace hetero::bench;
+
+int main() {
+  const Scale scale;
+  print_header("Fig 2", "cross-device degradation on RAW data", scale);
+
+  const auto& devices = paper_devices();
+  const std::size_t nd = devices.size();
+  const std::size_t per_class_train =
+      static_cast<std::size_t>(scale.n(10, 40));
+  const std::size_t per_class_test = static_cast<std::size_t>(scale.n(4, 12));
+  const std::size_t epochs = static_cast<std::size_t>(scale.n(8, 30));
+
+  SceneGenerator scenes(64);
+  CaptureConfig capture;
+  capture.raw_mode = true;
+  capture.raw_tensor_size = 16;
+  Rng root(scale.seed());
+  Timer timer;
+
+  std::vector<Dataset> tests;
+  for (std::size_t d = 0; d < nd; ++d) {
+    Rng test_rng = root.fork(500);
+    tests.push_back(build_device_dataset(devices[d], per_class_test, scenes,
+                                         capture, test_rng));
+  }
+
+  std::vector<std::vector<double>> acc(nd, std::vector<double>(nd, 0.0));
+  for (std::size_t i = 0; i < nd; ++i) {
+    Rng train_rng = root.fork(1000 + i);
+    Dataset train = build_device_dataset(devices[i], per_class_train, scenes,
+                                         capture, train_rng);
+    ModelSpec spec;
+    spec.in_channels = 4;  // packed RAW planes (R, G1, G2, B)
+    spec.image_size = 16;
+    Rng model_rng = root.fork(2000);
+    auto model = make_model(spec, model_rng);
+    Rng epoch_rng = root.fork(3000 + i);
+    train_epochs(*model, train, epochs, paper_local_config(), epoch_rng);
+    for (std::size_t j = 0; j < nd; ++j) {
+      acc[i][j] = evaluate_accuracy(*model, tests[j]);
+    }
+    std::fprintf(stderr, "[fig2] %-9s self-acc %.1f%% (%.1fs)\n",
+                 devices[i].name.c_str(), acc[i][i] * 100.0,
+                 timer.elapsed_s());
+  }
+
+  Table table({"TargetDevice", "MeanDegradation", "Min", "Max"});
+  double grand = 0.0;
+  for (std::size_t j = 0; j < nd; ++j) {
+    RunningStats stats;
+    for (std::size_t i = 0; i < nd; ++i) {
+      if (i == j) continue;
+      stats.add(degradation(acc[i][i], acc[i][j]));
+    }
+    table.add_row({devices[j].name, Table::pct(stats.mean()),
+                   Table::pct(stats.min()), Table::pct(stats.max())});
+    grand += stats.mean();
+  }
+  table.add_row({"(mean)", Table::pct(grand / static_cast<double>(nd)), "",
+                 ""});
+  finish(table, "fig2_raw");
+  std::printf(
+      "\nPaper shape: RAW means (31.7%%-56.4%%) exceed the ISP-processed "
+      "Table 2 column means — sensor heterogeneity alone is severe.\n");
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Microbenchmarks (google-benchmark) for the imaging substrate: sensor
+// capture, each ISP stage, and the full per-image capture path.
+#include <benchmark/benchmark.h>
+
+#include "data/builder.h"
+#include "device/device_profile.h"
+#include "isp/pipeline.h"
+#include "scene/scene_gen.h"
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+Image bench_scene() {
+  SceneGenerator gen(64);
+  Rng rng(1);
+  return gen.generate(0, rng);
+}
+
+RawImage bench_raw() {
+  SensorModel sensor{SensorConfig{}};
+  Rng rng(2);
+  return sensor.capture(bench_scene(), rng);
+}
+
+void BM_SceneGenerate(benchmark::State& state) {
+  SceneGenerator gen(64);
+  Rng rng(3);
+  std::size_t cls = 0;
+  for (auto _ : state) {
+    Image img = gen.generate(cls++ % 12, rng);
+    benchmark::DoNotOptimize(img.data());
+  }
+}
+BENCHMARK(BM_SceneGenerate);
+
+void BM_SensorCapture(benchmark::State& state) {
+  const Image scene = bench_scene();
+  SensorModel sensor{SensorConfig{}};
+  Rng rng(4);
+  for (auto _ : state) {
+    RawImage raw = sensor.capture(scene, rng);
+    benchmark::DoNotOptimize(raw.data());
+  }
+}
+BENCHMARK(BM_SensorCapture);
+
+void BM_Demosaic(benchmark::State& state) {
+  const RawImage raw = bench_raw();
+  const auto algo = static_cast<DemosaicAlgo>(state.range(0));
+  for (auto _ : state) {
+    Image img = demosaic(raw, algo);
+    benchmark::DoNotOptimize(img.data());
+  }
+  state.SetLabel(demosaic_name(algo));
+}
+BENCHMARK(BM_Demosaic)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_Denoise(benchmark::State& state) {
+  const RawImage raw = bench_raw();
+  const auto algo = static_cast<DenoiseAlgo>(state.range(0));
+  for (auto _ : state) {
+    RawImage out = denoise(raw, algo);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetLabel(denoise_name(algo));
+}
+BENCHMARK(BM_Denoise)->Arg(1)->Arg(2);
+
+void BM_JpegRoundtrip(benchmark::State& state) {
+  const Image img = demosaic(bench_raw(), DemosaicAlgo::kBilinear);
+  for (auto _ : state) {
+    Image out = jpeg_roundtrip(img, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_JpegRoundtrip)->Arg(85)->Arg(50);
+
+void BM_FullIspPipeline(benchmark::State& state) {
+  const RawImage raw = bench_raw();
+  const IspConfig cfg = IspConfig::baseline();
+  for (auto _ : state) {
+    Image out = run_isp(raw, cfg);
+    benchmark::DoNotOptimize(out.data());
+  }
+}
+BENCHMARK(BM_FullIspPipeline);
+
+void BM_CaptureToTensor(benchmark::State& state) {
+  const Image scene = bench_scene();
+  const DeviceProfile& dev = device_by_name("GalaxyS9");
+  CaptureConfig cfg;
+  Rng rng(5);
+  for (auto _ : state) {
+    Tensor t = capture_to_tensor(scene, dev, cfg, rng);
+    benchmark::DoNotOptimize(t.data());
+  }
+}
+BENCHMARK(BM_CaptureToTensor);
+
+}  // namespace
+}  // namespace hetero
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Table 2: model quality degradation when a model trained on one device
+// type is deployed to every other device type.
+//
+// Protocol (Section 3.2): for each of the 9 devices, train a global model
+// on that device's images (full ISP pipeline), then test on every device's
+// test set built from the *same scene stream*. Cell (i, j) reports
+// (acc_ii - acc_ij) / acc_ii. "Mean Others" excludes the diagonal.
+#include "bench_common.h"
+
+using namespace hetero;
+using namespace hetero::bench;
+
+int main() {
+  const Scale scale;
+  print_header("Table 2", "cross-device model quality degradation", scale);
+
+  const auto& devices = paper_devices();
+  const std::size_t nd = devices.size();
+  const std::size_t per_class_train =
+      static_cast<std::size_t>(scale.n(10, 40));
+  const std::size_t per_class_test = static_cast<std::size_t>(scale.n(4, 12));
+  const std::size_t epochs = static_cast<std::size_t>(scale.n(8, 30));
+
+  SceneGenerator scenes(64);
+  CaptureConfig capture;
+  Rng root(scale.seed());
+  Timer timer;
+
+  // Per-device test sets over an identical scene stream: accuracy deltas
+  // are then attributable to the device alone.
+  std::vector<Dataset> tests;
+  for (std::size_t d = 0; d < nd; ++d) {
+    Rng test_rng = root.fork(500);  // same stream for every device
+    tests.push_back(build_device_dataset(devices[d], per_class_test, scenes,
+                                         capture, test_rng));
+  }
+  std::fprintf(stderr, "[table2] test sets built (%.1fs)\n",
+               timer.elapsed_s());
+
+  // acc[i][j]: trained on device i, tested on device j.
+  std::vector<std::vector<double>> acc(nd, std::vector<double>(nd, 0.0));
+  for (std::size_t i = 0; i < nd; ++i) {
+    Rng train_rng = root.fork(1000 + i);
+    Dataset train = build_device_dataset(devices[i], per_class_train, scenes,
+                                         capture, train_rng);
+    Rng model_rng = root.fork(2000);  // same init for every train device
+    ModelSpec spec;
+    auto model = make_model(spec, model_rng);
+    LocalTrainConfig cfg = paper_local_config();
+    Rng epoch_rng = root.fork(3000 + i);
+    train_epochs(*model, train, epochs, cfg, epoch_rng);
+    for (std::size_t j = 0; j < nd; ++j) {
+      acc[i][j] = evaluate_accuracy(*model, tests[j]);
+    }
+    std::fprintf(stderr, "[table2] %-9s trained: self-acc %.1f%% (%.1fs)\n",
+                 devices[i].name.c_str(), acc[i][i] * 100.0,
+                 timer.elapsed_s());
+  }
+
+  // Render the degradation matrix.
+  std::vector<std::string> header = {"Train on"};
+  for (const auto& d : devices) header.push_back(d.name);
+  header.push_back("MeanOthers");
+  Table table(header);
+  std::vector<double> col_sum(nd, 0.0);
+  for (std::size_t i = 0; i < nd; ++i) {
+    std::vector<std::string> row = {devices[i].name};
+    double row_sum = 0.0;
+    for (std::size_t j = 0; j < nd; ++j) {
+      const double deg = degradation(acc[i][i], acc[i][j]);
+      if (i == j) {
+        row.push_back("-");
+      } else {
+        row.push_back(Table::pct(deg));
+        row_sum += deg;
+        col_sum[j] += deg;
+      }
+    }
+    row.push_back(Table::pct(row_sum / static_cast<double>(nd - 1)));
+    table.add_row(std::move(row));
+  }
+  std::vector<std::string> mean_row = {"MeanOthers"};
+  double grand = 0.0;
+  for (std::size_t j = 0; j < nd; ++j) {
+    const double m = col_sum[j] / static_cast<double>(nd - 1);
+    mean_row.push_back(Table::pct(m));
+    grand += m;
+  }
+  mean_row.push_back(Table::pct(grand / static_cast<double>(nd)));
+  table.add_row(std::move(mean_row));
+
+  finish(table, "table2_cross_device");
+  std::printf(
+      "\nPaper shape: diagonal best; Pixel5<->Pixel2 smallest degradation; "
+      "S22 hardest target column; grand mean ~19%%.\n");
+  return 0;
+}

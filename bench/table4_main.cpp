@@ -1,0 +1,98 @@
+// Table 4: the headline evaluation — HeteroSwitch and its ablations against
+// FedAvg, q-FedAvg, FedProx and SCAFFOLD on the market-share population.
+//
+// Metrics (Section 6): DG = worst-case accuracy across device types;
+// Fairness = population variance of per-device accuracy and average
+// accuracy. Paper hyperparameters: N=100, K=20, B=10, E=1, lr=0.1,
+// q=1e-6 (q-FedAvg), mu=0.1 (FedProx), alpha=0.9, WB degree 0.001,
+// gamma degree 0.9.
+#include "bench_common.h"
+#include "hetero/heteroswitch.h"
+
+using namespace hetero;
+using namespace hetero::bench;
+
+int main() {
+  const Scale scale;
+  print_header("Table 4", "HeteroSwitch vs baselines: fairness and DG",
+               scale);
+
+  const std::size_t n_clients = static_cast<std::size_t>(scale.n(30, 100));
+  const std::size_t k = static_cast<std::size_t>(scale.n(8, 20));
+  const std::size_t rounds = static_cast<std::size_t>(scale.rounds(80, 1000));
+  const std::size_t samples = static_cast<std::size_t>(scale.n(20, 40));
+
+  SceneGenerator scenes(64);
+  Rng root(scale.seed());
+  Timer timer;
+
+  PopulationConfig pcfg;
+  pcfg.num_clients = n_clients;
+  pcfg.samples_per_client = samples;
+  pcfg.test_per_class = static_cast<std::size_t>(scale.n(5, 12));
+  pcfg.capture.tensor_size = static_cast<std::size_t>(scale.n(16, 32));
+  pcfg.capture.illuminant_sigma_override = -1.0f;  // deployed-population captures
+  Rng pop_rng = root.fork(1);
+  const FlPopulation pop = build_population(paper_devices(), pcfg, scenes,
+                                            pop_rng);
+  std::fprintf(stderr, "[table4] population: %zu clients (%.1fs)\n",
+               pop.client_train.size(), timer.elapsed_s());
+
+  const LocalTrainConfig local = paper_local_config();
+
+  // The seven rows of Table 4.
+  std::vector<std::unique_ptr<FederatedAlgorithm>> methods;
+  methods.push_back(std::make_unique<FedAvg>(local));
+  {
+    HeteroSwitchOptions opt;
+    opt.mode = HeteroSwitchMode::kAlwaysIsp;
+    methods.push_back(std::make_unique<HeteroSwitch>(local, opt));
+  }
+  {
+    HeteroSwitchOptions opt;
+    opt.mode = HeteroSwitchMode::kAlwaysIspSwad;
+    methods.push_back(std::make_unique<HeteroSwitch>(local, opt));
+  }
+  methods.push_back(
+      std::make_unique<HeteroSwitch>(local, HeteroSwitchOptions{}));
+  methods.push_back(std::make_unique<QFedAvg>(local, 1e-6));
+  methods.push_back(std::make_unique<FedProx>(local, 0.1f));
+  methods.push_back(std::make_unique<Scaffold>(local));
+
+  // HS_REPEATS > 1 averages every metric over that many seeds (model init
+  // and client sampling both vary; the population stays fixed).
+  const std::size_t repeats = std::max<std::size_t>(
+      scale.repeats(), scale.paper_scale() ? 1 : 3);
+  Table table({"Method", "DG worst-case Acc", "Fairness Variance",
+               "Fairness avg Acc"});
+  for (auto& method : methods) {
+    RunningStats worst, var, avg;
+    for (std::size_t rep = 0; rep < repeats; ++rep) {
+      ModelSpec spec;
+      Rng model_rng = root.fork(2 + rep);  // same init across methods per rep
+      auto model = make_model(spec, model_rng);
+      SimulationConfig sim;
+      sim.rounds = rounds;
+      sim.clients_per_round = k;
+      sim.seed = scale.seed() + 7 + rep * 101;
+      const SimulationResult r = run_simulation(*model, *method, pop, sim);
+      worst.add(r.final_metrics.worst_case);
+      var.add(r.final_metrics.variance);
+      avg.add(r.final_metrics.average);
+    }
+    table.add_row({method->name(), Table::fmt(worst.mean() * 100, 2),
+                   Table::fmt(var.mean() * 100 * 100, 2),
+                   Table::fmt(avg.mean() * 100, 2)});
+    std::fprintf(stderr,
+                 "[table4] %-18s worst %.2f var %.2f avg %.2f (%.1fs)\n",
+                 method->name().c_str(), worst.mean() * 100,
+                 var.mean() * 1e4, avg.mean() * 100, timer.elapsed_s());
+  }
+  finish(table, "table4_main");
+  std::printf(
+      "\nPaper shape: HeteroSwitch best on all three columns (worst-case "
+      "+5.8%%, variance -79.5%%, avg +5.3%% over FedAvg); always-on "
+      "ISP+SWAD trails selective switching; q-FedAvg/Scaffold lose "
+      "worst-case accuracy.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Example: the extension features — model-free heterogeneity signatures
+// and differentially-private federated averaging.
+//
+// 1. Compute dataset signatures per device and print the statistics-level
+//    heterogeneity matrix (no training needed — a deployment can estimate
+//    device drift *before* spending any FL rounds).
+// 2. Run FedAvg vs DP-FedAvg at two privacy levels and show the
+//    utility/privacy trade-off on the same population.
+//
+// Run time: ~40 s.
+#include <cstdio>
+
+#include "fl/privacy.h"
+#include "fl/simulation.h"
+#include "hetero/hetero_metrics.h"
+#include "nn/model_zoo.h"
+#include "scene/scene_gen.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace hetero;
+
+int main() {
+  Rng rng(51);
+  SceneGenerator scenes(64);
+
+  // ---- 1: signatures --------------------------------------------------
+  std::printf("Statistics-level heterogeneity (no model involved):\n");
+  CaptureConfig capture;
+  std::vector<Dataset> per_device;
+  const std::vector<std::string> picks = {"Pixel5", "Pixel2", "Nexus5X",
+                                          "GalaxyS22", "GalaxyS6"};
+  for (const auto& name : picks) {
+    Rng stream(7);  // identical scenes for every device
+    per_device.push_back(build_device_dataset(device_by_name(name), 3,
+                                              scenes, capture, stream));
+  }
+  std::vector<const Dataset*> ptrs;
+  for (const auto& d : per_device) ptrs.push_back(&d);
+  const auto matrix = pairwise_heterogeneity(ptrs);
+  std::printf("%-10s", "");
+  for (const auto& name : picks) std::printf(" %9s", name.c_str());
+  std::printf("\n");
+  for (std::size_t i = 0; i < picks.size(); ++i) {
+    std::printf("%-10s", picks[i].c_str());
+    for (std::size_t j = 0; j < picks.size(); ++j) {
+      std::printf(" %9.3f", matrix[i][j]);
+    }
+    std::printf("\n");
+  }
+  std::printf(
+      "  (Pixel5-Pixel2 should be the smallest off-diagonal entry; the\n"
+      "   idiosyncratic GalaxyS22 the largest — Table 2 without training.)\n");
+
+  // ---- 2: DP-FedAvg ----------------------------------------------------
+  PopulationConfig pcfg;
+  pcfg.num_clients = 24;
+  pcfg.samples_per_client = 20;
+  pcfg.test_per_class = 4;
+  pcfg.capture.tensor_size = 16;
+  pcfg.capture.illuminant_sigma_override = -1.0f;
+  Rng pop_rng = rng.fork(1);
+  const FlPopulation pop = build_population(paper_devices(), pcfg, scenes,
+                                            pop_rng);
+
+  LocalTrainConfig local;
+  local.lr = 0.1f;
+  local.batch_size = 10;
+  SimulationConfig sim;
+  sim.rounds = 40;
+  sim.clients_per_round = 8;
+  sim.seed = 61;
+
+  ModelSpec spec;
+  spec.image_size = 16;
+  std::printf("\nPrivacy / utility trade-off (%zu rounds):\n", sim.rounds);
+  struct Setting {
+    const char* tag;
+    float clip;
+    float noise;
+  };
+  for (const Setting& s : {Setting{"no privacy (FedAvg)", 0.0f, 0.0f},
+                           Setting{"clip=8 noise=0.005", 8.0f, 0.005f},
+                           Setting{"clip=8 noise=0.15", 8.0f, 0.15f}}) {
+    Rng model_rng(9);
+    auto model = make_model(spec, model_rng);
+    Timer timer;
+    SimulationResult result;
+    if (s.clip <= 0.0f) {
+      FedAvg algo(local);
+      result = run_simulation(*model, algo, pop, sim);
+    } else {
+      DpOptions dp;
+      dp.clip_norm = s.clip;
+      dp.noise_multiplier = s.noise;
+      DpFedAvg algo(local, dp);
+      result = run_simulation(*model, algo, pop, sim);
+      std::printf("  [noise stddev per coordinate: %.2e, clipped fraction "
+                  "last round: %.0f%%]\n",
+                  algo.last_noise_stddev(),
+                  algo.last_clip_fraction() * 100.0);
+    }
+    std::printf("  %-22s avg %.1f%%  worst %.1f%%  (%.1fs)\n", s.tag,
+                result.final_metrics.average * 100.0,
+                result.final_metrics.worst_case * 100.0, timer.elapsed_s());
+  }
+  std::printf(
+      "\nReading: light DP noise costs little accuracy; heavy noise "
+      "degrades — the standard DP-FL trade-off, here under system-induced "
+      "heterogeneity.\n");
+  return 0;
+}

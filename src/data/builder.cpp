@@ -1,0 +1,163 @@
+#include "data/builder.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+/// Bilinear resize of one (H, W) plane into (S, S).
+void resize_plane(const float* src, std::size_t h, std::size_t w, float* dst,
+                  std::size_t s) {
+  const double sy = static_cast<double>(h) / s;
+  const double sx = static_cast<double>(w) / s;
+  for (std::size_t y = 0; y < s; ++y) {
+    const double fy = std::max(0.0, (y + 0.5) * sy - 0.5);
+    const std::size_t y0 = std::min(static_cast<std::size_t>(fy), h - 1);
+    const std::size_t y1 = std::min(y0 + 1, h - 1);
+    const float wy = static_cast<float>(fy - y0);
+    for (std::size_t x = 0; x < s; ++x) {
+      const double fx = std::max(0.0, (x + 0.5) * sx - 0.5);
+      const std::size_t x0 = std::min(static_cast<std::size_t>(fx), w - 1);
+      const std::size_t x1 = std::min(x0 + 1, w - 1);
+      const float wx = static_cast<float>(fx - x0);
+      const float top = src[y0 * w + x0] * (1 - wx) + src[y0 * w + x1] * wx;
+      const float bot = src[y1 * w + x0] * (1 - wx) + src[y1 * w + x1] * wx;
+      dst[y * s + x] = top * (1 - wy) + bot * wy;
+    }
+  }
+}
+
+}  // namespace
+
+Tensor resize_planes(const Tensor& t, std::size_t out_size) {
+  HS_CHECK(t.rank() == 3, "resize_planes: input must be (C, H, W)");
+  HS_CHECK(out_size > 0, "resize_planes: zero output size");
+  const std::size_t c = t.dim(0), h = t.dim(1), w = t.dim(2);
+  if (h == out_size && w == out_size) return t;
+  Tensor out({c, out_size, out_size});
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    resize_plane(t.data() + ch * h * w, h, w,
+                 out.data() + ch * out_size * out_size, out_size);
+  }
+  return out;
+}
+
+namespace {
+
+/// Applies the capture config's illuminant policy to the device's sensor.
+SensorModel make_capture_sensor(const DeviceProfile& device,
+                                float illuminant_sigma_override) {
+  SensorConfig cfg = device.sensor;
+  if (illuminant_sigma_override >= 0.0f) {
+    cfg.illuminant_variation = illuminant_sigma_override;
+  }
+  return SensorModel(cfg);
+}
+
+}  // namespace
+
+Tensor capture_to_tensor(const Image& scene, const DeviceProfile& device,
+                         const CaptureConfig& cfg, Rng& rng) {
+  const SensorModel sensor =
+      make_capture_sensor(device, cfg.illuminant_sigma_override);
+  RawImage raw = sensor.capture(scene, rng);
+  if (cfg.raw_mode) {
+    return resize_planes(raw.to_packed_tensor(), cfg.raw_tensor_size);
+  }
+  const Image img = run_isp_resized(raw, device.isp, cfg.tensor_size);
+  return img.to_tensor();
+}
+
+Tensor capture_with_isp(const Image& scene, const DeviceProfile& device,
+                        const IspConfig& isp, std::size_t tensor_size,
+                        Rng& rng) {
+  // Stage-ablation captures follow the dark-room protocol.
+  const SensorModel sensor = make_capture_sensor(device, 0.0f);
+  RawImage raw = sensor.capture(scene, rng);
+  const Image img = run_isp_resized(raw, isp, tensor_size);
+  return img.to_tensor();
+}
+
+Dataset build_device_dataset(const DeviceProfile& device,
+                             std::size_t per_class,
+                             const SceneGenerator& scenes,
+                             const CaptureConfig& cfg, Rng& rng) {
+  HS_CHECK(per_class > 0, "build_device_dataset: per_class must be positive");
+  const std::size_t n = per_class * SceneGenerator::kNumClasses;
+  const std::size_t side = cfg.raw_mode ? cfg.raw_tensor_size : cfg.tensor_size;
+  const std::size_t channels = cfg.raw_mode ? 4 : 3;
+  Tensor xs({n, channels, side, side});
+  std::vector<std::size_t> labels(n);
+  std::size_t i = 0;
+  for (std::size_t cls = 0; cls < SceneGenerator::kNumClasses; ++cls) {
+    for (std::size_t k = 0; k < per_class; ++k, ++i) {
+      const Image scene = scenes.generate(cls, rng);
+      xs.set_slice0(i, capture_to_tensor(scene, device, cfg, rng));
+      labels[i] = cls;
+    }
+  }
+  return Dataset(std::move(xs), std::move(labels));
+}
+
+Dataset build_device_dataset_with_isp(const DeviceProfile& device,
+                                      const IspConfig& isp,
+                                      std::size_t per_class,
+                                      const SceneGenerator& scenes,
+                                      std::size_t tensor_size, Rng& rng) {
+  HS_CHECK(per_class > 0,
+           "build_device_dataset_with_isp: per_class must be positive");
+  const std::size_t n = per_class * SceneGenerator::kNumClasses;
+  Tensor xs({n, 3, tensor_size, tensor_size});
+  std::vector<std::size_t> labels(n);
+  std::size_t i = 0;
+  for (std::size_t cls = 0; cls < SceneGenerator::kNumClasses; ++cls) {
+    for (std::size_t k = 0; k < per_class; ++k, ++i) {
+      const Image scene = scenes.generate(cls, rng);
+      xs.set_slice0(i, capture_with_isp(scene, device, isp, tensor_size, rng));
+      labels[i] = cls;
+    }
+  }
+  return Dataset(std::move(xs), std::move(labels));
+}
+
+Dataset build_scene_dataset(std::size_t per_class,
+                            const SceneGenerator& scenes,
+                            std::size_t tensor_size, Rng& rng) {
+  HS_CHECK(per_class > 0, "build_scene_dataset: per_class must be positive");
+  const std::size_t n = per_class * SceneGenerator::kNumClasses;
+  Tensor xs({n, 3, tensor_size, tensor_size});
+  std::vector<std::size_t> labels(n);
+  std::size_t i = 0;
+  for (std::size_t cls = 0; cls < SceneGenerator::kNumClasses; ++cls) {
+    for (std::size_t k = 0; k < per_class; ++k, ++i) {
+      Image scene = scenes.generate(cls, rng);
+      scene = srgb_encode(resize_bilinear(scene, tensor_size, tensor_size));
+      xs.set_slice0(i, scene.to_tensor());
+      labels[i] = cls;
+    }
+  }
+  return Dataset(std::move(xs), std::move(labels));
+}
+
+Dataset build_flair_user_dataset(const DeviceProfile& device,
+                                 const std::vector<double>& preferences,
+                                 std::size_t num_samples,
+                                 const FlairSceneGenerator& scenes,
+                                 const CaptureConfig& cfg, Rng& rng) {
+  HS_CHECK(num_samples > 0,
+           "build_flair_user_dataset: num_samples must be positive");
+  HS_CHECK(!cfg.raw_mode, "build_flair_user_dataset: RAW mode not supported");
+  Tensor xs({num_samples, 3, cfg.tensor_size, cfg.tensor_size});
+  Tensor targets({num_samples, FlairSceneGenerator::kNumLabels});
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const auto label_set = scenes.sample_label_set(preferences, rng);
+    const Image scene = scenes.generate(label_set, rng);
+    xs.set_slice0(i, capture_to_tensor(scene, device, cfg, rng));
+    for (std::size_t l : label_set) targets.at(i, l) = 1.0f;
+  }
+  return Dataset(std::move(xs), std::move(targets));
+}
+
+}  // namespace hetero

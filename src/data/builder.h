@@ -1,0 +1,74 @@
+// Dataset builders: scene radiance -> device capture -> ISP -> tensors.
+//
+// This is where system-induced heterogeneity enters the data: the *same*
+// scene distribution is pushed through each device's sensor + ISP, so any
+// train/test shift between the resulting datasets is attributable to the
+// device alone (the paper's dark-room protocol).
+#pragma once
+
+#include <cstddef>
+
+#include "data/dataset.h"
+#include "device/device_profile.h"
+#include "scene/flair_gen.h"
+#include "scene/scene_gen.h"
+
+namespace hetero {
+
+/// How scenes are turned into model tensors.
+struct CaptureConfig {
+  std::size_t tensor_size = 32;      ///< final (C,S,S) image side
+  bool raw_mode = false;             ///< pack RAW planes instead of ISP RGB
+  std::size_t raw_tensor_size = 16;  ///< per-plane side in raw mode
+  /// Per-shot illuminant variation override. The default 0 reproduces the
+  /// paper's dark-room protocol (Section 3.1: "we controlled other external
+  /// factors") — every capture sees the same monitor illuminant, so all
+  /// train/test shift is attributable to the device. Set to a negative
+  /// value to use each device's own AWB-drift figure (in-the-wild captures,
+  /// used by the FLAIR experiments), or to a positive sigma to force one.
+  float illuminant_sigma_override = 0.0f;
+};
+
+/// Captures one scene with the device's sensor and ISP into a CHW tensor:
+/// (3, S, S) in ISP mode or (4, R, R) packed RAW in raw mode.
+Tensor capture_to_tensor(const Image& scene, const DeviceProfile& device,
+                         const CaptureConfig& cfg, Rng& rng);
+
+/// Same, but with an explicit ISP configuration (for Table 3 / Fig 3 stage
+/// ablations). Only valid in ISP mode.
+Tensor capture_with_isp(const Image& scene, const DeviceProfile& device,
+                        const IspConfig& isp, std::size_t tensor_size,
+                        Rng& rng);
+
+/// Resizes each plane of a (C, H, W) tensor to (C, S, S) bilinearly.
+Tensor resize_planes(const Tensor& t, std::size_t out_size);
+
+/// Builds a single-label dataset of per_class samples per class, all
+/// captured by one device.
+Dataset build_device_dataset(const DeviceProfile& device,
+                             std::size_t per_class,
+                             const SceneGenerator& scenes,
+                             const CaptureConfig& cfg, Rng& rng);
+
+/// Same scenes, explicit ISP configuration (stage-ablation datasets).
+Dataset build_device_dataset_with_isp(const DeviceProfile& device,
+                                      const IspConfig& isp,
+                                      std::size_t per_class,
+                                      const SceneGenerator& scenes,
+                                      std::size_t tensor_size, Rng& rng);
+
+/// Builds a single-label dataset straight from scene radiance (no sensor,
+/// no ISP): the scene is resized and sRGB-encoded. This is the "original
+/// dataset" of the paper's Fig 7 robustness experiment.
+Dataset build_scene_dataset(std::size_t per_class, const SceneGenerator& scenes,
+                            std::size_t tensor_size, Rng& rng);
+
+/// Builds a FLAIR-style multi-label dataset for one user on one device.
+/// preferences: the user's label profile (see FlairSceneGenerator).
+Dataset build_flair_user_dataset(const DeviceProfile& device,
+                                 const std::vector<double>& preferences,
+                                 std::size_t num_samples,
+                                 const FlairSceneGenerator& scenes,
+                                 const CaptureConfig& cfg, Rng& rng);
+
+}  // namespace hetero

@@ -1,0 +1,161 @@
+#include "data/dataset.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace hetero {
+
+Dataset::Dataset(Tensor xs, std::vector<std::size_t> labels)
+    : multi_(false), xs_(std::move(xs)), labels_(std::move(labels)) {
+  HS_CHECK(xs_.rank() == 4, "Dataset: xs must be (N, C, H, W)");
+  n_ = xs_.dim(0);
+  HS_CHECK(labels_.size() == n_, "Dataset: label count mismatch");
+}
+
+Dataset::Dataset(Tensor xs, Tensor multi_targets)
+    : multi_(true), xs_(std::move(xs)), multi_targets_(std::move(multi_targets)) {
+  HS_CHECK(xs_.rank() == 4, "Dataset: xs must be (N, C, H, W)");
+  n_ = xs_.dim(0);
+  HS_CHECK(multi_targets_.rank() == 2 && multi_targets_.dim(0) == n_,
+           "Dataset: multi-target shape mismatch");
+}
+
+std::size_t Dataset::channels() const {
+  return xs_.rank() == 4 ? xs_.dim(1) : 0;
+}
+
+std::size_t Dataset::image_size() const {
+  return xs_.rank() == 4 ? xs_.dim(2) : 0;
+}
+
+std::size_t Dataset::num_label_dims() const {
+  return multi_ ? multi_targets_.dim(1) : 0;
+}
+
+Tensor Dataset::gather_x(const std::vector<std::size_t>& idx) const {
+  HS_CHECK(!idx.empty(), "Dataset::gather_x: empty index list");
+  const std::size_t sample = xs_.size() / n_;
+  Tensor out({idx.size(), xs_.dim(1), xs_.dim(2), xs_.dim(3)});
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    HS_CHECK(idx[i] < n_, "Dataset::gather_x: index out of range");
+    std::copy(xs_.data() + idx[i] * sample, xs_.data() + (idx[i] + 1) * sample,
+              out.data() + i * sample);
+  }
+  return out;
+}
+
+std::vector<std::size_t> Dataset::gather_labels(
+    const std::vector<std::size_t>& idx) const {
+  HS_CHECK(!multi_, "Dataset::gather_labels: multi-label dataset");
+  std::vector<std::size_t> out(idx.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    HS_CHECK(idx[i] < n_, "Dataset::gather_labels: index out of range");
+    out[i] = labels_[idx[i]];
+  }
+  return out;
+}
+
+Tensor Dataset::gather_multi(const std::vector<std::size_t>& idx) const {
+  HS_CHECK(multi_, "Dataset::gather_multi: single-label dataset");
+  const std::size_t l = multi_targets_.dim(1);
+  Tensor out({idx.size(), l});
+  for (std::size_t i = 0; i < idx.size(); ++i) {
+    HS_CHECK(idx[i] < n_, "Dataset::gather_multi: index out of range");
+    std::copy(multi_targets_.data() + idx[i] * l,
+              multi_targets_.data() + (idx[i] + 1) * l, out.data() + i * l);
+  }
+  return out;
+}
+
+Dataset Dataset::subset(const std::vector<std::size_t>& idx) const {
+  Tensor xs = gather_x(idx);
+  if (multi_) return Dataset(std::move(xs), gather_multi(idx));
+  return Dataset(std::move(xs), gather_labels(idx));
+}
+
+Dataset Dataset::concat(const std::vector<const Dataset*>& parts) {
+  HS_CHECK(!parts.empty(), "Dataset::concat: no parts");
+  const Dataset& first = *parts.front();
+  std::size_t total = 0;
+  for (const Dataset* p : parts) {
+    HS_CHECK(p != nullptr && !p->empty(), "Dataset::concat: empty part");
+    HS_CHECK(p->is_multi_label() == first.is_multi_label(),
+             "Dataset::concat: mixed label modes");
+    HS_CHECK(p->xs_.dim(1) == first.xs_.dim(1) &&
+                 p->xs_.dim(2) == first.xs_.dim(2) &&
+                 p->xs_.dim(3) == first.xs_.dim(3),
+             "Dataset::concat: shape mismatch");
+    total += p->size();
+  }
+  Tensor xs({total, first.xs_.dim(1), first.xs_.dim(2), first.xs_.dim(3)});
+  std::size_t off = 0;
+  for (const Dataset* p : parts) {
+    std::copy(p->xs_.data(), p->xs_.data() + p->xs_.size(), xs.data() + off);
+    off += p->xs_.size();
+  }
+  if (first.is_multi_label()) {
+    const std::size_t l = first.multi_targets_.dim(1);
+    Tensor targets({total, l});
+    off = 0;
+    for (const Dataset* p : parts) {
+      HS_CHECK(p->multi_targets_.dim(1) == l,
+               "Dataset::concat: label dim mismatch");
+      std::copy(p->multi_targets_.data(),
+                p->multi_targets_.data() + p->multi_targets_.size(),
+                targets.data() + off);
+      off += p->multi_targets_.size();
+    }
+    return Dataset(std::move(xs), std::move(targets));
+  }
+  std::vector<std::size_t> labels;
+  labels.reserve(total);
+  for (const Dataset* p : parts) {
+    labels.insert(labels.end(), p->labels_.begin(), p->labels_.end());
+  }
+  return Dataset(std::move(xs), std::move(labels));
+}
+
+DataLoader::DataLoader(const Dataset& dataset, std::size_t batch_size,
+                       Rng& rng, bool shuffle, bool drop_last)
+    : dataset_(&dataset),
+      batch_size_(batch_size),
+      shuffle_(shuffle),
+      drop_last_(drop_last) {
+  HS_CHECK(batch_size > 0, "DataLoader: batch size must be positive");
+  HS_CHECK(!dataset.empty(), "DataLoader: empty dataset");
+  build(rng);
+}
+
+void DataLoader::reset(Rng& rng) { build(rng); }
+
+void DataLoader::build(Rng& rng) {
+  std::vector<std::size_t> order(dataset_->size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  if (shuffle_) rng.shuffle(order);
+  batches_.clear();
+  for (std::size_t start = 0; start < order.size(); start += batch_size_) {
+    const std::size_t end = std::min(start + batch_size_, order.size());
+    if (drop_last_ && end - start < batch_size_) break;
+    batches_.emplace_back(order.begin() + static_cast<std::ptrdiff_t>(start),
+                          order.begin() + static_cast<std::ptrdiff_t>(end));
+  }
+  if (batches_.empty()) {
+    // Degenerate case: dataset smaller than one batch with drop_last.
+    batches_.push_back(order);
+  }
+}
+
+Batch DataLoader::batch(std::size_t b) const {
+  HS_CHECK(b < batches_.size(), "DataLoader::batch: index out of range");
+  Batch out;
+  out.x = dataset_->gather_x(batches_[b]);
+  if (dataset_->is_multi_label()) {
+    out.multi_targets = dataset_->gather_multi(batches_[b]);
+  } else {
+    out.labels = dataset_->gather_labels(batches_[b]);
+  }
+  return out;
+}
+
+}  // namespace hetero

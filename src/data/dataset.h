@@ -1,0 +1,94 @@
+// In-memory datasets and mini-batch loading.
+//
+// A Dataset holds stacked image tensors plus either single-label class
+// indices (the 12-class custom dataset) or a multi-hot label matrix (the
+// FLAIR-style dataset). Samples optionally remember which device captured
+// them, which the FL metrics use for per-device evaluation.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hetero {
+
+class Rng;
+
+class Dataset {
+ public:
+  Dataset() = default;
+
+  /// Single-label dataset. xs: (N, C, H, W); labels: N class indices.
+  Dataset(Tensor xs, std::vector<std::size_t> labels);
+
+  /// Multi-label dataset. xs: (N, C, H, W); targets: (N, L) multi-hot.
+  Dataset(Tensor xs, Tensor multi_targets);
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+  bool is_multi_label() const { return multi_; }
+
+  std::size_t channels() const;
+  std::size_t image_size() const;
+  std::size_t num_label_dims() const;  ///< L for multi-label, 0 otherwise
+
+  const Tensor& xs() const { return xs_; }
+  const std::vector<std::size_t>& labels() const { return labels_; }
+  const Tensor& multi_targets() const { return multi_targets_; }
+
+  /// Gathers a batch of inputs by sample indices.
+  Tensor gather_x(const std::vector<std::size_t>& idx) const;
+  /// Gathers single labels by sample indices.
+  std::vector<std::size_t> gather_labels(
+      const std::vector<std::size_t>& idx) const;
+  /// Gathers multi-hot targets by sample indices.
+  Tensor gather_multi(const std::vector<std::size_t>& idx) const;
+
+  /// Copy of the selected samples as a new dataset.
+  Dataset subset(const std::vector<std::size_t>& idx) const;
+
+  /// Concatenates compatible datasets (same shapes and label mode).
+  static Dataset concat(const std::vector<const Dataset*>& parts);
+
+ private:
+  std::size_t n_ = 0;
+  bool multi_ = false;
+  Tensor xs_;
+  std::vector<std::size_t> labels_;
+  Tensor multi_targets_;
+};
+
+/// One mini-batch.
+struct Batch {
+  Tensor x;
+  std::vector<std::size_t> labels;  // single-label mode
+  Tensor multi_targets;             // multi-label mode
+};
+
+/// Shuffled mini-batch iteration over a dataset (index-based; cheap).
+class DataLoader {
+ public:
+  /// drop_last=false keeps the final short batch.
+  DataLoader(const Dataset& dataset, std::size_t batch_size, Rng& rng,
+             bool shuffle = true, bool drop_last = false);
+
+  /// Number of batches per epoch.
+  std::size_t num_batches() const { return batches_.size(); }
+
+  /// Reshuffles (if enabled) for a new epoch.
+  void reset(Rng& rng);
+
+  /// Batch b of the current epoch.
+  Batch batch(std::size_t b) const;
+
+ private:
+  void build(Rng& rng);
+
+  const Dataset* dataset_;
+  std::size_t batch_size_;
+  bool shuffle_, drop_last_;
+  std::vector<std::vector<std::size_t>> batches_;
+};
+
+}  // namespace hetero

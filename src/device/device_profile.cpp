@@ -1,0 +1,242 @@
+#include "device/device_profile.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+/// Sensor hardware quality by performance tier.
+SensorConfig tier_sensor(char tier) {
+  SensorConfig s;
+  switch (tier) {
+    case 'H':
+      s.raw_height = s.raw_width = 64;
+      s.optics_blur_sigma = 0.30f;
+      s.vignetting = 0.06f;
+      s.shot_noise = 0.006f;
+      s.read_noise = 0.0015f;
+      s.bit_depth = 12;
+      s.black_level = 0.025f;
+      s.illuminant_variation = 0.25f;  // stable auto white point
+      break;
+    case 'M':
+      s.raw_height = s.raw_width = 48;
+      s.optics_blur_sigma = 0.45f;
+      s.vignetting = 0.10f;
+      s.shot_noise = 0.010f;
+      s.read_noise = 0.0025f;
+      s.bit_depth = 10;
+      s.black_level = 0.050f;
+      s.illuminant_variation = 0.35f;
+      break;
+    case 'L':
+    default:
+      s.raw_height = s.raw_width = 32;
+      s.optics_blur_sigma = 0.60f;
+      s.vignetting = 0.15f;
+      s.shot_noise = 0.016f;
+      s.read_noise = 0.0040f;
+      s.bit_depth = 10;
+      s.black_level = 0.080f;
+      s.illuminant_variation = 0.45f;  // drifting auto white point
+      break;
+  }
+  return s;
+}
+
+DeviceProfile make_device(std::string name, std::string vendor, char tier,
+                          double share, float warmth, float crosstalk,
+                          float raw_r, float raw_b, float exposure,
+                          IspConfig isp) {
+  DeviceProfile d;
+  d.name = std::move(name);
+  d.vendor = std::move(vendor);
+  d.tier = tier;
+  d.market_share = share;
+  d.sensor = tier_sensor(tier);
+  d.sensor.spectral_response =
+      make_spectral_response(warmth, crosstalk, raw_r, raw_b);
+  d.sensor.exposure_gain = exposure;
+  d.isp = isp;
+  d.isp.ccm = SensorModel(d.sensor).ccm();
+  d.isp.black_level = d.sensor.black_level;
+  return d;
+}
+
+std::vector<DeviceProfile> build_paper_devices() {
+  // Vendor ISP house styles.
+  IspConfig google;  // computational photography: white patch + tone eq
+  google.demosaic = DemosaicAlgo::kPPG;
+  google.wb = WhiteBalanceAlgo::kWhitePatch;
+  google.tone = ToneAlgo::kSrgbGammaEq;
+  google.denoise = DenoiseAlgo::kFBDD;
+  google.jpeg_quality = 90;
+
+  IspConfig google_old = google;  // Nexus 5X predates the HDR+ era style
+  google_old.wb = WhiteBalanceAlgo::kGrayWorld;
+  google_old.demosaic = DemosaicAlgo::kBilinear;
+  google_old.tone = ToneAlgo::kSrgbGamma;
+  google_old.jpeg_quality = 75;
+
+  IspConfig lg;  // AHD demosaic, conservative processing
+  lg.demosaic = DemosaicAlgo::kAHD;
+  lg.wb = WhiteBalanceAlgo::kGrayWorld;
+  lg.tone = ToneAlgo::kSrgbGamma;
+  lg.denoise = DenoiseAlgo::kFBDD;
+  lg.jpeg_quality = 85;
+
+  IspConfig samsung;  // heavy processing: tone equalization
+  samsung.demosaic = DemosaicAlgo::kPPG;
+  samsung.wb = WhiteBalanceAlgo::kGrayWorld;
+  samsung.tone = ToneAlgo::kSrgbGammaEq;
+  samsung.denoise = DenoiseAlgo::kFBDD;
+  samsung.jpeg_quality = 85;
+
+  std::vector<DeviceProfile> devices;
+
+  // Per-device raw channel sensitivities (R, B relative to green): real
+  // CMOS is green-dominant, and the exact white point is a CFA-dye
+  // signature that varies per sensor generation — the main systematic
+  // RAW-domain difference Fig 2 measures.
+
+  // Google: cool-toned Sony-style sensors, low crosstalk on recent models.
+  // Pixel5 and Pixel2 are deliberate near-twins (Table 2 shows 1.0%/5.7%
+  // mutual degradation, the smallest in the matrix).
+  devices.push_back(make_device("Pixel5", "Google", 'H', 1.0, -0.06f, 0.05f,
+                                0.56f, 0.70f, 1.00f, google));
+  devices.push_back(make_device("Pixel2", "Google", 'M', 3.0, -0.05f, 0.07f,
+                                0.55f, 0.69f, 0.95f, google));
+  devices.push_back(make_device("Nexus5X", "Google", 'L', 4.0, -0.02f, 0.16f,
+                                0.45f, 0.55f, 0.90f, google_old));
+
+  // LG: slightly green-shifted sensors.
+  {
+    IspConfig velvet = lg;
+    velvet.denoise = DenoiseAlgo::kWavelet;
+    devices.push_back(make_device("VELVET", "LG", 'H', 2.0, 0.01f, 0.07f,
+                                  0.62f, 0.60f, 1.03f, velvet));
+  }
+  devices.push_back(make_device("G7", "LG", 'M', 5.0, 0.02f, 0.10f, 0.59f,
+                                0.58f, 1.03f, lg));
+  {
+    IspConfig g4 = lg;
+    g4.denoise = DenoiseAlgo::kNone;
+    g4.jpeg_quality = 70;
+    devices.push_back(make_device("G4", "LG", 'L', 8.0, 0.03f, 0.15f, 0.50f,
+                                  0.52f, 0.93f, g4));
+  }
+
+  // Samsung: warm-toned sensors. The S22's "advanced ISP" stores untagged
+  // wide-gamut (Display-P3) output — the paper singles it out as the device
+  // on which every other model degrades the most (Table 2 column mean
+  // 33.6%).
+  {
+    IspConfig s22 = samsung;
+    s22.gamut = GamutAlgo::kDisplayP3;
+    s22.jpeg_quality = 92;
+    devices.push_back(make_device("GalaxyS22", "Samsung", 'H', 12.0, 0.07f,
+                                  0.05f, 0.68f, 0.76f, 1.08f, s22));
+  }
+  devices.push_back(make_device("GalaxyS9", "Samsung", 'M', 27.0, 0.06f,
+                                0.09f, 0.64f, 0.70f, 1.05f, samsung));
+  {
+    IspConfig s6 = samsung;
+    s6.demosaic = DemosaicAlgo::kBilinear;
+    s6.tone = ToneAlgo::kSrgbGamma;
+    s6.jpeg_quality = 75;
+    devices.push_back(make_device("GalaxyS6", "Samsung", 'L', 38.0, 0.05f,
+                                  0.14f, 0.55f, 0.64f, 0.94f, s6));
+  }
+  return devices;
+}
+
+}  // namespace
+
+ColorMatrix make_spectral_response(float warmth, float crosstalk,
+                                   float r_sensitivity, float b_sensitivity) {
+  HS_CHECK(crosstalk >= 0.0f && crosstalk < 0.5f,
+           "make_spectral_response: crosstalk out of range");
+  HS_CHECK(r_sensitivity > 0.0f && b_sensitivity > 0.0f,
+           "make_spectral_response: sensitivities must be positive");
+  // Mixing part: diagonal keeps (1 - crosstalk), the leak splits across the
+  // other two channels. Warmth tilts R up / B down.
+  ColorMatrix m{};
+  for (int r = 0; r < 3; ++r) {
+    for (int c = 0; c < 3; ++c) {
+      m[static_cast<std::size_t>(r * 3 + c)] =
+          r == c ? 1.0f - crosstalk : crosstalk / 2.0f;
+    }
+  }
+  // Channel sensitivities scale whole rows: the sensor's raw white point.
+  const float rg = r_sensitivity * (1.0f + warmth);
+  const float bg = b_sensitivity * (1.0f - warmth);
+  for (int c = 0; c < 3; ++c) {
+    m[static_cast<std::size_t>(c)] *= rg;      // R row
+    m[static_cast<std::size_t>(6 + c)] *= bg;  // B row
+  }
+  return m;
+}
+
+const std::vector<DeviceProfile>& paper_devices() {
+  static const std::vector<DeviceProfile> devices = build_paper_devices();
+  return devices;
+}
+
+std::size_t device_index(const std::string& name) {
+  const auto& devices = paper_devices();
+  for (std::size_t i = 0; i < devices.size(); ++i) {
+    if (devices[i].name == name) return i;
+  }
+  throw std::invalid_argument("device_index: unknown device " + name);
+}
+
+const DeviceProfile& device_by_name(const std::string& name) {
+  return paper_devices()[device_index(name)];
+}
+
+std::vector<double> market_share_weights() {
+  std::vector<double> w;
+  w.reserve(paper_devices().size());
+  for (const auto& d : paper_devices()) w.push_back(d.market_share);
+  return w;
+}
+
+std::vector<DeviceProfile> long_tail_population(std::size_t n, Rng& rng) {
+  HS_CHECK(n > 0, "long_tail_population: n must be positive");
+  std::vector<DeviceProfile> out;
+  out.reserve(n);
+  const auto& base = paper_devices();
+  const char tiers[3] = {'H', 'M', 'L'};
+  for (std::size_t i = 0; i < n; ++i) {
+    DeviceProfile d;
+    if (i < base.size()) {
+      // Head: the paper devices themselves.
+      d = base[i];
+    } else {
+      // Tail: random sensor + a random mix of known ISP styles.
+      const char tier = tiers[rng.uniform_int(3)];
+      IspConfig isp;
+      isp.denoise = static_cast<DenoiseAlgo>(rng.uniform_int(3));
+      isp.demosaic = static_cast<DemosaicAlgo>(rng.uniform_int(4));
+      isp.wb = static_cast<WhiteBalanceAlgo>(1 + rng.uniform_int(2));
+      isp.gamut =
+          rng.bernoulli(0.15) ? GamutAlgo::kDisplayP3 : GamutAlgo::kSrgb;
+      isp.tone = rng.bernoulli(0.4) ? ToneAlgo::kSrgbGammaEq
+                                    : ToneAlgo::kSrgbGamma;
+      isp.jpeg_quality = 60 + static_cast<int>(rng.uniform_int(35));
+      d = make_device("tail-" + std::to_string(i), "other", tier, 0.0,
+                      rng.uniform_f(-0.08f, 0.10f), rng.uniform_f(0.03f, 0.2f),
+                      rng.uniform_f(0.50f, 0.65f), rng.uniform_f(0.56f, 0.72f),
+                      rng.uniform_f(0.92f, 1.08f), isp);
+    }
+    // Exponentially decaying share over the population rank.
+    d.market_share = 100.0 * std::exp(-0.35 * static_cast<double>(i));
+    out.push_back(std::move(d));
+  }
+  return out;
+}
+
+}  // namespace hetero

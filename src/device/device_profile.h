@@ -1,0 +1,69 @@
+// Device profiles: the bundle of sensor hardware (SensorConfig) and ISP
+// software (IspConfig) that makes one phone's images different from
+// another's — the unit of system-induced data heterogeneity.
+//
+// The registry reproduces Table 1 of the paper: three vendors (Samsung, LG,
+// Google) x three performance tiers (H/M/L) with US market shares. Vendor
+// determines the ISP house style (Google: white-patch WB + tone
+// equalization; Samsung: heavy processing, S22 additionally in untagged
+// wide gamut; LG: AHD demosaic), tier determines sensor quality (noise,
+// resolution, optics, ADC depth). The parameters were chosen so the
+// cross-device degradation structure of Table 2 emerges: Pixel5/Pixel2 are
+// nearly twins, S22 is the most idiosyncratic target, low-tier sensors are
+// noisy and soft.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "isp/pipeline.h"
+#include "isp/sensor.h"
+
+namespace hetero {
+
+class Rng;
+
+struct DeviceProfile {
+  std::string name;
+  std::string vendor;
+  char tier = 'M';            ///< 'H', 'M' or 'L'
+  double market_share = 0.0;  ///< percent, Table 1
+  SensorConfig sensor;
+  IspConfig isp;  ///< isp.ccm already set to the sensor's CCM
+
+  SensorModel sensor_model() const { return SensorModel(sensor); }
+};
+
+/// Builds a sensor spectral-response matrix from interpretable knobs:
+/// warmth > 0 boosts red / cuts blue response; crosstalk in [0, 1) leaks
+/// each channel into its neighbours (older CMOS has more); r_sensitivity /
+/// b_sensitivity scale the R and B rows absolutely. Real CMOS sensors are
+/// strongly green-dominant (typical AWB gains are ~1.8x R, ~1.5x B), so
+/// device profiles pass r/b sensitivities well below 1 — this raw white
+/// cast is what the white-balance ISP stage exists to remove, and its
+/// device-to-device spread is a dominant source of RAW-domain heterogeneity
+/// (Fig 2).
+ColorMatrix make_spectral_response(float warmth, float crosstalk,
+                                   float r_sensitivity = 1.0f,
+                                   float b_sensitivity = 1.0f);
+
+/// The nine devices of Table 1, in a fixed order:
+/// Pixel5, Pixel2, Nexus5X, VELVET, G7, G4, S22, S9, S6.
+const std::vector<DeviceProfile>& paper_devices();
+
+/// Index of a device in paper_devices() by name; throws for unknown names.
+std::size_t device_index(const std::string& name);
+
+/// Lookup by name; throws for unknown names.
+const DeviceProfile& device_by_name(const std::string& name);
+
+/// Market-share weights of paper_devices(), in order (sums to ~100).
+std::vector<double> market_share_weights();
+
+/// Synthesizes a long-tailed population of `n` device profiles for the
+/// FLAIR-style experiments: a few head devices (perturbed paper profiles)
+/// plus a tail of random vendor-less devices with exponentially decaying
+/// market share.
+std::vector<DeviceProfile> long_tail_population(std::size_t n, Rng& rng);
+
+}  // namespace hetero

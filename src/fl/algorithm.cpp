@@ -1,0 +1,261 @@
+#include "fl/algorithm.h"
+
+#include <cmath>
+
+#include "fl/eval.h"
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+/// Batches per local update for a dataset under a config (loader keeps the
+/// final short batch).
+std::size_t local_steps(const Dataset& data, const LocalTrainConfig& cfg) {
+  const std::size_t per_epoch =
+      (data.size() + cfg.batch_size - 1) / cfg.batch_size;
+  return per_epoch * cfg.epochs;
+}
+
+}  // namespace
+
+Tensor weighted_average_states(const std::vector<Tensor>& states,
+                               const std::vector<double>& weights) {
+  HS_CHECK(!states.empty() && states.size() == weights.size(),
+           "weighted_average_states: size mismatch");
+  double total = 0.0;
+  for (double w : weights) {
+    HS_CHECK(w >= 0.0, "weighted_average_states: negative weight");
+    total += w;
+  }
+  HS_CHECK(total > 0.0, "weighted_average_states: zero total weight");
+  Tensor avg(states[0].shape());
+  for (std::size_t k = 0; k < states.size(); ++k) {
+    HS_CHECK(states[k].same_shape(avg),
+             "weighted_average_states: state shape mismatch");
+    avg.axpy(static_cast<float>(weights[k] / total), states[k]);
+  }
+  return avg;
+}
+
+// ------------------------------------------------------------------ FedAvg
+
+RoundStats FedAvg::run_round(Model& model,
+                             const std::vector<std::size_t>& selected,
+                             const std::vector<Dataset>& client_data,
+                             Rng& rng) {
+  HS_CHECK(!selected.empty(), "FedAvg: no clients selected");
+  const Tensor global = model.state();
+  std::vector<Tensor> states;
+  std::vector<double> weights;
+  double loss_sum = 0.0, weight_sum = 0.0;
+  states.reserve(selected.size());
+  for (std::size_t id : selected) {
+    const Dataset& data = client_data.at(id);
+    model.set_state(global);
+    Rng client_rng = rng.fork(id);
+    const float loss = local_train(model, data, cfg_, client_rng);
+    states.push_back(model.state());
+    weights.push_back(static_cast<double>(data.size()));
+    loss_sum += loss * static_cast<double>(data.size());
+    weight_sum += static_cast<double>(data.size());
+  }
+  model.set_state(weighted_average_states(states, weights));
+  return RoundStats{loss_sum / weight_sum};
+}
+
+// ----------------------------------------------------------------- QFedAvg
+
+RoundStats QFedAvg::run_round(Model& model,
+                              const std::vector<std::size_t>& selected,
+                              const std::vector<Dataset>& client_data,
+                              Rng& rng) {
+  HS_CHECK(!selected.empty(), "QFedAvg: no clients selected");
+  const Tensor global = model.state();
+  const double big_l = 1.0 / static_cast<double>(cfg_.lr);  // Lipschitz proxy
+
+  Tensor delta_sum(global.shape());
+  double h_sum = 0.0;
+  double loss_sum = 0.0, weight_sum = 0.0;
+  for (std::size_t id : selected) {
+    const Dataset& data = client_data.at(id);
+    model.set_state(global);
+    // F_k: loss of the *global* model on the client's data.
+    const double fk =
+        std::max(1e-10, evaluate_loss(model, data, cfg_.batch_size));
+    Rng client_rng = rng.fork(id);
+    const float train_loss = local_train(model, data, cfg_, client_rng);
+    // Delta-w scaled to a gradient estimate: L * (w_global - w_k).
+    Tensor dw = global - model.state();
+    dw *= static_cast<float>(big_l);
+    const double norm2 = static_cast<double>(dw.norm()) * dw.norm();
+    const double fq = std::pow(fk, q_);
+    delta_sum.axpy(static_cast<float>(fq), dw);
+    h_sum += q_ * std::pow(fk, q_ - 1.0) * norm2 + big_l * fq;
+    loss_sum += train_loss * static_cast<double>(data.size());
+    weight_sum += static_cast<double>(data.size());
+  }
+  HS_CHECK(h_sum > 0.0, "QFedAvg: degenerate aggregation weights");
+  Tensor new_state = global;
+  new_state.axpy(static_cast<float>(-1.0 / h_sum), delta_sum);
+  model.set_state(new_state);
+  return RoundStats{loss_sum / weight_sum};
+}
+
+// ----------------------------------------------------------------- FedProx
+
+RoundStats FedProx::run_round(Model& model,
+                              const std::vector<std::size_t>& selected,
+                              const std::vector<Dataset>& client_data,
+                              Rng& rng) {
+  HS_CHECK(!selected.empty(), "FedProx: no clients selected");
+  const Tensor global = model.state();
+  const Tensor global_params = model.params();
+
+  TrainHooks hooks;
+  hooks.post_grad = [this, &global_params](Model& m) {
+    // grad += mu * (w - w_global), walked over the flat parameter layout.
+    ParamGroup g = m.net().param_group();
+    std::size_t off = 0;
+    for (std::size_t t = 0; t < g.params.size(); ++t) {
+      Tensor& p = *g.params[t];
+      Tensor& gr = *g.grads[t];
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        gr[j] += mu_ * (p[j] - global_params[off + j]);
+      }
+      off += p.size();
+    }
+  };
+
+  std::vector<Tensor> states;
+  std::vector<double> weights;
+  double loss_sum = 0.0, weight_sum = 0.0;
+  for (std::size_t id : selected) {
+    const Dataset& data = client_data.at(id);
+    model.set_state(global);
+    Rng client_rng = rng.fork(id);
+    const float loss = local_train(model, data, cfg_, client_rng, hooks);
+    states.push_back(model.state());
+    weights.push_back(static_cast<double>(data.size()));
+    loss_sum += loss * static_cast<double>(data.size());
+    weight_sum += static_cast<double>(data.size());
+  }
+  model.set_state(weighted_average_states(states, weights));
+  return RoundStats{loss_sum / weight_sum};
+}
+
+// ----------------------------------------------------------------- FedAvgM
+
+void FedAvgM::init(Model& model, std::size_t num_clients) {
+  (void)num_clients;
+  velocity_ = Tensor({model.state_size()});
+}
+
+RoundStats FedAvgM::run_round(Model& model,
+                              const std::vector<std::size_t>& selected,
+                              const std::vector<Dataset>& client_data,
+                              Rng& rng) {
+  HS_CHECK(!selected.empty(), "FedAvgM: no clients selected");
+  HS_CHECK(!velocity_.empty(), "FedAvgM: init() not called");
+  const Tensor global = model.state();
+  std::vector<Tensor> states;
+  std::vector<double> weights;
+  double loss_sum = 0.0, weight_sum = 0.0;
+  for (std::size_t id : selected) {
+    const Dataset& data = client_data.at(id);
+    model.set_state(global);
+    Rng client_rng = rng.fork(id);
+    const float loss = local_train(model, data, cfg_, client_rng);
+    states.push_back(model.state());
+    weights.push_back(static_cast<double>(data.size()));
+    loss_sum += loss * static_cast<double>(data.size());
+    weight_sum += static_cast<double>(data.size());
+  }
+  // Pseudo-gradient: the (negated) average client movement.
+  Tensor avg = weighted_average_states(states, weights);
+  Tensor pseudo_grad = global - avg;
+  velocity_ *= beta_;
+  velocity_ += pseudo_grad;
+  Tensor new_state = global - velocity_;
+  model.set_state(new_state);
+  return RoundStats{loss_sum / weight_sum};
+}
+
+// ---------------------------------------------------------------- Scaffold
+
+void Scaffold::init(Model& model, std::size_t num_clients) {
+  num_clients_ = num_clients;
+  c_global_ = Tensor({model.num_params()});
+  c_clients_.assign(num_clients, Tensor());
+}
+
+RoundStats Scaffold::run_round(Model& model,
+                               const std::vector<std::size_t>& selected,
+                               const std::vector<Dataset>& client_data,
+                               Rng& rng) {
+  HS_CHECK(!selected.empty(), "Scaffold: no clients selected");
+  HS_CHECK(num_clients_ > 0, "Scaffold: init() not called");
+  const Tensor global = model.state();
+  const Tensor global_params = model.params();
+  const std::size_t p = global_params.size();
+
+  Tensor dw_sum({p});
+  Tensor dc_sum({p});
+  std::vector<Tensor> buffer_states;
+  double loss_sum = 0.0, weight_sum = 0.0;
+
+  for (std::size_t id : selected) {
+    const Dataset& data = client_data.at(id);
+    HS_CHECK(id < c_clients_.size(), "Scaffold: client id out of range");
+    if (c_clients_[id].empty()) c_clients_[id] = Tensor({p});
+    const Tensor& ci = c_clients_[id];
+
+    // Correction applied to every gradient step: + (c - c_i).
+    Tensor correction = c_global_ - ci;
+    TrainHooks hooks;
+    hooks.post_grad = [&correction](Model& m) {
+      ParamGroup g = m.net().param_group();
+      std::size_t off = 0;
+      for (std::size_t t = 0; t < g.grads.size(); ++t) {
+        Tensor& gr = *g.grads[t];
+        for (std::size_t j = 0; j < gr.size(); ++j) {
+          gr[j] += correction[off + j];
+        }
+        off += gr.size();
+      }
+    };
+
+    model.set_state(global);
+    Rng client_rng = rng.fork(id);
+    const float loss = local_train(model, data, cfg_, client_rng, hooks);
+    const Tensor y = model.params();
+    const std::size_t k = local_steps(data, cfg_);
+
+    // Option II control-variate update:
+    // c_i+ = c_i - c + (w_global - y) / (K * lr).
+    Tensor ci_new = ci - c_global_;
+    Tensor drift = global_params - y;
+    drift *= 1.0f / (static_cast<float>(k) * cfg_.lr);
+    ci_new += drift;
+
+    dw_sum += y - global_params;
+    dc_sum += ci_new - ci;
+    c_clients_[id] = std::move(ci_new);
+    buffer_states.push_back(model.state());
+    loss_sum += loss * static_cast<double>(data.size());
+    weight_sum += static_cast<double>(data.size());
+  }
+
+  // Server update: params move by the mean client delta; buffers (BN stats)
+  // are plain-averaged; c accumulates (1/N) * sum dc.
+  const float inv_s = 1.0f / static_cast<float>(selected.size());
+  Tensor new_params = global_params;
+  new_params.axpy(inv_s, dw_sum);
+  std::vector<double> eq_weights(buffer_states.size(), 1.0);
+  Tensor avg_state = weighted_average_states(buffer_states, eq_weights);
+  model.set_state(avg_state);
+  model.set_params(new_params);
+  c_global_.axpy(1.0f / static_cast<float>(num_clients_), dc_sum);
+  return RoundStats{loss_sum / weight_sum};
+}
+
+}  // namespace hetero

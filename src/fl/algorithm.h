@@ -1,0 +1,151 @@
+// Federated optimization algorithms.
+//
+// A FederatedAlgorithm owns both sides of one method: the client update rule
+// and the server aggregation. The simulation calls run_round() with the
+// round's selected clients; the algorithm mutates the shared global Model.
+// A single Model instance is reused for every simulated client by swapping
+// flat states (memory stays O(1) in the number of clients).
+//
+// Implemented methods (Section 6.2 of the paper):
+//   * FedAvg   (McMahan et al. 2017)  - sample-weighted state averaging.
+//   * q-FedAvg (Li et al. 2019)       - loss-reweighted updates for fair
+//                                       resource allocation.
+//   * FedProx  (Li et al. 2020)       - proximal L2 term in the client
+//                                       objective.
+//   * SCAFFOLD (Karimireddy et al. 2020) - client/server control variates.
+// HeteroSwitch itself lives in src/hetero and plugs into the same interface.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "data/dataset.h"
+#include "fl/trainer.h"
+#include "nn/model.h"
+
+namespace hetero {
+
+class Rng;
+
+/// Per-round statistics reported back to the simulation.
+struct RoundStats {
+  double mean_train_loss = 0.0;  ///< sample-weighted mean of client losses
+};
+
+class FederatedAlgorithm {
+ public:
+  virtual ~FederatedAlgorithm() = default;
+
+  /// Called once before round 0. num_clients is the population size N.
+  virtual void init(Model& model, std::size_t num_clients) {
+    (void)model;
+    (void)num_clients;
+  }
+
+  /// Runs one communication round over the selected clients (indices into
+  /// client_data) and updates the global model in place.
+  virtual RoundStats run_round(Model& model,
+                               const std::vector<std::size_t>& selected,
+                               const std::vector<Dataset>& client_data,
+                               Rng& rng) = 0;
+
+  virtual std::string name() const = 0;
+};
+
+class FedAvg : public FederatedAlgorithm {
+ public:
+  explicit FedAvg(LocalTrainConfig cfg) : cfg_(cfg) {}
+
+  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
+                       const std::vector<Dataset>& client_data,
+                       Rng& rng) override;
+  std::string name() const override { return "FedAvg"; }
+
+ protected:
+  LocalTrainConfig cfg_;
+};
+
+/// q-FedAvg: clients with higher loss receive higher aggregation weight,
+/// trading a little average accuracy for lower variance. q -> 0 recovers
+/// FedAvg. Paper grid: q in {1e-6 .. 1e-1}, chosen value 1e-6.
+class QFedAvg : public FederatedAlgorithm {
+ public:
+  QFedAvg(LocalTrainConfig cfg, double q) : cfg_(cfg), q_(q) {}
+
+  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
+                       const std::vector<Dataset>& client_data,
+                       Rng& rng) override;
+  std::string name() const override { return "q-FedAvg"; }
+
+ private:
+  LocalTrainConfig cfg_;
+  double q_;
+};
+
+/// FedProx: adds mu/2 * ||w - w_global||^2 to each client objective,
+/// implemented as a gradient correction mu * (w - w_global) before the step.
+/// Paper grid: mu in {1e-5 .. 1e-1}, chosen value 1e-1.
+class FedProx : public FederatedAlgorithm {
+ public:
+  FedProx(LocalTrainConfig cfg, float mu) : cfg_(cfg), mu_(mu) {}
+
+  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
+                       const std::vector<Dataset>& client_data,
+                       Rng& rng) override;
+  std::string name() const override { return "FedProx"; }
+
+ private:
+  LocalTrainConfig cfg_;
+  float mu_;
+};
+
+/// SCAFFOLD: corrects client drift with control variates. The server keeps
+/// a global variate c; every client i keeps a persistent c_i (Option II
+/// update). Both cover trainable parameters only (buffers are averaged as
+/// in FedAvg).
+class Scaffold : public FederatedAlgorithm {
+ public:
+  explicit Scaffold(LocalTrainConfig cfg) : cfg_(cfg) {}
+
+  void init(Model& model, std::size_t num_clients) override;
+  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
+                       const std::vector<Dataset>& client_data,
+                       Rng& rng) override;
+  std::string name() const override { return "Scaffold"; }
+
+ private:
+  LocalTrainConfig cfg_;
+  std::size_t num_clients_ = 0;
+  Tensor c_global_;                 // (P)
+  std::vector<Tensor> c_clients_;   // N x (P), lazily zero-initialized
+};
+
+/// FedAvgM (extension beyond the paper): FedAvg with server-side momentum.
+/// The server treats the round's average client delta as a pseudo-gradient
+/// and applies momentum to it — often stabilizes training under client
+/// heterogeneity. Included as an additional baseline for the ablation
+/// benches.
+class FedAvgM : public FederatedAlgorithm {
+ public:
+  FedAvgM(LocalTrainConfig cfg, float server_momentum)
+      : cfg_(cfg), beta_(server_momentum) {}
+
+  void init(Model& model, std::size_t num_clients) override;
+  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
+                       const std::vector<Dataset>& client_data,
+                       Rng& rng) override;
+  std::string name() const override { return "FedAvgM"; }
+
+ private:
+  LocalTrainConfig cfg_;
+  float beta_;
+  Tensor velocity_;  // over the full state
+};
+
+/// Sample-size-weighted average of client states; the FedAvg aggregation
+/// shared by several methods.
+Tensor weighted_average_states(const std::vector<Tensor>& states,
+                               const std::vector<double>& weights);
+
+}  // namespace hetero

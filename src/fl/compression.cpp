@@ -1,0 +1,151 @@
+#include "fl/compression.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace hetero {
+
+SparseUpdate top_k_sparsify(const Tensor& dense, std::size_t k) {
+  SparseUpdate out;
+  out.dense_size = dense.size();
+  k = std::min(k, dense.size());
+  if (k == 0) return out;
+
+  // Partial selection of the k largest-magnitude coordinates.
+  std::vector<std::uint32_t> order(dense.size());
+  std::iota(order.begin(), order.end(), 0u);
+  std::nth_element(order.begin(),
+                   order.begin() + static_cast<std::ptrdiff_t>(k - 1),
+                   order.end(), [&](std::uint32_t a, std::uint32_t b) {
+                     return std::abs(dense[a]) > std::abs(dense[b]);
+                   });
+  order.resize(k);
+  std::sort(order.begin(), order.end());  // deterministic layout
+
+  out.indices = std::move(order);
+  out.values.reserve(k);
+  for (std::uint32_t idx : out.indices) out.values.push_back(dense[idx]);
+  return out;
+}
+
+Tensor densify(const SparseUpdate& sparse) {
+  Tensor out({sparse.dense_size});
+  HS_CHECK(sparse.indices.size() == sparse.values.size(),
+           "densify: index/value count mismatch");
+  for (std::size_t i = 0; i < sparse.indices.size(); ++i) {
+    HS_CHECK(sparse.indices[i] < sparse.dense_size,
+             "densify: index out of range");
+    out[sparse.indices[i]] = sparse.values[i];
+  }
+  return out;
+}
+
+Tensor quantize_dequantize(const Tensor& dense, int bits) {
+  HS_CHECK(bits >= 1 && bits <= 16, "quantize_dequantize: bits in [1,16]");
+  if (dense.empty()) return dense;
+  const float lo = dense.min();
+  const float hi = dense.max();
+  if (hi - lo < 1e-12f) return dense;  // constant: nothing to quantize
+  const float levels = static_cast<float>((1 << bits) - 1);
+  const float step = (hi - lo) / levels;
+  Tensor out = dense;
+  for (float& v : out.flat()) {
+    const float q = std::round((v - lo) / step);
+    v = lo + q * step;
+  }
+  return out;
+}
+
+CompressedFedAvg::CompressedFedAvg(LocalTrainConfig cfg,
+                                   CompressionOptions options)
+    : cfg_(cfg), options_(options) {
+  HS_CHECK(options_.top_k_fraction > 0.0f && options_.top_k_fraction <= 1.0f,
+           "CompressedFedAvg: top_k_fraction in (0, 1]");
+  HS_CHECK(options_.quantize_bits == 0 ||
+               (options_.quantize_bits >= 1 && options_.quantize_bits <= 16),
+           "CompressedFedAvg: quantize_bits 0 or in [1,16]");
+}
+
+void CompressedFedAvg::init(Model& model, std::size_t num_clients) {
+  (void)model;
+  residuals_.assign(num_clients, Tensor());
+}
+
+RoundStats CompressedFedAvg::run_round(
+    Model& model, const std::vector<std::size_t>& selected,
+    const std::vector<Dataset>& client_data, Rng& rng) {
+  HS_CHECK(!selected.empty(), "CompressedFedAvg: no clients selected");
+  HS_CHECK(!residuals_.empty(), "CompressedFedAvg: init() not called");
+  const Tensor global = model.state();
+  const std::size_t dim = global.size();
+  const std::size_t k = std::max<std::size_t>(
+      1, static_cast<std::size_t>(static_cast<double>(dim) *
+                                  options_.top_k_fraction));
+
+  Tensor update_sum({dim});
+  double loss_sum = 0.0, weight_sum = 0.0, byte_sum = 0.0;
+  for (std::size_t id : selected) {
+    const Dataset& data = client_data.at(id);
+    model.set_state(global);
+    Rng client_rng = rng.fork(id);
+    const float loss = local_train(model, data, cfg_, client_rng);
+    Tensor delta = model.state() - global;
+
+    // Error feedback: add the residual this client still owes from earlier
+    // compressions before deciding what to transmit.
+    HS_CHECK(id < residuals_.size(),
+             "CompressedFedAvg: client id out of range");
+    if (options_.error_feedback && !residuals_[id].empty()) {
+      delta += residuals_[id];
+    }
+
+    // Compress: top-k, then optional value quantization.
+    Tensor transmitted;
+    std::size_t bytes;
+    if (options_.top_k_fraction < 1.0f) {
+      SparseUpdate sparse = top_k_sparsify(delta, k);
+      if (options_.quantize_bits > 0 && !sparse.values.empty()) {
+        Tensor vals({sparse.values.size()}, sparse.values);
+        vals = quantize_dequantize(vals, options_.quantize_bits);
+        std::copy(vals.data(), vals.data() + vals.size(),
+                  sparse.values.data());
+        // Quantized payload: bits per value + 4 bytes per index.
+        bytes = sparse.indices.size() *
+                (sizeof(std::uint32_t) +
+                 static_cast<std::size_t>(options_.quantize_bits + 7) / 8);
+      } else {
+        bytes = sparse.byte_cost();
+      }
+      transmitted = densify(sparse);
+    } else {
+      transmitted = options_.quantize_bits > 0
+                        ? quantize_dequantize(delta, options_.quantize_bits)
+                        : delta;
+      bytes = options_.quantize_bits > 0
+                  ? dim * static_cast<std::size_t>(options_.quantize_bits + 7) /
+                        8
+                  : dim * sizeof(float);
+    }
+
+    if (options_.error_feedback) {
+      residuals_[id] = delta - transmitted;
+    }
+    update_sum += transmitted;
+    byte_sum += static_cast<double>(bytes);
+    loss_sum += loss * static_cast<double>(data.size());
+    weight_sum += static_cast<double>(data.size());
+  }
+
+  update_sum *= 1.0f / static_cast<float>(selected.size());
+  Tensor new_state = global + update_sum;
+  model.set_state(new_state);
+  last_dense_bytes_ = dim * sizeof(float);
+  last_compressed_bytes_ = static_cast<std::size_t>(
+      byte_sum / static_cast<double>(selected.size()));
+  return RoundStats{loss_sum / weight_sum};
+}
+
+}  // namespace hetero

@@ -1,0 +1,80 @@
+// Client-update compression for communication-efficient FL (extension
+// beyond the paper; the paper's Section 1 motivates FL deployments where
+// uplink bandwidth is the bottleneck).
+//
+// Two standard lossy schemes over flat update vectors:
+//   * top-k sparsification — keep the k largest-magnitude coordinates;
+//   * uniform quantization — b-bit midrise quantization of the value range.
+// Both come with an exact byte-cost model so benches can report
+// accuracy-vs-bytes trade-offs, and CompressedFedAvg wires either (or both)
+// into the FedAvg aggregation path with optional client-side error
+// feedback (residual accumulation), the standard fix for sparsification
+// bias.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fl/algorithm.h"
+
+namespace hetero {
+
+/// Sparse representation of a compressed update.
+struct SparseUpdate {
+  std::vector<std::uint32_t> indices;
+  std::vector<float> values;
+  std::size_t dense_size = 0;
+
+  /// Uplink cost: 4 bytes per index + 4 per value (float32 payload).
+  std::size_t byte_cost() const {
+    return indices.size() * (sizeof(std::uint32_t) + sizeof(float));
+  }
+};
+
+/// Keeps the k largest-|value| coordinates of `dense`. k is clamped to the
+/// vector size; k == 0 yields an empty update.
+SparseUpdate top_k_sparsify(const Tensor& dense, std::size_t k);
+
+/// Scatters a sparse update back to a dense tensor of its original size.
+Tensor densify(const SparseUpdate& sparse);
+
+/// Uniform b-bit quantization of a tensor (midrise over [min, max]);
+/// returns the dequantized tensor (what the server would reconstruct).
+/// bits in [1, 16]. Constant tensors are returned unchanged.
+Tensor quantize_dequantize(const Tensor& dense, int bits);
+
+/// FedAvg with lossy client->server update compression.
+struct CompressionOptions {
+  /// Fraction of coordinates kept by top-k (1.0 disables sparsification).
+  float top_k_fraction = 0.1f;
+  /// Quantization bits for the kept values (0 disables quantization).
+  int quantize_bits = 0;
+  /// Client-side error feedback: residuals from compression are carried
+  /// into the next round's update (per client, persistent).
+  bool error_feedback = true;
+};
+
+class CompressedFedAvg : public FederatedAlgorithm {
+ public:
+  CompressedFedAvg(LocalTrainConfig cfg, CompressionOptions options);
+
+  void init(Model& model, std::size_t num_clients) override;
+  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
+                       const std::vector<Dataset>& client_data,
+                       Rng& rng) override;
+  std::string name() const override { return "CompressedFedAvg"; }
+
+  /// Bytes a dense float32 update would have cost last round (per client).
+  std::size_t last_dense_bytes() const { return last_dense_bytes_; }
+  /// Mean compressed bytes actually "sent" per client last round.
+  std::size_t last_compressed_bytes() const { return last_compressed_bytes_; }
+
+ private:
+  LocalTrainConfig cfg_;
+  CompressionOptions options_;
+  std::vector<Tensor> residuals_;  // per-client error feedback
+  std::size_t last_dense_bytes_ = 0;
+  std::size_t last_compressed_bytes_ = 0;
+};
+
+}  // namespace hetero

@@ -1,0 +1,43 @@
+// Model evaluation: loss, accuracy, and multi-label average precision.
+#pragma once
+
+#include "data/dataset.h"
+#include "nn/model.h"
+
+namespace hetero {
+
+/// Mean loss of the model on a dataset (no gradient, eval-mode batch norm).
+/// Uses softmax-CE for single-label data, BCE for multi-label.
+double evaluate_loss(Model& model, const Dataset& data,
+                     std::size_t batch_size = 32);
+
+/// Top-1 accuracy on a single-label dataset.
+double evaluate_accuracy(Model& model, const Dataset& data,
+                         std::size_t batch_size = 32);
+
+/// Macro-averaged average precision (area under the precision-recall curve,
+/// averaged over labels with at least one positive) on a multi-label
+/// dataset. Scores are the sigmoid of the logits.
+double evaluate_average_precision(Model& model, const Dataset& data,
+                                  std::size_t batch_size = 32);
+
+/// AP of one label column given (score, relevance) pairs — exposed for unit
+/// tests.
+double average_precision(const std::vector<float>& scores,
+                         const std::vector<bool>& relevant);
+
+/// Detailed single-label evaluation: confusion matrix and per-class recall.
+struct ClassificationReport {
+  /// confusion[true_class][predicted_class] = count.
+  std::vector<std::vector<std::size_t>> confusion;
+  std::vector<double> per_class_recall;  ///< 0 for classes with no samples
+  double accuracy = 0.0;
+  /// Mean recall over classes that appear in the data.
+  double macro_recall = 0.0;
+};
+
+ClassificationReport classification_report(Model& model, const Dataset& data,
+                                           std::size_t num_classes,
+                                           std::size_t batch_size = 32);
+
+}  // namespace hetero

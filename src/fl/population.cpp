@@ -1,0 +1,122 @@
+#include "fl/population.h"
+
+#include <algorithm>
+
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+/// Builds one client's local dataset: samples_per_client scenes with labels
+/// drawn uniformly over classes, captured by the client's device.
+Dataset build_client_dataset(const DeviceProfile& device,
+                             std::size_t num_samples,
+                             const SceneGenerator& scenes,
+                             const CaptureConfig& cfg, Rng& rng) {
+  const std::size_t side =
+      cfg.raw_mode ? cfg.raw_tensor_size : cfg.tensor_size;
+  const std::size_t channels = cfg.raw_mode ? 4 : 3;
+  Tensor xs({num_samples, channels, side, side});
+  std::vector<std::size_t> labels(num_samples);
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    const std::size_t cls = rng.uniform_int(SceneGenerator::kNumClasses);
+    const Image scene = scenes.generate(cls, rng);
+    xs.set_slice0(i, capture_to_tensor(scene, device, cfg, rng));
+    labels[i] = cls;
+  }
+  return Dataset(std::move(xs), std::move(labels));
+}
+
+}  // namespace
+
+FlPopulation build_population(const std::vector<DeviceProfile>& devices,
+                              const PopulationConfig& cfg,
+                              const SceneGenerator& scenes, Rng& rng) {
+  HS_CHECK(!devices.empty(), "build_population: no devices");
+  HS_CHECK(cfg.num_clients > 0, "build_population: no clients");
+  FlPopulation pop;
+  pop.device_names.reserve(devices.size());
+  for (const auto& d : devices) pop.device_names.push_back(d.name);
+
+  // Device assignment for each client.
+  std::vector<double> shares;
+  for (const auto& d : devices) shares.push_back(d.market_share);
+  auto excluded = [&](std::size_t dev) {
+    return std::find(cfg.exclude_from_training.begin(),
+                     cfg.exclude_from_training.end(),
+                     dev) != cfg.exclude_from_training.end();
+  };
+  pop.client_device.reserve(cfg.num_clients);
+  std::size_t rr = 0;  // round-robin cursor for uniform assignment
+  for (std::size_t i = 0; i < cfg.num_clients; ++i) {
+    std::size_t dev = 0;
+    for (int attempt = 0; attempt < 1000; ++attempt) {
+      if (cfg.assignment == DeviceAssignment::kMarketShare) {
+        dev = rng.categorical(shares);
+      } else {
+        dev = rr++ % devices.size();
+      }
+      if (!excluded(dev)) break;
+    }
+    HS_CHECK(!excluded(dev),
+             "build_population: all devices excluded from training");
+    pop.client_device.push_back(dev);
+  }
+
+  // Client datasets.
+  pop.client_train.reserve(cfg.num_clients);
+  for (std::size_t i = 0; i < cfg.num_clients; ++i) {
+    Rng client_rng = rng.fork(1000 + i);
+    pop.client_train.push_back(
+        build_client_dataset(devices[pop.client_device[i]],
+                             cfg.samples_per_client, scenes, cfg.capture,
+                             client_rng));
+  }
+
+  // Per-device test sets: same scene distribution, disjoint rng stream.
+  pop.device_test.reserve(devices.size());
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    Rng test_rng = rng.fork(900000 + d);
+    pop.device_test.push_back(build_device_dataset(
+        devices[d], cfg.test_per_class, scenes, cfg.capture, test_rng));
+  }
+  return pop;
+}
+
+FlPopulation build_flair_population(const std::vector<DeviceProfile>& devices,
+                                    std::size_t num_clients,
+                                    std::size_t samples_per_client,
+                                    std::size_t test_per_device,
+                                    const CaptureConfig& capture,
+                                    const FlairSceneGenerator& scenes,
+                                    Rng& rng) {
+  HS_CHECK(!devices.empty(), "build_flair_population: no devices");
+  HS_CHECK(num_clients > 0, "build_flair_population: no clients");
+  FlPopulation pop;
+  for (const auto& d : devices) pop.device_names.push_back(d.name);
+
+  std::vector<double> shares;
+  for (const auto& d : devices) shares.push_back(d.market_share);
+
+  for (std::size_t i = 0; i < num_clients; ++i) {
+    const std::size_t dev = rng.categorical(shares);
+    pop.client_device.push_back(dev);
+    Rng client_rng = rng.fork(2000 + i);
+    const auto prefs = scenes.sample_user_preferences(client_rng);
+    pop.client_train.push_back(build_flair_user_dataset(
+        devices[dev], prefs, samples_per_client, scenes, capture, client_rng));
+  }
+
+  // Device test sets use a flat label profile (no user skew) so per-device
+  // AP differences isolate the device effect.
+  const std::vector<double> flat(FlairSceneGenerator::kNumLabels,
+                                 1.0 / FlairSceneGenerator::kNumLabels);
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    Rng test_rng = rng.fork(910000 + d);
+    pop.device_test.push_back(build_flair_user_dataset(
+        devices[d], flat, test_per_device, scenes, capture, test_rng));
+  }
+  return pop;
+}
+
+}  // namespace hetero

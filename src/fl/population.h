@@ -1,0 +1,62 @@
+// Federated population construction: clients, their device assignments, and
+// per-device-type test sets.
+//
+// Device types are assigned to clients by market share (Table 1 /
+// Section 4.1) or uniformly; every client's local data is captured with its
+// own device's sensor + ISP, so the population exhibits exactly the
+// system-induced heterogeneity under study.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "data/builder.h"
+#include "data/dataset.h"
+#include "device/device_profile.h"
+#include "scene/flair_gen.h"
+#include "scene/scene_gen.h"
+
+namespace hetero {
+
+struct FlPopulation {
+  std::vector<Dataset> client_train;        ///< one dataset per client
+  std::vector<std::size_t> client_device;   ///< device index per client
+  std::vector<Dataset> device_test;         ///< held-out set per device type
+  std::vector<std::string> device_names;
+};
+
+/// How clients are assigned device types.
+enum class DeviceAssignment {
+  kMarketShare,  ///< proportional to DeviceProfile::market_share
+  kUniform,      ///< round-robin over device types
+};
+
+struct PopulationConfig {
+  std::size_t num_clients = 100;          ///< N
+  std::size_t samples_per_client = 24;    ///< local dataset size
+  std::size_t test_per_class = 6;         ///< per-device test samples/class
+  DeviceAssignment assignment = DeviceAssignment::kMarketShare;
+  CaptureConfig capture;
+  /// Device types to exclude from *training* clients (leave-one-out DG);
+  /// their test sets are still built.
+  std::vector<std::size_t> exclude_from_training;
+};
+
+/// Builds a single-label (12-class) population over the given devices.
+FlPopulation build_population(const std::vector<DeviceProfile>& devices,
+                              const PopulationConfig& cfg,
+                              const SceneGenerator& scenes, Rng& rng);
+
+/// Builds a FLAIR-style multi-label population: every client is a "user"
+/// with its own label-preference profile and its own (long-tail) device.
+/// test_per_device samples are generated per device type with neutral
+/// preferences.
+FlPopulation build_flair_population(const std::vector<DeviceProfile>& devices,
+                                    std::size_t num_clients,
+                                    std::size_t samples_per_client,
+                                    std::size_t test_per_device,
+                                    const CaptureConfig& capture,
+                                    const FlairSceneGenerator& scenes,
+                                    Rng& rng);
+
+}  // namespace hetero

@@ -1,0 +1,72 @@
+#include "fl/privacy.h"
+
+#include "util/rng.h"
+
+namespace hetero {
+
+float clip_to_norm(Tensor& update, float clip_norm) {
+  HS_CHECK(clip_norm > 0.0f, "clip_to_norm: clip_norm must be positive");
+  const float norm = update.norm();
+  if (norm <= clip_norm || norm == 0.0f) return 1.0f;
+  const float scale = clip_norm / norm;
+  update *= scale;
+  return scale;
+}
+
+DpFedAvg::DpFedAvg(LocalTrainConfig cfg, DpOptions options)
+    : cfg_(cfg), options_(options), noise_rng_(options.noise_seed) {
+  HS_CHECK(options_.clip_norm > 0.0f, "DpFedAvg: clip_norm must be positive");
+  HS_CHECK(options_.noise_multiplier >= 0.0f,
+           "DpFedAvg: noise multiplier must be non-negative");
+}
+
+void DpFedAvg::init(Model& model, std::size_t num_clients) {
+  (void)model;
+  (void)num_clients;
+  noise_rng_ = Rng(options_.noise_seed);
+}
+
+RoundStats DpFedAvg::run_round(Model& model,
+                               const std::vector<std::size_t>& selected,
+                               const std::vector<Dataset>& client_data,
+                               Rng& rng) {
+  HS_CHECK(!selected.empty(), "DpFedAvg: no clients selected");
+  const Tensor global = model.state();
+
+  Tensor update_sum({global.size()});
+  double loss_sum = 0.0, weight_sum = 0.0;
+  std::size_t clipped = 0;
+  for (std::size_t id : selected) {
+    const Dataset& data = client_data.at(id);
+    model.set_state(global);
+    Rng client_rng = rng.fork(id);
+    const float loss = local_train(model, data, cfg_, client_rng);
+    Tensor delta = model.state() - global;
+    if (clip_to_norm(delta, options_.clip_norm) < 1.0f) ++clipped;
+    // DP aggregation weights clients equally (sample-size weighting would
+    // leak dataset sizes).
+    update_sum += delta;
+    loss_sum += loss * static_cast<double>(data.size());
+    weight_sum += static_cast<double>(data.size());
+  }
+  const float inv_k = 1.0f / static_cast<float>(selected.size());
+  update_sum *= inv_k;
+
+  // Gaussian mechanism on the averaged update.
+  last_sigma_ = static_cast<double>(options_.noise_multiplier) *
+                options_.clip_norm * inv_k;
+  if (last_sigma_ > 0.0) {
+    for (std::size_t i = 0; i < update_sum.size(); ++i) {
+      update_sum[i] +=
+          static_cast<float>(noise_rng_.normal(0.0, last_sigma_));
+    }
+  }
+  last_clip_fraction_ =
+      static_cast<double>(clipped) / static_cast<double>(selected.size());
+
+  Tensor new_state = global + update_sum;
+  model.set_state(new_state);
+  return RoundStats{loss_sum / weight_sum};
+}
+
+}  // namespace hetero

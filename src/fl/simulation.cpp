@@ -1,0 +1,55 @@
+#include "fl/simulation.h"
+
+#include "fl/eval.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace hetero {
+
+DeviceMetrics evaluate_per_device(Model& model, const FlPopulation& pop) {
+  HS_CHECK(!pop.device_test.empty(), "evaluate_per_device: no test sets");
+  DeviceMetrics m;
+  m.per_device.reserve(pop.device_test.size());
+  for (const Dataset& test : pop.device_test) {
+    const double v = test.is_multi_label()
+                         ? evaluate_average_precision(model, test)
+                         : evaluate_accuracy(model, test);
+    m.per_device.push_back(v);
+  }
+  m.average = mean(m.per_device);
+  m.variance = variance(m.per_device);
+  m.worst_case = min_value(m.per_device);
+  return m;
+}
+
+SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
+                                const FlPopulation& population,
+                                const SimulationConfig& cfg) {
+  HS_CHECK(!population.client_train.empty(), "run_simulation: no clients");
+  HS_CHECK(cfg.clients_per_round > 0 &&
+               cfg.clients_per_round <= population.client_train.size(),
+           "run_simulation: bad clients_per_round");
+  Rng rng(cfg.seed);
+  algorithm.init(model, population.client_train.size());
+
+  SimulationResult result;
+  result.train_loss_history.reserve(cfg.rounds);
+  for (std::size_t round = 0; round < cfg.rounds; ++round) {
+    const auto selected = rng.sample_without_replacement(
+        population.client_train.size(), cfg.clients_per_round);
+    Rng round_rng = rng.fork(round);
+    const RoundStats stats = algorithm.run_round(
+        model, selected, population.client_train, round_rng);
+    result.train_loss_history.push_back(stats.mean_train_loss);
+    if (cfg.on_round) cfg.on_round(round, stats.mean_train_loss);
+    if (cfg.eval_every > 0 && (round + 1) % cfg.eval_every == 0 &&
+        round + 1 < cfg.rounds) {
+      result.checkpoints.emplace_back(round + 1,
+                                      evaluate_per_device(model, population));
+    }
+  }
+  result.final_metrics = evaluate_per_device(model, population);
+  return result;
+}
+
+}  // namespace hetero

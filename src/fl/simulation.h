@@ -1,0 +1,53 @@
+// The federated-learning simulation loop and the fairness / domain-
+// generalization metrics of Section 6.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "fl/algorithm.h"
+#include "fl/population.h"
+#include "nn/model.h"
+
+namespace hetero {
+
+/// Per-device evaluation of the global model plus the paper's summary
+/// metrics: average accuracy (fairness), population variance of accuracy
+/// across device types (fairness), worst-case accuracy (DG).
+struct DeviceMetrics {
+  std::vector<double> per_device;  ///< accuracy or AP per device type
+  double average = 0.0;
+  double variance = 0.0;   ///< population variance across device types
+  double worst_case = 0.0;
+};
+
+/// Evaluates accuracy (or AP for multi-label test sets) on every device
+/// test set of the population.
+DeviceMetrics evaluate_per_device(Model& model, const FlPopulation& pop);
+
+struct SimulationConfig {
+  std::size_t rounds = 100;            ///< T
+  std::size_t clients_per_round = 20;  ///< K
+  std::uint64_t seed = 42;
+  /// Evaluate per-device metrics every eval_every rounds (0 = only final).
+  std::size_t eval_every = 0;
+  /// Optional progress callback (round, train loss).
+  std::function<void(std::size_t, double)> on_round;
+};
+
+struct SimulationResult {
+  DeviceMetrics final_metrics;
+  std::vector<double> train_loss_history;  ///< one entry per round
+  /// Metrics captured at each eval_every checkpoint (empty if disabled).
+  std::vector<std::pair<std::size_t, DeviceMetrics>> checkpoints;
+};
+
+/// Runs T rounds of the algorithm on the population, mutating the model.
+/// Per round, K clients are sampled uniformly without replacement from the
+/// population (device skew is already baked into client_device).
+SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
+                                const FlPopulation& population,
+                                const SimulationConfig& cfg);
+
+}  // namespace hetero

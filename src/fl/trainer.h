@@ -1,0 +1,44 @@
+// Local SGD training loop shared by every federated algorithm's client side
+// (and by the centralized characterization experiments).
+//
+// Hooks let algorithms customize the loop without reimplementing it:
+//   * transform_batch - client-side data augmentation (HeteroSwitch's ISP
+//     transforms run here, fresh randomness per batch);
+//   * post_grad       - gradient edits after backward, before the step
+//     (FedProx's proximal term, SCAFFOLD's control variates);
+//   * post_step       - runs after each optimizer step (SWAD weight
+//     averaging accumulates here).
+#pragma once
+
+#include <functional>
+
+#include "data/dataset.h"
+#include "nn/model.h"
+#include "nn/optimizer.h"
+
+namespace hetero {
+
+class Rng;
+
+struct LocalTrainConfig {
+  float lr = 0.1f;
+  std::size_t epochs = 1;
+  std::size_t batch_size = 10;
+  float momentum = 0.0f;
+  float weight_decay = 0.0f;
+};
+
+struct TrainHooks {
+  std::function<void(Batch&, Rng&)> transform_batch;
+  std::function<void(Model&)> post_grad;
+  std::function<void(Model&, std::size_t batch_idx)> post_step;
+};
+
+/// Trains the model in place on the dataset; returns the running-average
+/// train loss over all batches (the paper's L_train from Algorithm 1,
+/// line 14: a running mean indexed by batch).
+float local_train(Model& model, const Dataset& data,
+                  const LocalTrainConfig& cfg, Rng& rng,
+                  const TrainHooks& hooks = {});
+
+}  // namespace hetero

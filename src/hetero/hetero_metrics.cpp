@@ -1,0 +1,97 @@
+#include "hetero/hetero_metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetero {
+
+DatasetSignature compute_signature(const Dataset& data) {
+  HS_CHECK(!data.empty(), "compute_signature: empty dataset");
+  HS_CHECK(data.channels() == 3, "compute_signature: RGB datasets only");
+  const Tensor& xs = data.xs();
+  const std::size_t n = xs.dim(0), h = xs.dim(2), w = xs.dim(3);
+  const std::size_t plane = h * w;
+
+  DatasetSignature sig;
+  sig.num_samples = n;
+  std::array<double, 3> sum{}, sq{};
+  double grad_sum = 0.0;
+  std::size_t grad_count = 0;
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* r = xs.data() + (i * 3 + 0) * plane;
+    const float* g = xs.data() + (i * 3 + 1) * plane;
+    const float* b = xs.data() + (i * 3 + 2) * plane;
+    for (std::size_t c = 0; c < 3; ++c) {
+      const float* p = xs.data() + (i * 3 + c) * plane;
+      for (std::size_t j = 0; j < plane; ++j) {
+        sum[c] += p[j];
+        sq[c] += static_cast<double>(p[j]) * p[j];
+      }
+    }
+    for (std::size_t y = 0; y < h; ++y) {
+      for (std::size_t x = 0; x < w; ++x) {
+        const std::size_t j = y * w + x;
+        const double luma = 0.2126 * r[j] + 0.7152 * g[j] + 0.0722 * b[j];
+        const int bin = std::clamp(static_cast<int>(luma * 16.0), 0, 15);
+        sig.luma_hist[static_cast<std::size_t>(bin)] += 1.0;
+        if (x + 1 < w) {
+          const double luma_next = 0.2126 * r[j + 1] + 0.7152 * g[j + 1] +
+                                   0.0722 * b[j + 1];
+          grad_sum += std::abs(luma_next - luma);
+          ++grad_count;
+        }
+      }
+    }
+  }
+
+  const double count = static_cast<double>(n * plane);
+  for (std::size_t c = 0; c < 3; ++c) {
+    sig.channel_mean[c] = sum[c] / count;
+    sig.channel_std[c] = std::sqrt(
+        std::max(0.0, sq[c] / count - sig.channel_mean[c] * sig.channel_mean[c]));
+  }
+  for (double& bin : sig.luma_hist) bin /= count;
+  sig.gradient_energy =
+      grad_count ? grad_sum / static_cast<double>(grad_count) : 0.0;
+  return sig;
+}
+
+double signature_distance(const DatasetSignature& a,
+                          const DatasetSignature& b) {
+  double d = 0.0;
+  for (std::size_t c = 0; c < 3; ++c) {
+    d += std::abs(a.channel_mean[c] - b.channel_mean[c]);
+    d += std::abs(a.channel_std[c] - b.channel_std[c]);
+  }
+  double hist = 0.0;
+  for (std::size_t i = 0; i < a.luma_hist.size(); ++i) {
+    hist += std::abs(a.luma_hist[i] - b.luma_hist[i]);
+  }
+  d += 0.5 * hist;
+  const double ge = std::max(
+      {a.gradient_energy, b.gradient_energy, 1e-9});
+  d += std::abs(a.gradient_energy - b.gradient_energy) / ge;
+  return d;
+}
+
+std::vector<std::vector<double>> pairwise_heterogeneity(
+    const std::vector<const Dataset*>& datasets) {
+  HS_CHECK(!datasets.empty(), "pairwise_heterogeneity: no datasets");
+  std::vector<DatasetSignature> sigs;
+  sigs.reserve(datasets.size());
+  for (const Dataset* d : datasets) {
+    HS_CHECK(d != nullptr, "pairwise_heterogeneity: null dataset");
+    sigs.push_back(compute_signature(*d));
+  }
+  std::vector<std::vector<double>> m(datasets.size(),
+                                     std::vector<double>(datasets.size(), 0));
+  for (std::size_t i = 0; i < sigs.size(); ++i) {
+    for (std::size_t j = i + 1; j < sigs.size(); ++j) {
+      m[i][j] = m[j][i] = signature_distance(sigs[i], sigs[j]);
+    }
+  }
+  return m;
+}
+
+}  // namespace hetero

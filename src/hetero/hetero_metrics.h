@@ -1,0 +1,46 @@
+// Model-free measurement of system-induced data heterogeneity.
+//
+// Section 3 of the paper characterizes heterogeneity through model-quality
+// degradation, which requires training. These utilities quantify the same
+// phenomenon directly from image statistics, so a deployment can estimate
+// *before training* how far apart two device populations are:
+//
+//  * DatasetSignature — compact per-dataset statistics: per-channel
+//    mean/std, luminance histogram, and a gradient-energy (sharpness)
+//    figure;
+//  * signature_distance — symmetric distance between signatures
+//    (channel-stat L1 + histogram L1 + relative sharpness gap);
+//  * pairwise_heterogeneity — the full device-by-device distance matrix,
+//    the statistics-level analogue of Table 2.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "data/dataset.h"
+
+namespace hetero {
+
+struct DatasetSignature {
+  std::array<double, 3> channel_mean{};
+  std::array<double, 3> channel_std{};
+  /// 16-bin luminance histogram (normalized to sum 1).
+  std::array<double, 16> luma_hist{};
+  /// Mean absolute horizontal gradient of luminance (sharpness proxy;
+  /// distinguishes demosaic/denoise/compression styles).
+  double gradient_energy = 0.0;
+  std::size_t num_samples = 0;
+};
+
+/// Computes the signature of a dataset's images (expects (N,3,H,W)).
+DatasetSignature compute_signature(const Dataset& data);
+
+/// Symmetric distance between two signatures; 0 for identical statistics.
+double signature_distance(const DatasetSignature& a,
+                          const DatasetSignature& b);
+
+/// Pairwise distance matrix between datasets (e.g. one per device type).
+std::vector<std::vector<double>> pairwise_heterogeneity(
+    const std::vector<const Dataset*>& datasets);
+
+}  // namespace hetero

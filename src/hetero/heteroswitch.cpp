@@ -1,0 +1,143 @@
+#include "hetero/heteroswitch.h"
+
+#include "fl/eval.h"
+#include "util/rng.h"
+
+namespace hetero {
+
+const char* hetero_switch_mode_name(HeteroSwitchMode mode) {
+  switch (mode) {
+    case HeteroSwitchMode::kSelective: return "HeteroSwitch";
+    case HeteroSwitchMode::kAlwaysIsp: return "ISP-Transformation";
+    case HeteroSwitchMode::kAlwaysIspSwad: return "ISP+SWAD";
+  }
+  return "?";
+}
+
+HeteroSwitch::HeteroSwitch(LocalTrainConfig cfg, HeteroSwitchOptions options)
+    : cfg_(cfg), options_(options), ema_(options.ema_alpha) {}
+
+void HeteroSwitch::init(Model& model, std::size_t num_clients) {
+  (void)model;
+  (void)num_clients;
+  ema_.reset();
+  switch1_count_ = switch2_count_ = update_count_ = 0;
+}
+
+std::string HeteroSwitch::name() const {
+  return hetero_switch_mode_name(options_.mode);
+}
+
+RoundStats HeteroSwitch::run_round(Model& model,
+                                   const std::vector<std::size_t>& selected,
+                                   const std::vector<Dataset>& client_data,
+                                   Rng& rng) {
+  HS_CHECK(!selected.empty(), "HeteroSwitch: no clients selected");
+  const Tensor global = model.state();
+  const double l_ema = ema_.value();
+
+  std::vector<Tensor> states;
+  std::vector<double> weights;
+  double loss_sum = 0.0, weight_sum = 0.0;
+  states.reserve(selected.size());
+
+  for (std::size_t id : selected) {
+    const Dataset& full_data = client_data.at(id);
+    model.set_state(global);
+    ++update_count_;
+
+    // Optional validation split: the last validation_fraction of the
+    // client's samples measure bias; the rest train. With kTrainLoss the
+    // whole dataset does both (Algorithm 1 verbatim).
+    Dataset train_split;
+    Dataset val_split;
+    const bool use_val =
+        options_.criterion == BiasCriterion::kValidationSplit &&
+        full_data.size() >= 4;
+    if (use_val) {
+      const std::size_t n_val = std::max<std::size_t>(
+          1, static_cast<std::size_t>(
+                 static_cast<float>(full_data.size()) *
+                 options_.validation_fraction));
+      std::vector<std::size_t> train_idx, val_idx;
+      for (std::size_t i = 0; i < full_data.size(); ++i) {
+        (i + n_val < full_data.size() ? train_idx : val_idx).push_back(i);
+      }
+      train_split = full_data.subset(train_idx);
+      val_split = full_data.subset(val_idx);
+    }
+    const Dataset& data = use_val ? train_split : full_data;
+    const Dataset& probe = use_val ? val_split : full_data;
+
+    // -- Algorithm 1, lines 2-5: bias measurement -------------------------
+    // L_init: loss of the incoming global model on this client's data.
+    bool switch1 = false;
+    switch (options_.mode) {
+      case HeteroSwitchMode::kSelective: {
+        const double l_init = evaluate_loss(model, probe, cfg_.batch_size);
+        switch1 = l_init < l_ema;
+        break;
+      }
+      case HeteroSwitchMode::kAlwaysIsp:
+      case HeteroSwitchMode::kAlwaysIspSwad:
+        switch1 = true;
+        break;
+    }
+    if (switch1) ++switch1_count_;
+    const bool use_swad =
+        switch1 && options_.mode != HeteroSwitchMode::kAlwaysIsp;
+
+    // -- Lines 6-21: local training with optional transform + SWAD --------
+    // Line 10: W_SWA initialized as a copy of W (the incoming weights).
+    WeightAverager swa(model.params());
+    TrainHooks hooks;
+    if (switch1) {
+      hooks.transform_batch = [this](Batch& batch, Rng& batch_rng) {
+        apply_isp_transform_batch(batch.x, options_.transform, batch_rng);
+      };
+    }
+    if (use_swad) {
+      hooks.post_step = [&swa](Model& m, std::size_t) {
+        swa.update(m.params());
+      };
+    }
+    Rng client_rng = rng.fork(id);
+    const float l_train = local_train(model, data, cfg_, client_rng, hooks);
+
+    // -- Lines 22-29: Switch_2 decides which weights to return ------------
+    // With the validation criterion the post-training loss is re-measured
+    // on the held-out slice instead of reusing the running train loss.
+    const double l_post =
+        use_val ? evaluate_loss(model, probe, cfg_.batch_size)
+                : static_cast<double>(l_train);
+    bool switch2 = false;
+    switch (options_.mode) {
+      case HeteroSwitchMode::kSelective:
+        switch2 = switch1 && l_post < l_ema;
+        break;
+      case HeteroSwitchMode::kAlwaysIspSwad:
+        switch2 = true;  // always-on ablation returns the SWAD average
+        break;
+      case HeteroSwitchMode::kAlwaysIsp:
+        switch2 = false;
+        break;
+    }
+    if (switch2) {
+      ++switch2_count_;
+      model.set_params(swa.average());
+    }
+
+    states.push_back(model.state());
+    weights.push_back(static_cast<double>(data.size()));
+    loss_sum += static_cast<double>(l_train) * static_cast<double>(data.size());
+    weight_sum += static_cast<double>(data.size());
+  }
+
+  model.set_state(weighted_average_states(states, weights));
+  // Eq. 1: fold the round's aggregated train loss into the EMA.
+  const double round_loss = loss_sum / weight_sum;
+  ema_.update(round_loss);
+  return RoundStats{round_loss};
+}
+
+}  // namespace hetero

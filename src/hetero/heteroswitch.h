@@ -1,0 +1,83 @@
+// HeteroSwitch (Section 5, Algorithm 1): selective client-side
+// generalization against system-induced data heterogeneity.
+//
+// Per round, per client:
+//   1. Bias measurement: L_init = loss of the incoming global model on the
+//      client's data. If L_init < L_EMA (the server's exponential moving
+//      average of aggregated train loss, eq. 1), the client's data
+//      distribution is already well-learned by the global model — evidence
+//      of bias toward this client's device — so Switch_1 turns ON.
+//   2. If Switch_1: the client's batches receive random ISP transforms
+//      (random WB + random gamma, eq. 2-3) and a SWAD running average of
+//      the weights is maintained per batch.
+//   3. If Switch_1 and the final train loss is still below L_EMA
+//      (Switch_2), the client returns the SWAD average instead of the last
+//      iterate — the strongest generalization — otherwise the plain
+//      weights.
+// The server aggregates returned states sample-weighted (FedAvg) and
+// updates L_EMA with the round's mean train loss.
+//
+// `mode` exposes the paper's Table 4 ablations on the same code path:
+//   kSelective      - full HeteroSwitch (switching logic active);
+//   kAlwaysIsp      - "ISP Transformation" row: transforms always on,
+//                     no SWAD;
+//   kAlwaysIspSwad  - "+ SWAD" row: transforms + SWAD always on.
+#pragma once
+
+#include "fl/algorithm.h"
+#include "hetero/swad.h"
+#include "hetero/transforms.h"
+#include "util/stats.h"
+
+namespace hetero {
+
+enum class HeteroSwitchMode { kSelective, kAlwaysIsp, kAlwaysIspSwad };
+
+const char* hetero_switch_mode_name(HeteroSwitchMode mode);
+
+/// What loss the switch decisions compare against L_EMA. Section 5.1: "We
+/// use the EMA loss from previous communication rounds or the validation
+/// loss as the criteria".
+enum class BiasCriterion {
+  kTrainLoss,        ///< Algorithm 1 verbatim: L_init / L_train on all data
+  kValidationSplit,  ///< losses measured on a held-out slice of client data
+};
+
+struct HeteroSwitchOptions {
+  HeteroSwitchMode mode = HeteroSwitchMode::kSelective;
+  IspTransformConfig transform;  ///< WB degree 0.001, gamma degree 0.9
+  double ema_alpha = 0.9;        ///< smoothing factor of eq. 1
+  BiasCriterion criterion = BiasCriterion::kTrainLoss;
+  /// Fraction of each client's data held out when criterion is
+  /// kValidationSplit (the rest is trained on).
+  float validation_fraction = 0.25f;
+};
+
+class HeteroSwitch : public FederatedAlgorithm {
+ public:
+  HeteroSwitch(LocalTrainConfig cfg, HeteroSwitchOptions options);
+
+  void init(Model& model, std::size_t num_clients) override;
+  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
+                       const std::vector<Dataset>& client_data,
+                       Rng& rng) override;
+  std::string name() const override;
+
+  /// Current EMA of the aggregated train loss (+inf before round 0).
+  double ema_loss() const { return ema_.value(); }
+
+  /// Counters over the lifetime of the run (observability / tests).
+  std::size_t switch1_activations() const { return switch1_count_; }
+  std::size_t switch2_activations() const { return switch2_count_; }
+  std::size_t client_updates() const { return update_count_; }
+
+ private:
+  LocalTrainConfig cfg_;
+  HeteroSwitchOptions options_;
+  Ema ema_;
+  std::size_t switch1_count_ = 0;
+  std::size_t switch2_count_ = 0;
+  std::size_t update_count_ = 0;
+};
+
+}  // namespace hetero

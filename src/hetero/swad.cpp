@@ -1,0 +1,42 @@
+#include "hetero/swad.h"
+
+namespace hetero {
+
+WeightAverager::WeightAverager(const Tensor& initial)
+    : avg_(initial), count_(1) {}
+
+void WeightAverager::update(const Tensor& weights) {
+  if (count_ == 0) {
+    avg_ = weights;
+    count_ = 1;
+    return;
+  }
+  HS_CHECK(weights.same_shape(avg_), "WeightAverager: shape mismatch");
+  // avg <- (avg * k + w) / (k + 1), numerically: avg += (w - avg)/(k + 1).
+  const float inv = 1.0f / static_cast<float>(count_ + 1);
+  for (std::size_t i = 0; i < avg_.size(); ++i) {
+    avg_[i] += (weights[i] - avg_[i]) * inv;
+  }
+  ++count_;
+}
+
+const Tensor& WeightAverager::average() const {
+  HS_CHECK(count_ > 0, "WeightAverager: no samples");
+  return avg_;
+}
+
+void WeightAverager::reset() {
+  avg_ = Tensor();
+  count_ = 0;
+}
+
+const char* averaging_mode_name(AveragingMode mode) {
+  switch (mode) {
+    case AveragingMode::kNone: return "none";
+    case AveragingMode::kPerEpoch: return "SWA";
+    case AveragingMode::kPerBatch: return "SWAD";
+  }
+  return "?";
+}
+
+}  // namespace hetero

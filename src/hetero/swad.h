@@ -1,0 +1,44 @@
+// Stochastic weight averaging (Section 5.2, "Model Generalization through
+// SWAD").
+//
+// WeightAverager maintains the running mean of flat parameter vectors:
+//     W_avg <- (W_avg * k + W) / (k + 1)
+// which is Algorithm 1 line 17 with k the update index. SWAD averages after
+// every *batch*; conventional SWA (Izmailov et al. 2018) averages once per
+// *epoch*. Fig 7 compares the two.
+#pragma once
+
+#include "tensor/tensor.h"
+
+namespace hetero {
+
+class WeightAverager {
+ public:
+  WeightAverager() = default;
+
+  /// Seeds the average with an initial weight vector (Algorithm 1 line 10:
+  /// "Initialize W_SWA as copy of W"). Counts as the first sample.
+  explicit WeightAverager(const Tensor& initial);
+
+  /// Folds one weight snapshot into the running mean.
+  void update(const Tensor& weights);
+
+  std::size_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+
+  /// The running average; must not be called before any update.
+  const Tensor& average() const;
+
+  void reset();
+
+ private:
+  Tensor avg_;
+  std::size_t count_ = 0;
+};
+
+/// When weight snapshots are folded into the average.
+enum class AveragingMode { kNone, kPerEpoch /*SWA*/, kPerBatch /*SWAD*/ };
+
+const char* averaging_mode_name(AveragingMode mode);
+
+}  // namespace hetero

@@ -1,0 +1,142 @@
+#include "hetero/transforms.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+void check_chw(const Tensor& t) {
+  HS_CHECK(t.rank() == 3, "transform: tensor must be (C, H, W)");
+}
+
+}  // namespace
+
+void random_white_balance(Tensor& chw, float degree, Rng& rng) {
+  check_chw(chw);
+  HS_CHECK(degree >= 0.0f && degree < 1.0f, "random_white_balance: degree");
+  const std::size_t c = chw.dim(0), hw = chw.dim(1) * chw.dim(2);
+  for (std::size_t ch = 0; ch < c; ++ch) {
+    const float gain = rng.uniform_f(1.0f - degree, 1.0f + degree);
+    float* plane = chw.data() + ch * hw;
+    for (std::size_t i = 0; i < hw; ++i) {
+      plane[i] = std::clamp(plane[i] * gain, 0.0f, 1.0f);
+    }
+  }
+}
+
+void random_gamma(Tensor& chw, float degree, Rng& rng) {
+  check_chw(chw);
+  HS_CHECK(degree >= 0.0f && degree < 1.0f, "random_gamma: degree");
+  const float gamma = rng.uniform_f(1.0f - degree, 1.0f + degree);
+  for (float& v : chw.flat()) {
+    v = std::pow(std::clamp(v, 0.0f, 1.0f), gamma);
+  }
+}
+
+void random_affine(Tensor& chw, float degree, Rng& rng) {
+  check_chw(chw);
+  const std::size_t c = chw.dim(0), h = chw.dim(1), w = chw.dim(2);
+  const float angle = rng.uniform_f(-0.52f, 0.52f) * degree;  // up to ~30 deg
+  const float tx = rng.uniform_f(-0.2f, 0.2f) * degree * static_cast<float>(w);
+  const float ty = rng.uniform_f(-0.2f, 0.2f) * degree * static_cast<float>(h);
+  const float scale = rng.uniform_f(1.0f - 0.2f * degree, 1.0f + 0.2f * degree);
+  const float ca = std::cos(angle) / scale, sa = std::sin(angle) / scale;
+  const float cy = static_cast<float>(h) / 2.0f;
+  const float cx = static_cast<float>(w) / 2.0f;
+
+  Tensor out({c, h, w});
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      // Inverse-map output pixel to source coordinates.
+      const float dx = static_cast<float>(x) - cx - tx;
+      const float dy = static_cast<float>(y) - cy - ty;
+      const float sx = ca * dx + sa * dy + cx;
+      const float sy = -sa * dx + ca * dy + cy;
+      const int x0 = static_cast<int>(std::floor(sx));
+      const int y0 = static_cast<int>(std::floor(sy));
+      const float fx = sx - static_cast<float>(x0);
+      const float fy = sy - static_cast<float>(y0);
+      auto sample = [&](std::size_t ch, int yy, int xx) -> float {
+        if (yy < 0 || yy >= static_cast<int>(h) || xx < 0 ||
+            xx >= static_cast<int>(w)) {
+          return 0.0f;  // zero padding outside the frame
+        }
+        return chw.at(ch, static_cast<std::size_t>(yy),
+                      static_cast<std::size_t>(xx));
+      };
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        const float top = sample(ch, y0, x0) * (1 - fx) +
+                          sample(ch, y0, x0 + 1) * fx;
+        const float bot = sample(ch, y0 + 1, x0) * (1 - fx) +
+                          sample(ch, y0 + 1, x0 + 1) * fx;
+        out.at(ch, y, x) = top * (1 - fy) + bot * fy;
+      }
+    }
+  }
+  chw = std::move(out);
+}
+
+void gaussian_noise(Tensor& chw, float degree, Rng& rng) {
+  check_chw(chw);
+  const float sigma = 0.1f * degree;
+  for (float& v : chw.flat()) {
+    v = std::clamp(v + static_cast<float>(rng.normal(0.0, sigma)), 0.0f, 1.0f);
+  }
+}
+
+const char* transform_name(TransformKind kind) {
+  switch (kind) {
+    case TransformKind::kWhiteBalance: return "WB";
+    case TransformKind::kGamma: return "Gamma";
+    case TransformKind::kAffine: return "Affine";
+    case TransformKind::kGaussianNoise: return "GaussianNoise";
+  }
+  return "?";
+}
+
+void apply_transform(Tensor& chw, TransformKind kind, float degree, Rng& rng) {
+  switch (kind) {
+    case TransformKind::kWhiteBalance:
+      random_white_balance(chw, degree, rng);
+      return;
+    case TransformKind::kGamma:
+      random_gamma(chw, degree, rng);
+      return;
+    case TransformKind::kAffine:
+      random_affine(chw, degree, rng);
+      return;
+    case TransformKind::kGaussianNoise:
+      gaussian_noise(chw, degree, rng);
+      return;
+  }
+}
+
+void apply_transform_batch(Tensor& nchw, TransformKind kind, float degree,
+                           Rng& rng) {
+  HS_CHECK(nchw.rank() == 4, "apply_transform_batch: tensor must be NCHW");
+  for (std::size_t i = 0; i < nchw.dim(0); ++i) {
+    Tensor sample = nchw.slice0(i);
+    apply_transform(sample, kind, degree, rng);
+    nchw.set_slice0(i, sample);
+  }
+}
+
+IspTransformConfig paper_isp_transform() { return {0.001f, 0.9f}; }
+
+IspTransformConfig tuned_isp_transform() { return {}; }
+
+void apply_isp_transform_batch(Tensor& nchw, const IspTransformConfig& cfg,
+                               Rng& rng) {
+  HS_CHECK(nchw.rank() == 4, "apply_isp_transform_batch: tensor must be NCHW");
+  for (std::size_t i = 0; i < nchw.dim(0); ++i) {
+    Tensor sample = nchw.slice0(i);
+    random_white_balance(sample, cfg.wb_degree, rng);
+    random_gamma(sample, cfg.gamma_degree, rng);
+    nchw.set_slice0(i, sample);
+  }
+}
+
+}  // namespace hetero

@@ -1,0 +1,67 @@
+// Random ISP-style data transforms (Section 5.2, eq. 2-3) plus the two
+// comparison transforms of Fig 7 (affine, Gaussian noise).
+//
+// All transforms operate on image tensors (C, H, W) or batches (N, C, H, W)
+// with values in [0, 1]; each sample in a batch draws its own random
+// parameters. `degree` controls the parameter range exactly as in the
+// paper: factors are drawn from U(1 - degree, 1 + degree).
+#pragma once
+
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace hetero {
+
+class Rng;
+
+/// Random white balance (eq. 2): independent per-channel gains
+/// r_c ~ U(1 - degree, 1 + degree).
+void random_white_balance(Tensor& chw, float degree, Rng& rng);
+
+/// Random gamma (eq. 3): img^gamma with gamma ~ U(1 - degree, 1 + degree).
+void random_gamma(Tensor& chw, float degree, Rng& rng);
+
+/// Random affine: rotation up to ~30°*degree, translation up to
+/// 20%*degree, scale in U(1 - 0.2*degree, 1 + 0.2*degree); bilinear
+/// resampling with zero padding.
+void random_affine(Tensor& chw, float degree, Rng& rng);
+
+/// Additive Gaussian noise with stddev 0.1 * degree, clamped to [0, 1].
+void gaussian_noise(Tensor& chw, float degree, Rng& rng);
+
+/// Transform selector used by benches and HeteroSwitch.
+enum class TransformKind { kWhiteBalance, kGamma, kAffine, kGaussianNoise };
+
+const char* transform_name(TransformKind kind);
+
+/// Applies one transform to a single (C, H, W) tensor.
+void apply_transform(Tensor& chw, TransformKind kind, float degree, Rng& rng);
+
+/// Applies a transform independently to every sample of an (N, C, H, W)
+/// batch.
+void apply_transform_batch(Tensor& nchw, TransformKind kind, float degree,
+                           Rng& rng);
+
+/// The ISP transformation: random WB followed by random gamma, per sample.
+/// Defaults are the degrees selected by running the paper's Appendix A.2
+/// grid search (WB in {0.001..0.9}, gamma in {0.1..0.9}) against *this*
+/// repository's simulator; paper_isp_transform() gives the degrees the
+/// authors selected for their smartphone dataset.
+struct IspTransformConfig {
+  float wb_degree = 0.1f;
+  float gamma_degree = 0.5f;
+};
+
+/// Degrees the paper selected for its real-device dataset (Appendix A.2):
+/// WB 0.001, gamma 0.9.
+IspTransformConfig paper_isp_transform();
+
+/// Degrees selected by the same grid search on this repo's simulator
+/// (equals the IspTransformConfig defaults).
+IspTransformConfig tuned_isp_transform();
+
+void apply_isp_transform_batch(Tensor& nchw, const IspTransformConfig& cfg,
+                               Rng& rng);
+
+}  // namespace hetero

@@ -1,0 +1,192 @@
+#include "image/image.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetero {
+
+Image::Image(std::size_t height, std::size_t width)
+    : h_(height), w_(width), data_(height * width * 3, 0.0f) {}
+
+Image::Image(std::size_t height, std::size_t width, std::vector<float> data)
+    : h_(height), w_(width), data_(std::move(data)) {
+  HS_CHECK(data_.size() == h_ * w_ * 3, "Image: data size mismatch");
+}
+
+std::size_t Image::idx(std::size_t y, std::size_t x, std::size_t c) const {
+  HS_CHECK(y < h_ && x < w_ && c < 3, "Image: index out of range");
+  return (y * w_ + x) * 3 + c;
+}
+
+float& Image::at(std::size_t y, std::size_t x, std::size_t c) {
+  return data_[idx(y, x, c)];
+}
+
+float Image::at(std::size_t y, std::size_t x, std::size_t c) const {
+  return data_[idx(y, x, c)];
+}
+
+void Image::set_pixel(std::size_t y, std::size_t x, float r, float g,
+                      float b) {
+  const std::size_t base = idx(y, x, 0);
+  data_[base] = r;
+  data_[base + 1] = g;
+  data_[base + 2] = b;
+}
+
+void Image::fill(float r, float g, float b) {
+  for (std::size_t i = 0; i < data_.size(); i += 3) {
+    data_[i] = r;
+    data_[i + 1] = g;
+    data_[i + 2] = b;
+  }
+}
+
+void Image::clamp01() {
+  for (float& v : data_) v = std::clamp(v, 0.0f, 1.0f);
+}
+
+std::array<double, 3> Image::channel_means() const {
+  std::array<double, 3> sum{0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < data_.size(); i += 3) {
+    sum[0] += data_[i];
+    sum[1] += data_[i + 1];
+    sum[2] += data_[i + 2];
+  }
+  const double n = static_cast<double>(num_pixels());
+  if (n > 0) {
+    for (double& s : sum) s /= n;
+  }
+  return sum;
+}
+
+std::array<double, 3> Image::channel_max() const {
+  std::array<double, 3> mx{0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < data_.size(); i += 3) {
+    mx[0] = std::max<double>(mx[0], data_[i]);
+    mx[1] = std::max<double>(mx[1], data_[i + 1]);
+    mx[2] = std::max<double>(mx[2], data_[i + 2]);
+  }
+  return mx;
+}
+
+Tensor Image::to_tensor() const {
+  Tensor t({3, h_, w_});
+  for (std::size_t y = 0; y < h_; ++y) {
+    for (std::size_t x = 0; x < w_; ++x) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        t.at(c, y, x) = std::clamp(data_[(y * w_ + x) * 3 + c], 0.0f, 1.0f);
+      }
+    }
+  }
+  return t;
+}
+
+Image Image::from_tensor(const Tensor& t) {
+  HS_CHECK(t.rank() == 3 && t.dim(0) == 3, "Image::from_tensor: need (3,H,W)");
+  Image img(t.dim(1), t.dim(2));
+  for (std::size_t y = 0; y < img.h_; ++y) {
+    for (std::size_t x = 0; x < img.w_; ++x) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        img.at(y, x, c) = t.at(c, y, x);
+      }
+    }
+  }
+  return img;
+}
+
+Image resize_bilinear(const Image& src, std::size_t out_h, std::size_t out_w) {
+  HS_CHECK(!src.empty() && out_h > 0 && out_w > 0,
+           "resize_bilinear: empty input or zero output size");
+  Image dst(out_h, out_w);
+  const double sy = static_cast<double>(src.height()) / out_h;
+  const double sx = static_cast<double>(src.width()) / out_w;
+  for (std::size_t y = 0; y < out_h; ++y) {
+    // Sample at pixel centres for alignment-stable scaling.
+    const double fy = std::max(0.0, (y + 0.5) * sy - 0.5);
+    const std::size_t y0 = std::min(static_cast<std::size_t>(fy),
+                                    src.height() - 1);
+    const std::size_t y1 = std::min(y0 + 1, src.height() - 1);
+    const float wy = static_cast<float>(fy - y0);
+    for (std::size_t x = 0; x < out_w; ++x) {
+      const double fx = std::max(0.0, (x + 0.5) * sx - 0.5);
+      const std::size_t x0 = std::min(static_cast<std::size_t>(fx),
+                                      src.width() - 1);
+      const std::size_t x1 = std::min(x0 + 1, src.width() - 1);
+      const float wx = static_cast<float>(fx - x0);
+      for (std::size_t c = 0; c < 3; ++c) {
+        const float top =
+            src.at(y0, x0, c) * (1 - wx) + src.at(y0, x1, c) * wx;
+        const float bot =
+            src.at(y1, x0, c) * (1 - wx) + src.at(y1, x1, c) * wx;
+        dst.at(y, x, c) = top * (1 - wy) + bot * wy;
+      }
+    }
+  }
+  return dst;
+}
+
+Image gaussian_blur(const Image& src, float sigma) {
+  if (sigma <= 0.0f || src.empty()) return src;
+  const int radius = std::max(1, static_cast<int>(std::ceil(2.5f * sigma)));
+  std::vector<float> kernel(2 * radius + 1);
+  float ksum = 0.0f;
+  for (int i = -radius; i <= radius; ++i) {
+    kernel[i + radius] = std::exp(-0.5f * (i * i) / (sigma * sigma));
+    ksum += kernel[i + radius];
+  }
+  for (float& k : kernel) k /= ksum;
+
+  const int h = static_cast<int>(src.height());
+  const int w = static_cast<int>(src.width());
+  Image tmp(src.height(), src.width());
+  Image dst(src.height(), src.width());
+  // Horizontal pass with clamped borders.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        float acc = 0.0f;
+        for (int i = -radius; i <= radius; ++i) {
+          const int xx = std::clamp(x + i, 0, w - 1);
+          acc += kernel[i + radius] *
+                 src.at(static_cast<std::size_t>(y),
+                        static_cast<std::size_t>(xx), c);
+        }
+        tmp.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x), c) =
+            acc;
+      }
+    }
+  }
+  // Vertical pass.
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        float acc = 0.0f;
+        for (int i = -radius; i <= radius; ++i) {
+          const int yy = std::clamp(y + i, 0, h - 1);
+          acc += kernel[i + radius] *
+                 tmp.at(static_cast<std::size_t>(yy),
+                        static_cast<std::size_t>(x), c);
+        }
+        dst.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x), c) =
+            acc;
+      }
+    }
+  }
+  return dst;
+}
+
+double image_mad(const Image& a, const Image& b) {
+  HS_CHECK(a.height() == b.height() && a.width() == b.width(),
+           "image_mad: size mismatch");
+  if (a.empty()) return 0.0;
+  double s = 0.0;
+  const auto fa = a.flat();
+  const auto fb = b.flat();
+  for (std::size_t i = 0; i < fa.size(); ++i) {
+    s += std::abs(static_cast<double>(fa[i]) - fb[i]);
+  }
+  return s / static_cast<double>(fa.size());
+}
+
+}  // namespace hetero

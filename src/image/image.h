@@ -1,0 +1,72 @@
+// Floating-point RGB image container used by the scene generator, the sensor
+// model and the ISP pipeline.
+//
+// Pixels are interleaved HWC, float32. The *meaning* of the values depends on
+// pipeline position: scene radiance and sensor output are linear-light;
+// after tone transformation the image is display-referred (gamma encoded).
+// Values are nominally in [0, 1] but intermediate stages may exceed the
+// range; clamp() is applied at well-defined points (sensor saturation, final
+// tensor conversion).
+#pragma once
+
+#include <cstddef>
+#include <array>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hetero {
+
+/// Interleaved float RGB image (HWC).
+class Image {
+ public:
+  Image() = default;
+  /// Black image of the given size.
+  Image(std::size_t height, std::size_t width);
+  Image(std::size_t height, std::size_t width, std::vector<float> data);
+
+  std::size_t height() const { return h_; }
+  std::size_t width() const { return w_; }
+  std::size_t num_pixels() const { return h_ * w_; }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t y, std::size_t x, std::size_t c);
+  float at(std::size_t y, std::size_t x, std::size_t c) const;
+
+  /// Sets all three channels of a pixel.
+  void set_pixel(std::size_t y, std::size_t x, float r, float g, float b);
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<float> flat() { return std::span<float>(data_); }
+  std::span<const float> flat() const { return std::span<const float>(data_); }
+
+  void fill(float r, float g, float b);
+  void clamp01();
+
+  /// Per-channel means, e.g. for gray-world white balance.
+  std::array<double, 3> channel_means() const;
+  /// Per-channel maxima, e.g. for white-patch white balance.
+  std::array<double, 3> channel_max() const;
+
+  /// Converts to a CHW tensor of shape (3, H, W), clamped to [0,1].
+  Tensor to_tensor() const;
+  /// Builds an image from a (3, H, W) tensor.
+  static Image from_tensor(const Tensor& t);
+
+ private:
+  std::size_t idx(std::size_t y, std::size_t x, std::size_t c) const;
+  std::size_t h_ = 0, w_ = 0;
+  std::vector<float> data_;
+};
+
+/// Bilinear resize to (out_h, out_w). Degenerate sizes are rejected.
+Image resize_bilinear(const Image& src, std::size_t out_h, std::size_t out_w);
+
+/// Separable Gaussian blur with the given sigma (sigma <= 0 returns a copy).
+Image gaussian_blur(const Image& src, float sigma);
+
+/// Mean absolute per-pixel difference between two same-sized images.
+double image_mad(const Image& a, const Image& b);
+
+}  // namespace hetero

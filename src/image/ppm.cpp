@@ -1,0 +1,47 @@
+#include "image/ppm.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+
+namespace hetero {
+namespace {
+
+std::uint8_t to_byte(float v) {
+  return static_cast<std::uint8_t>(std::clamp(v, 0.0f, 1.0f) * 255.0f + 0.5f);
+}
+
+bool write_p6(const std::string& path, std::size_t h, std::size_t w,
+              const std::vector<std::uint8_t>& rgb) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << "P6\n" << w << ' ' << h << "\n255\n";
+  out.write(reinterpret_cast<const char*>(rgb.data()),
+            static_cast<std::streamsize>(rgb.size()));
+  return static_cast<bool>(out);
+}
+
+}  // namespace
+
+bool write_ppm(const std::string& path, const Image& img) {
+  if (img.empty()) return false;
+  std::vector<std::uint8_t> rgb(img.num_pixels() * 3);
+  const float* src = img.data();
+  for (std::size_t i = 0; i < rgb.size(); ++i) rgb[i] = to_byte(src[i]);
+  return write_p6(path, img.height(), img.width(), rgb);
+}
+
+bool write_ppm_mosaic(const std::string& path, const RawImage& raw) {
+  if (raw.empty()) return false;
+  std::vector<std::uint8_t> rgb(raw.height() * raw.width() * 3, 0);
+  for (std::size_t y = 0; y < raw.height(); ++y) {
+    for (std::size_t x = 0; x < raw.width(); ++x) {
+      const std::size_t base = (y * raw.width() + x) * 3;
+      rgb[base + static_cast<std::size_t>(raw.channel_at(y, x))] =
+          to_byte(raw.at(y, x));
+    }
+  }
+  return write_p6(path, raw.height(), raw.width(), rgb);
+}
+
+}  // namespace hetero

@@ -1,0 +1,19 @@
+// PPM (P6) image export — dependency-free way to eyeball what the sensor
+// and ISP produce. Values are clamped to [0,1] and written as 8-bit RGB.
+#pragma once
+
+#include <string>
+
+#include "image/image.h"
+#include "image/raw_image.h"
+
+namespace hetero {
+
+/// Writes an RGB image as binary PPM; returns false on I/O failure.
+bool write_ppm(const std::string& path, const Image& img);
+
+/// Writes a Bayer mosaic as a grayscale-per-site PPM with the CFA colour
+/// painted in (R sites red, etc.) — useful to visualize RAW captures.
+bool write_ppm_mosaic(const std::string& path, const RawImage& raw);
+
+}  // namespace hetero

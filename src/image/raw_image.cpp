@@ -1,0 +1,76 @@
+#include "image/raw_image.h"
+
+#include <algorithm>
+
+namespace hetero {
+
+int bayer_channel(BayerPattern pattern, std::size_t y, std::size_t x) {
+  const int py = static_cast<int>(y & 1);
+  const int px = static_cast<int>(x & 1);
+  // 2x2 tile layouts, row-major: {tile[0][0], tile[0][1], tile[1][0],
+  // tile[1][1]} with 0=R,1=G,2=B.
+  static constexpr int kTiles[4][4] = {
+      {0, 1, 1, 2},  // RGGB
+      {2, 1, 1, 0},  // BGGR
+      {1, 0, 2, 1},  // GRBG
+      {1, 2, 0, 1},  // GBRG
+  };
+  return kTiles[static_cast<int>(pattern)][py * 2 + px];
+}
+
+RawImage::RawImage(std::size_t height, std::size_t width, BayerPattern pattern)
+    : h_(height), w_(width), pattern_(pattern), data_(height * width, 0.0f) {
+  HS_CHECK(height % 2 == 0 && width % 2 == 0,
+           "RawImage: dimensions must be even");
+}
+
+float& RawImage::at(std::size_t y, std::size_t x) {
+  HS_CHECK(y < h_ && x < w_, "RawImage::at: index out of range");
+  return data_[y * w_ + x];
+}
+
+float RawImage::at(std::size_t y, std::size_t x) const {
+  HS_CHECK(y < h_ && x < w_, "RawImage::at: index out of range");
+  return data_[y * w_ + x];
+}
+
+int RawImage::channel_at(std::size_t y, std::size_t x) const {
+  return bayer_channel(pattern_, y, x);
+}
+
+Tensor RawImage::to_packed_tensor() const {
+  HS_CHECK(!empty(), "RawImage::to_packed_tensor: empty image");
+  const std::size_t oh = h_ / 2, ow = w_ / 2;
+  Tensor t({4, oh, ow});
+  for (std::size_t ty = 0; ty < oh; ++ty) {
+    for (std::size_t tx = 0; tx < ow; ++tx) {
+      // Gather the 2x2 CFA tile and route samples into canonical planes.
+      float r = 0.0f, g1 = 0.0f, g2 = 0.0f, b = 0.0f;
+      bool g_first = true;
+      for (std::size_t dy = 0; dy < 2; ++dy) {
+        for (std::size_t dx = 0; dx < 2; ++dx) {
+          const std::size_t y = 2 * ty + dy, x = 2 * tx + dx;
+          const float v = std::clamp(data_[y * w_ + x], 0.0f, 1.0f);
+          switch (channel_at(y, x)) {
+            case 0: r = v; break;
+            case 2: b = v; break;
+            default:
+              if (g_first) {
+                g1 = v;
+                g_first = false;
+              } else {
+                g2 = v;
+              }
+          }
+        }
+      }
+      t.at(0, ty, tx) = r;
+      t.at(1, ty, tx) = g1;
+      t.at(2, ty, tx) = g2;
+      t.at(3, ty, tx) = b;
+    }
+  }
+  return t;
+}
+
+}  // namespace hetero

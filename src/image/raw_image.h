@@ -1,0 +1,57 @@
+// RAW sensor data: a single-channel Bayer colour-filter-array mosaic, as
+// produced by the sensor model before any ISP stage runs.
+//
+// The paper's Fig 2 trains directly on RAW captures; we support that by
+// packing the mosaic into a 4-plane half-resolution tensor (R, G1, G2, B)
+// without demosaicing, mirroring common RAW-ML practice.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hetero {
+
+/// Colour filter array layout. We model the common RGGB arrangement; the
+/// enum exists so device profiles can vary the pattern (another HW knob).
+enum class BayerPattern { kRGGB, kBGGR, kGRBG, kGBRG };
+
+/// Channel (0=R, 1=G, 2=B) sampled at mosaic position (y, x).
+int bayer_channel(BayerPattern pattern, std::size_t y, std::size_t x);
+
+/// Single-channel Bayer mosaic with linear-light float samples in [0, 1].
+class RawImage {
+ public:
+  RawImage() = default;
+  /// Zero-filled mosaic; height and width must be even (full CFA tiles).
+  RawImage(std::size_t height, std::size_t width,
+           BayerPattern pattern = BayerPattern::kRGGB);
+
+  std::size_t height() const { return h_; }
+  std::size_t width() const { return w_; }
+  BayerPattern pattern() const { return pattern_; }
+  bool empty() const { return data_.empty(); }
+
+  float& at(std::size_t y, std::size_t x);
+  float at(std::size_t y, std::size_t x) const;
+
+  /// Colour channel sampled at (y, x) under this mosaic's pattern.
+  int channel_at(std::size_t y, std::size_t x) const;
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::span<const float> flat() const { return std::span<const float>(data_); }
+
+  /// Packs the mosaic into a (4, H/2, W/2) tensor with fixed plane order
+  /// (R, G1, G2, B) regardless of the CFA pattern, so models see a
+  /// consistent channel semantics across devices.
+  Tensor to_packed_tensor() const;
+
+ private:
+  std::size_t h_ = 0, w_ = 0;
+  BayerPattern pattern_ = BayerPattern::kRGGB;
+  std::vector<float> data_;
+};
+
+}  // namespace hetero

@@ -1,0 +1,183 @@
+#include "isp/compress.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <numbers>
+
+namespace hetero {
+namespace {
+
+// ITU-T T.81 Annex K quantization tables.
+constexpr std::array<int, 64> kLumaQuant = {
+    16, 11, 10, 16, 24,  40,  51,  61,  12, 12, 14, 19, 26,  58,  60,  55,
+    14, 13, 16, 24, 40,  57,  69,  56,  14, 17, 22, 29, 51,  87,  80,  62,
+    18, 22, 37, 56, 68,  109, 103, 77,  24, 35, 55, 64, 81,  104, 113, 92,
+    49, 64, 78, 87, 103, 121, 120, 101, 72, 92, 95, 98, 112, 100, 103, 99};
+
+constexpr std::array<int, 64> kChromaQuant = {
+    17, 18, 24, 47, 99, 99, 99, 99, 18, 21, 26, 66, 99, 99, 99, 99,
+    24, 26, 56, 99, 99, 99, 99, 99, 47, 66, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99,
+    99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99, 99};
+
+/// 8x8 DCT-II basis, precomputed.
+struct DctBasis {
+  std::array<float, 64> c{};  // c[u][x] = alpha(u) cos((2x+1)u pi / 16)
+  DctBasis() {
+    for (int u = 0; u < 8; ++u) {
+      const float alpha =
+          u == 0 ? 1.0f / std::sqrt(8.0f) : std::sqrt(2.0f / 8.0f);
+      for (int x = 0; x < 8; ++x) {
+        c[static_cast<std::size_t>(u * 8 + x)] =
+            alpha * std::cos((2 * x + 1) * u * std::numbers::pi_v<float> /
+                             16.0f);
+      }
+    }
+  }
+};
+
+const DctBasis& dct_basis() {
+  static const DctBasis basis;
+  return basis;
+}
+
+/// Forward 8x8 DCT of block (row-major), in place via temp.
+void dct8x8(std::array<float, 64>& block) {
+  const auto& c = dct_basis().c;
+  std::array<float, 64> tmp{};
+  // Rows.
+  for (int y = 0; y < 8; ++y) {
+    for (int u = 0; u < 8; ++u) {
+      float s = 0.0f;
+      for (int x = 0; x < 8; ++x) {
+        s += block[static_cast<std::size_t>(y * 8 + x)] *
+             c[static_cast<std::size_t>(u * 8 + x)];
+      }
+      tmp[static_cast<std::size_t>(y * 8 + u)] = s;
+    }
+  }
+  // Columns.
+  for (int u = 0; u < 8; ++u) {
+    for (int v = 0; v < 8; ++v) {
+      float s = 0.0f;
+      for (int y = 0; y < 8; ++y) {
+        s += tmp[static_cast<std::size_t>(y * 8 + u)] *
+             c[static_cast<std::size_t>(v * 8 + y)];
+      }
+      block[static_cast<std::size_t>(v * 8 + u)] = s;
+    }
+  }
+}
+
+/// Inverse 8x8 DCT.
+void idct8x8(std::array<float, 64>& block) {
+  const auto& c = dct_basis().c;
+  std::array<float, 64> tmp{};
+  for (int v = 0; v < 8; ++v) {
+    for (int x = 0; x < 8; ++x) {
+      float s = 0.0f;
+      for (int u = 0; u < 8; ++u) {
+        s += block[static_cast<std::size_t>(v * 8 + u)] *
+             c[static_cast<std::size_t>(u * 8 + x)];
+      }
+      tmp[static_cast<std::size_t>(v * 8 + x)] = s;
+    }
+  }
+  for (int x = 0; x < 8; ++x) {
+    for (int y = 0; y < 8; ++y) {
+      float s = 0.0f;
+      for (int v = 0; v < 8; ++v) {
+        s += tmp[static_cast<std::size_t>(v * 8 + x)] *
+             c[static_cast<std::size_t>(v * 8 + y)];
+      }
+      block[static_cast<std::size_t>(y * 8 + x)] = s;
+    }
+  }
+}
+
+}  // namespace
+
+int jpeg_scale_quant(int base, int quality) {
+  quality = std::clamp(quality, 1, 99);
+  const int scale =
+      quality < 50 ? 5000 / quality : 200 - 2 * quality;  // libjpeg rule
+  return std::clamp((base * scale + 50) / 100, 1, 255);
+}
+
+Image jpeg_roundtrip(const Image& img, int quality) {
+  HS_CHECK(!img.empty(), "jpeg_roundtrip: empty image");
+  if (quality <= 0 || quality >= 100) return img;
+
+  const std::size_t h = img.height(), w = img.width();
+  // RGB -> YCbCr (JFIF), values scaled to [0, 255] around the JPEG ranges.
+  std::vector<float> ycc(h * w * 3);
+  const float* src = img.data();
+  for (std::size_t i = 0; i < h * w; ++i) {
+    const float r = src[3 * i] * 255.0f;
+    const float g = src[3 * i + 1] * 255.0f;
+    const float b = src[3 * i + 2] * 255.0f;
+    ycc[3 * i] = 0.299f * r + 0.587f * g + 0.114f * b;
+    ycc[3 * i + 1] = -0.168736f * r - 0.331264f * g + 0.5f * b + 128.0f;
+    ycc[3 * i + 2] = 0.5f * r - 0.418688f * g - 0.081312f * b + 128.0f;
+  }
+
+  // Per channel: 8x8 block DCT, quantize, dequantize, inverse DCT. Edge
+  // blocks are padded by clamping.
+  for (std::size_t c = 0; c < 3; ++c) {
+    const auto& base = c == 0 ? kLumaQuant : kChromaQuant;
+    std::array<int, 64> q{};
+    for (int i = 0; i < 64; ++i) {
+      q[static_cast<std::size_t>(i)] =
+          jpeg_scale_quant(base[static_cast<std::size_t>(i)], quality);
+    }
+    for (std::size_t by = 0; by < h; by += 8) {
+      for (std::size_t bx = 0; bx < w; bx += 8) {
+        std::array<float, 64> block{};
+        for (int y = 0; y < 8; ++y) {
+          for (int x = 0; x < 8; ++x) {
+            const std::size_t yy = std::min(by + static_cast<std::size_t>(y),
+                                            h - 1);
+            const std::size_t xx = std::min(bx + static_cast<std::size_t>(x),
+                                            w - 1);
+            block[static_cast<std::size_t>(y * 8 + x)] =
+                ycc[(yy * w + xx) * 3 + c] - 128.0f;
+          }
+        }
+        dct8x8(block);
+        for (int i = 0; i < 64; ++i) {
+          const float qv = static_cast<float>(q[static_cast<std::size_t>(i)]);
+          block[static_cast<std::size_t>(i)] =
+              std::round(block[static_cast<std::size_t>(i)] / qv) * qv;
+        }
+        idct8x8(block);
+        for (int y = 0; y < 8; ++y) {
+          for (int x = 0; x < 8; ++x) {
+            const std::size_t yy = by + static_cast<std::size_t>(y);
+            const std::size_t xx = bx + static_cast<std::size_t>(x);
+            if (yy < h && xx < w) {
+              ycc[(yy * w + xx) * 3 + c] =
+                  block[static_cast<std::size_t>(y * 8 + x)] + 128.0f;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // YCbCr -> RGB.
+  Image out(h, w);
+  float* dst = out.data();
+  for (std::size_t i = 0; i < h * w; ++i) {
+    const float y = ycc[3 * i];
+    const float cb = ycc[3 * i + 1] - 128.0f;
+    const float cr = ycc[3 * i + 2] - 128.0f;
+    dst[3 * i] = std::clamp((y + 1.402f * cr) / 255.0f, 0.0f, 1.0f);
+    dst[3 * i + 1] =
+        std::clamp((y - 0.344136f * cb - 0.714136f * cr) / 255.0f, 0.0f, 1.0f);
+    dst[3 * i + 2] = std::clamp((y + 1.772f * cb) / 255.0f, 0.0f, 1.0f);
+  }
+  return out;
+}
+
+}  // namespace hetero

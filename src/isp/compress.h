@@ -1,0 +1,21 @@
+// JPEG-style lossy compression model.
+//
+// We reproduce the parts of JPEG that alter pixel statistics (what a trained
+// model actually sees): YCbCr conversion, 8x8 block DCT, quantization with
+// the Annex-K luma/chroma tables scaled by the libjpeg quality factor, and
+// reconstruction. Entropy coding is omitted — it is lossless and invisible
+// to the model. Quality outside (0, 100) disables the stage.
+#pragma once
+
+#include "image/image.h"
+
+namespace hetero {
+
+/// Applies the compress->decompress round trip at the given quality (1-99).
+/// quality <= 0 or >= 100 returns the input unchanged.
+Image jpeg_roundtrip(const Image& img, int quality);
+
+/// libjpeg-style scaling of a base quantization table entry by quality.
+int jpeg_scale_quant(int base, int quality);
+
+}  // namespace hetero

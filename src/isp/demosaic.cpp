@@ -1,0 +1,247 @@
+#include "isp/demosaic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetero {
+namespace {
+
+/// Clamped mosaic read.
+struct MosaicView {
+  const RawImage& raw;
+  int h, w;
+
+  float operator()(int y, int x) const {
+    y = std::clamp(y, 0, h - 1);
+    x = std::clamp(x, 0, w - 1);
+    return raw.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x));
+  }
+  int ch(int y, int x) const {
+    y = std::clamp(y, 0, h - 1);
+    x = std::clamp(x, 0, w - 1);
+    return raw.channel_at(static_cast<std::size_t>(y),
+                          static_cast<std::size_t>(x));
+  }
+};
+
+/// Fills the green plane of `out` at non-green sites by plain 4-neighbour
+/// averaging; copies known samples everywhere.
+void copy_known_samples(const MosaicView& m, Image& out) {
+  for (int y = 0; y < m.h; ++y) {
+    for (int x = 0; x < m.w; ++x) {
+      out.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x),
+             static_cast<std::size_t>(m.ch(y, x))) = m(y, x);
+    }
+  }
+}
+
+Image demosaic_bilinear(const MosaicView& m) {
+  Image out(static_cast<std::size_t>(m.h), static_cast<std::size_t>(m.w));
+  copy_known_samples(m, out);
+  for (int y = 0; y < m.h; ++y) {
+    for (int x = 0; x < m.w; ++x) {
+      const int own = m.ch(y, x);
+      for (int c = 0; c < 3; ++c) {
+        if (c == own) continue;
+        // Average all samples of channel c in the 3x3 neighbourhood.
+        float sum = 0.0f;
+        int count = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dy == 0 && dx == 0) continue;
+            if (m.ch(y + dy, x + dx) == c) {
+              sum += m(y + dy, x + dx);
+              ++count;
+            }
+          }
+        }
+        out.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x),
+               static_cast<std::size_t>(c)) = count ? sum / count : 0.0f;
+      }
+    }
+  }
+  return out;
+}
+
+/// Interpolates green at every non-green site, either gradient-directed
+/// (PPG) or fixed direction (AHD candidates), with Laplacian correction from
+/// the co-located channel.
+enum class GreenDir { kAdaptive, kHorizontal, kVertical };
+
+void interpolate_green(const MosaicView& m, Image& out, GreenDir dir) {
+  for (int y = 0; y < m.h; ++y) {
+    for (int x = 0; x < m.w; ++x) {
+      const int own = m.ch(y, x);
+      if (own == 1) {
+        out.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x), 1) =
+            m(y, x);
+        continue;
+      }
+      // Gradient-corrected estimates along each axis.
+      const float gh = (m(y, x - 1) + m(y, x + 1)) / 2.0f +
+                       (2.0f * m(y, x) - m(y, x - 2) - m(y, x + 2)) / 4.0f;
+      const float gv = (m(y - 1, x) + m(y + 1, x)) / 2.0f +
+                       (2.0f * m(y, x) - m(y - 2, x) - m(y + 2, x)) / 4.0f;
+      float g;
+      switch (dir) {
+        case GreenDir::kHorizontal: g = gh; break;
+        case GreenDir::kVertical: g = gv; break;
+        case GreenDir::kAdaptive:
+        default: {
+          const float grad_h = std::abs(m(y, x - 1) - m(y, x + 1)) +
+                               std::abs(2.0f * m(y, x) - m(y, x - 2) -
+                                        m(y, x + 2));
+          const float grad_v = std::abs(m(y - 1, x) - m(y + 1, x)) +
+                               std::abs(2.0f * m(y, x) - m(y - 2, x) -
+                                        m(y + 2, x));
+          if (grad_h < grad_v) {
+            g = gh;
+          } else if (grad_v < grad_h) {
+            g = gv;
+          } else {
+            g = (gh + gv) / 2.0f;
+          }
+        }
+      }
+      out.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x), 1) =
+          std::clamp(g, 0.0f, 1.0f);
+    }
+  }
+}
+
+/// Recovers R and B everywhere from colour differences against the
+/// interpolated green plane (standard second pass shared by PPG and AHD).
+void interpolate_rb(const MosaicView& m, Image& out) {
+  auto green = [&](int y, int x) {
+    y = std::clamp(y, 0, m.h - 1);
+    x = std::clamp(x, 0, m.w - 1);
+    return out.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x), 1);
+  };
+  for (int y = 0; y < m.h; ++y) {
+    for (int x = 0; x < m.w; ++x) {
+      const int own = m.ch(y, x);
+      for (int c = 0; c <= 2; c += 2) {  // R and B planes
+        if (c == own) {
+          out.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x),
+                 static_cast<std::size_t>(c)) = m(y, x);
+          continue;
+        }
+        // Average colour difference (C - G) over the nearest C samples.
+        float diff = 0.0f;
+        int count = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            if (dy == 0 && dx == 0) continue;
+            if (m.ch(y + dy, x + dx) == c) {
+              diff += m(y + dy, x + dx) - green(y + dy, x + dx);
+              ++count;
+            }
+          }
+        }
+        const float v = green(y, x) + (count ? diff / count : 0.0f);
+        out.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x),
+               static_cast<std::size_t>(c)) = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+}
+
+Image demosaic_ppg(const MosaicView& m) {
+  Image out(static_cast<std::size_t>(m.h), static_cast<std::size_t>(m.w));
+  interpolate_green(m, out, GreenDir::kAdaptive);
+  interpolate_rb(m, out);
+  return out;
+}
+
+Image demosaic_ahd(const MosaicView& m) {
+  // Two candidate green planes.
+  Image out_h(static_cast<std::size_t>(m.h), static_cast<std::size_t>(m.w));
+  Image out_v(static_cast<std::size_t>(m.h), static_cast<std::size_t>(m.w));
+  interpolate_green(m, out_h, GreenDir::kHorizontal);
+  interpolate_green(m, out_v, GreenDir::kVertical);
+
+  // Per-pixel homogeneity: pick the direction whose local green plane is
+  // smoother (lower 3x3 total variation), a laptop-scale proxy for AHD's
+  // CIELab homogeneity maps.
+  Image out(static_cast<std::size_t>(m.h), static_cast<std::size_t>(m.w));
+  auto tv = [&](const Image& g, int y, int x) {
+    float acc = 0.0f;
+    const float centre = g.at(static_cast<std::size_t>(std::clamp(y, 0, m.h - 1)),
+                              static_cast<std::size_t>(std::clamp(x, 0, m.w - 1)),
+                              1);
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        const int yy = std::clamp(y + dy, 0, m.h - 1);
+        const int xx = std::clamp(x + dx, 0, m.w - 1);
+        acc += std::abs(g.at(static_cast<std::size_t>(yy),
+                             static_cast<std::size_t>(xx), 1) -
+                        centre);
+      }
+    }
+    return acc;
+  };
+  for (int y = 0; y < m.h; ++y) {
+    for (int x = 0; x < m.w; ++x) {
+      const Image& pick = tv(out_h, y, x) <= tv(out_v, y, x) ? out_h : out_v;
+      out.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x), 1) =
+          pick.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x), 1);
+    }
+  }
+  interpolate_rb(m, out);
+  return out;
+}
+
+Image demosaic_binning(const MosaicView& m) {
+  // 2x2 CFA tile -> one RGB superpixel at half resolution.
+  const int oh = m.h / 2, ow = m.w / 2;
+  Image half(static_cast<std::size_t>(oh), static_cast<std::size_t>(ow));
+  for (int ty = 0; ty < oh; ++ty) {
+    for (int tx = 0; tx < ow; ++tx) {
+      float rgb[3] = {0, 0, 0};
+      int counts[3] = {0, 0, 0};
+      for (int dy = 0; dy < 2; ++dy) {
+        for (int dx = 0; dx < 2; ++dx) {
+          const int c = m.ch(2 * ty + dy, 2 * tx + dx);
+          rgb[c] += m(2 * ty + dy, 2 * tx + dx);
+          ++counts[c];
+        }
+      }
+      for (int c = 0; c < 3; ++c) {
+        if (counts[c]) rgb[c] /= static_cast<float>(counts[c]);
+      }
+      half.set_pixel(static_cast<std::size_t>(ty), static_cast<std::size_t>(tx),
+                     rgb[0], rgb[1], rgb[2]);
+    }
+  }
+  // Upscale back so downstream stages see the native resolution; the lost
+  // high-frequency detail is the binning signature.
+  return resize_bilinear(half, static_cast<std::size_t>(m.h),
+                         static_cast<std::size_t>(m.w));
+}
+
+}  // namespace
+
+const char* demosaic_name(DemosaicAlgo algo) {
+  switch (algo) {
+    case DemosaicAlgo::kBilinear: return "bilinear";
+    case DemosaicAlgo::kPPG: return "ppg";
+    case DemosaicAlgo::kAHD: return "ahd";
+    case DemosaicAlgo::kPixelBinning: return "pixel-binning";
+  }
+  return "?";
+}
+
+Image demosaic(const RawImage& raw, DemosaicAlgo algo) {
+  HS_CHECK(!raw.empty(), "demosaic: empty RAW input");
+  const MosaicView m{raw, static_cast<int>(raw.height()),
+                     static_cast<int>(raw.width())};
+  switch (algo) {
+    case DemosaicAlgo::kBilinear: return demosaic_bilinear(m);
+    case DemosaicAlgo::kPPG: return demosaic_ppg(m);
+    case DemosaicAlgo::kAHD: return demosaic_ahd(m);
+    case DemosaicAlgo::kPixelBinning: return demosaic_binning(m);
+  }
+  return demosaic_bilinear(m);
+}
+
+}  // namespace hetero

@@ -1,0 +1,28 @@
+// Demosaicing: Bayer mosaic -> full-colour image.
+//
+// Table 3 of the paper compares three demosaic families; we implement
+// laptop-scale versions of each plus plain bilinear:
+//   * kBilinear     - classic bilinear interpolation (reference).
+//   * kPPG          - "Pixel Grouping"-style gradient-directed green
+//                     interpolation with colour-difference R/B recovery
+//                     (the paper's Baseline column).
+//   * kAHD          - adaptive homogeneity-directed: interpolate green
+//                     horizontally and vertically, pick per-pixel the
+//                     direction with the more homogeneous result.
+//   * kPixelBinning - 2x2 CFA superpixel binning to half resolution,
+//                     upscaled back (the low-light mode of cheap sensors).
+#pragma once
+
+#include "image/image.h"
+#include "image/raw_image.h"
+
+namespace hetero {
+
+enum class DemosaicAlgo { kBilinear, kPPG, kAHD, kPixelBinning };
+
+const char* demosaic_name(DemosaicAlgo algo);
+
+/// Demosaics a RAW mosaic at its native resolution.
+Image demosaic(const RawImage& raw, DemosaicAlgo algo);
+
+}  // namespace hetero

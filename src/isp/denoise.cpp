@@ -1,0 +1,142 @@
+#include "isp/denoise.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hetero {
+namespace {
+
+RawImage denoise_fbdd(const RawImage& raw) {
+  // Median over same-colour neighbours in a 5x5 window, blended 50/50 with
+  // the original sample: removes impulse noise while keeping detail (a
+  // laptop-scale stand-in for FBDD's full banding/impulse pipeline).
+  const int h = static_cast<int>(raw.height());
+  const int w = static_cast<int>(raw.width());
+  RawImage out(raw.height(), raw.width(), raw.pattern());
+  std::vector<float> samples;
+  samples.reserve(9);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const int own = raw.channel_at(static_cast<std::size_t>(y),
+                                     static_cast<std::size_t>(x));
+      samples.clear();
+      for (int dy = -2; dy <= 2; ++dy) {
+        for (int dx = -2; dx <= 2; ++dx) {
+          const int yy = std::clamp(y + dy, 0, h - 1);
+          const int xx = std::clamp(x + dx, 0, w - 1);
+          if (raw.channel_at(static_cast<std::size_t>(yy),
+                             static_cast<std::size_t>(xx)) == own) {
+            samples.push_back(raw.at(static_cast<std::size_t>(yy),
+                                     static_cast<std::size_t>(xx)));
+          }
+        }
+      }
+      std::nth_element(samples.begin(), samples.begin() + samples.size() / 2,
+                       samples.end());
+      const float med = samples[samples.size() / 2];
+      const float orig =
+          raw.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x));
+      out.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x)) =
+          0.5f * orig + 0.5f * med;
+    }
+  }
+  return out;
+}
+
+/// One-level 2-D Haar soft-threshold denoise of a single plane (in place).
+void haar_denoise_plane(std::vector<float>& plane, std::size_t h,
+                        std::size_t w) {
+  if (h < 2 || w < 2) return;
+  const std::size_t hh = h / 2, hw = w / 2;
+  std::vector<float> ll(hh * hw), lh(hh * hw), hl(hh * hw), hhb(hh * hw);
+  for (std::size_t y = 0; y < hh; ++y) {
+    for (std::size_t x = 0; x < hw; ++x) {
+      const float a = plane[(2 * y) * w + 2 * x];
+      const float b = plane[(2 * y) * w + 2 * x + 1];
+      const float c = plane[(2 * y + 1) * w + 2 * x];
+      const float d = plane[(2 * y + 1) * w + 2 * x + 1];
+      ll[y * hw + x] = (a + b + c + d) / 4.0f;
+      lh[y * hw + x] = (a - b + c - d) / 4.0f;
+      hl[y * hw + x] = (a + b - c - d) / 4.0f;
+      hhb[y * hw + x] = (a - b - c + d) / 4.0f;
+    }
+  }
+  // BayesShrink-style noise estimate from the diagonal detail band.
+  std::vector<float> abs_hh(hhb.size());
+  for (std::size_t i = 0; i < hhb.size(); ++i) abs_hh[i] = std::abs(hhb[i]);
+  std::nth_element(abs_hh.begin(), abs_hh.begin() + abs_hh.size() / 2,
+                   abs_hh.end());
+  const float sigma = abs_hh[abs_hh.size() / 2] / 0.6745f;
+  const float t = 1.5f * sigma;
+  auto soft = [t](float v) {
+    if (v > t) return v - t;
+    if (v < -t) return v + t;
+    return 0.0f;
+  };
+  for (auto* band : {&lh, &hl, &hhb}) {
+    for (float& v : *band) v = soft(v);
+  }
+  // Inverse Haar.
+  for (std::size_t y = 0; y < hh; ++y) {
+    for (std::size_t x = 0; x < hw; ++x) {
+      const float s = ll[y * hw + x];
+      const float e1 = lh[y * hw + x];
+      const float e2 = hl[y * hw + x];
+      const float e3 = hhb[y * hw + x];
+      plane[(2 * y) * w + 2 * x] = s + e1 + e2 + e3;
+      plane[(2 * y) * w + 2 * x + 1] = s - e1 + e2 - e3;
+      plane[(2 * y + 1) * w + 2 * x] = s + e1 - e2 - e3;
+      plane[(2 * y + 1) * w + 2 * x + 1] = s - e1 - e2 + e3;
+    }
+  }
+}
+
+RawImage denoise_wavelet(const RawImage& raw) {
+  // Treat the mosaic as four half-resolution colour planes (one per CFA
+  // site), denoise each, and reassemble — wavelets never mix colours.
+  const std::size_t h = raw.height(), w = raw.width();
+  const std::size_t ph = h / 2, pw = w / 2;
+  RawImage out(h, w, raw.pattern());
+  for (std::size_t sy = 0; sy < 2; ++sy) {
+    for (std::size_t sx = 0; sx < 2; ++sx) {
+      std::vector<float> plane(ph * pw);
+      for (std::size_t y = 0; y < ph; ++y) {
+        for (std::size_t x = 0; x < pw; ++x) {
+          plane[y * pw + x] = raw.at(2 * y + sy, 2 * x + sx);
+        }
+      }
+      haar_denoise_plane(plane, ph, pw);
+      for (std::size_t y = 0; y < ph; ++y) {
+        for (std::size_t x = 0; x < pw; ++x) {
+          out.at(2 * y + sy, 2 * x + sx) =
+              std::clamp(plane[y * pw + x], 0.0f, 1.0f);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* denoise_name(DenoiseAlgo algo) {
+  switch (algo) {
+    case DenoiseAlgo::kNone: return "none";
+    case DenoiseAlgo::kFBDD: return "fbdd";
+    case DenoiseAlgo::kWavelet: return "wavelet-bayesshrink";
+  }
+  return "?";
+}
+
+RawImage denoise(const RawImage& raw, DenoiseAlgo algo) {
+  HS_CHECK(!raw.empty(), "denoise: empty RAW input");
+  switch (algo) {
+    case DenoiseAlgo::kNone: return raw;
+    case DenoiseAlgo::kFBDD: return denoise_fbdd(raw);
+    case DenoiseAlgo::kWavelet: return denoise_wavelet(raw);
+  }
+  return raw;
+}
+
+}  // namespace hetero

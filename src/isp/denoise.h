@@ -1,0 +1,22 @@
+// RAW-domain denoising (runs before demosaic, as in real pipelines and in
+// the paper's Table 3 stage order).
+//
+//   * kNone    - stage omitted ('-' in Table 3).
+//   * kFBDD    - FBDD-style impulse suppression: median filtering over
+//                same-colour CFA neighbours, blended with the original.
+//   * kWavelet - BayesShrink-style wavelet soft thresholding: one-level Haar
+//                transform per CFA colour plane with a noise estimate from
+//                the median absolute deviation of the detail band.
+#pragma once
+
+#include "image/raw_image.h"
+
+namespace hetero {
+
+enum class DenoiseAlgo { kNone, kFBDD, kWavelet };
+
+const char* denoise_name(DenoiseAlgo algo);
+
+RawImage denoise(const RawImage& raw, DenoiseAlgo algo);
+
+}  // namespace hetero

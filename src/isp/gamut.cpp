@@ -1,0 +1,39 @@
+#include "isp/gamut.h"
+
+namespace hetero {
+
+const char* gamut_name(GamutAlgo algo) {
+  switch (algo) {
+    case GamutAlgo::kNone: return "none";
+    case GamutAlgo::kSrgb: return "srgb";
+    case GamutAlgo::kProphoto: return "prophoto";
+    case GamutAlgo::kDisplayP3: return "display-p3";
+  }
+  return "?";
+}
+
+Image gamut_map(const Image& img, GamutAlgo algo, const ColorMatrix& ccm) {
+  HS_CHECK(!img.empty(), "gamut_map: empty image");
+  switch (algo) {
+    case GamutAlgo::kNone:
+      return img;
+    case GamutAlgo::kSrgb: {
+      Image out = apply_color_matrix(img, ccm);
+      out.clamp01();
+      return out;
+    }
+    case GamutAlgo::kProphoto: {
+      Image out = apply_color_matrix(img, matmul3(kSrgbToProphoto, ccm));
+      out.clamp01();
+      return out;
+    }
+    case GamutAlgo::kDisplayP3: {
+      Image out = apply_color_matrix(img, matmul3(kSrgbToDisplayP3, ccm));
+      out.clamp01();
+      return out;
+    }
+  }
+  return img;
+}
+
+}  // namespace hetero

@@ -1,0 +1,27 @@
+// Gamut mapping: returns sensor-native colours to a standard working gamut.
+//
+// The stage applies the device's colour-correction matrix (CCM, the inverse
+// of its sensor spectral response) to land in the target primaries:
+//   * kNone     - stage omitted: colours stay in the sensor-native space
+//                 (the characteristic desaturation/shift of skipping CCM).
+//   * kSrgb     - CCM into linear sRGB (Baseline column of Table 3).
+//   * kProphoto - CCM into ProPhoto/ROMM primaries, *stored* as if sRGB —
+//                 the extreme untagged-wide-gamut mismatch (Table 3 Opt 2).
+//   * kDisplayP3 - CCM into Display-P3, stored untagged — the milder wide
+//                 gamut flagship phones actually produce.
+#pragma once
+
+#include "image/color.h"
+#include "image/image.h"
+
+namespace hetero {
+
+enum class GamutAlgo { kNone, kSrgb, kProphoto, kDisplayP3 };
+
+const char* gamut_name(GamutAlgo algo);
+
+/// Maps sensor-native linear RGB into the target gamut. `ccm` is the
+/// device's sensor-to-sRGB colour-correction matrix.
+Image gamut_map(const Image& img, GamutAlgo algo, const ColorMatrix& ccm);
+
+}  // namespace hetero

@@ -1,0 +1,102 @@
+#include "isp/pipeline.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hetero {
+
+const char* isp_stage_name(IspStage stage) {
+  switch (stage) {
+    case IspStage::kDenoise: return "denoising";
+    case IspStage::kDemosaic: return "demosaicing";
+    case IspStage::kWhiteBalance: return "color-transformation(WB)";
+    case IspStage::kGamut: return "gamut-mapping";
+    case IspStage::kTone: return "tone-transformation";
+    case IspStage::kCompress: return "image-compression";
+  }
+  return "?";
+}
+
+IspConfig IspConfig::baseline(const ColorMatrix& ccm) {
+  IspConfig c;
+  c.ccm = ccm;
+  return c;
+}
+
+IspConfig IspConfig::with_stage_option(IspStage stage, int option) const {
+  HS_CHECK(option == 1 || option == 2, "with_stage_option: option must be 1/2");
+  IspConfig c = *this;
+  switch (stage) {
+    case IspStage::kDenoise:
+      // Table 3: Option 1 = omit, Option 2 = wavelet-BayesShrink.
+      c.denoise = option == 1 ? DenoiseAlgo::kNone : DenoiseAlgo::kWavelet;
+      break;
+    case IspStage::kDemosaic:
+      // Demosaic cannot be omitted; Option 1 = pixel binning, 2 = AHD.
+      c.demosaic =
+          option == 1 ? DemosaicAlgo::kPixelBinning : DemosaicAlgo::kAHD;
+      break;
+    case IspStage::kWhiteBalance:
+      // Option 1 = omit, Option 2 = white patch.
+      c.wb = option == 1 ? WhiteBalanceAlgo::kNone
+                         : WhiteBalanceAlgo::kWhitePatch;
+      break;
+    case IspStage::kGamut:
+      // Option 1 = omit, Option 2 = ProPhoto.
+      c.gamut = option == 1 ? GamutAlgo::kNone : GamutAlgo::kProphoto;
+      break;
+    case IspStage::kTone:
+      // Option 1 = omit, Option 2 = gamma + tone equalization.
+      c.tone = option == 1 ? ToneAlgo::kNone : ToneAlgo::kSrgbGammaEq;
+      break;
+    case IspStage::kCompress:
+      // Option 1 = omit, Option 2 = JPEG quality 50.
+      c.jpeg_quality = option == 1 ? 0 : 50;
+      break;
+  }
+  return c;
+}
+
+std::string IspConfig::describe() const {
+  std::ostringstream os;
+  os << denoise_name(denoise) << " | " << demosaic_name(demosaic) << " | "
+     << white_balance_name(wb) << " | " << gamut_name(gamut) << " | "
+     << tone_name(tone) << " | jpeg="
+     << (jpeg_quality > 0 && jpeg_quality < 100 ? std::to_string(jpeg_quality)
+                                                : "off");
+  return os.str();
+}
+
+Image run_isp(const RawImage& raw, const IspConfig& config) {
+  HS_CHECK(!raw.empty(), "run_isp: empty RAW input");
+  RawImage levelled = raw;
+  if (config.black_level > 0.0f && config.black_level < 1.0f) {
+    const float bl = config.black_level;
+    const float scale = 1.0f / (1.0f - bl);
+    for (std::size_t y = 0; y < levelled.height(); ++y) {
+      for (std::size_t x = 0; x < levelled.width(); ++x) {
+        levelled.at(y, x) =
+            std::max(0.0f, (levelled.at(y, x) - bl) * scale);
+      }
+    }
+  }
+  RawImage clean = denoise(levelled, config.denoise);
+  Image img = demosaic(clean, config.demosaic);
+  img = white_balance(img, config.wb);
+  img = gamut_map(img, config.gamut, config.ccm);
+  img = tone_transform(img, config.tone);
+  img.clamp01();
+  img = jpeg_roundtrip(img, config.jpeg_quality);
+  return img;
+}
+
+Image run_isp_resized(const RawImage& raw, const IspConfig& config,
+                      std::size_t out_size) {
+  Image img = run_isp(raw, config);
+  if (img.height() != out_size || img.width() != out_size) {
+    img = resize_bilinear(img, out_size, out_size);
+  }
+  return img;
+}
+
+}  // namespace hetero

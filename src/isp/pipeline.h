@@ -1,0 +1,72 @@
+// Composable ISP pipeline: RAW mosaic -> display-referred RGB image,
+// mirroring Fig 1 step (2) of the paper:
+//
+//   Denoise -> Demosaic -> White balance -> Gamut map -> Tone -> Compress
+//
+// Every stage is swappable or omittable, which is exactly what Table 3 /
+// Fig 3 ablate. IspConfig::ccm carries the device's colour-correction
+// matrix (from SensorModel::ccm()) consumed by the gamut stage.
+#pragma once
+
+#include <string>
+
+#include "image/color.h"
+#include "image/image.h"
+#include "image/raw_image.h"
+#include "isp/compress.h"
+#include "isp/demosaic.h"
+#include "isp/denoise.h"
+#include "isp/gamut.h"
+#include "isp/tone.h"
+#include "isp/white_balance.h"
+
+namespace hetero {
+
+/// The six ISP stages of Table 3 (used to index ablations).
+enum class IspStage {
+  kDenoise,
+  kDemosaic,
+  kWhiteBalance,
+  kGamut,
+  kTone,
+  kCompress
+};
+
+const char* isp_stage_name(IspStage stage);
+
+struct IspConfig {
+  DenoiseAlgo denoise = DenoiseAlgo::kFBDD;
+  DemosaicAlgo demosaic = DemosaicAlgo::kPPG;
+  WhiteBalanceAlgo wb = WhiteBalanceAlgo::kGrayWorld;
+  GamutAlgo gamut = GamutAlgo::kSrgb;
+  ToneAlgo tone = ToneAlgo::kSrgbGamma;
+  int jpeg_quality = 85;  ///< <= 0 disables compression
+  ColorMatrix ccm = identity3();  ///< device colour-correction matrix
+  /// Sensor black level (ADC pedestal) subtracted and rescaled before any
+  /// other stage — the very first thing a real ISP does. RAW-domain
+  /// training data keeps the pedestal (a per-device signature, Fig 2);
+  /// processed data has it normalized away.
+  float black_level = 0.0f;
+
+  /// The paper's Table 3 Baseline column (FBDD, PPG, gray-world, sRGB,
+  /// sRGB gamma, JPEG Q85) with the given CCM.
+  static IspConfig baseline(const ColorMatrix& ccm = identity3());
+
+  /// Returns a copy with one stage set to Table 3's Option 1 / Option 2.
+  /// option must be 1 or 2; stages whose option is '-' (omit) map to the
+  /// appropriate kNone/disabled value.
+  IspConfig with_stage_option(IspStage stage, int option) const;
+
+  /// Short human-readable description of the configuration.
+  std::string describe() const;
+};
+
+/// Runs the full pipeline at native RAW resolution.
+Image run_isp(const RawImage& raw, const IspConfig& config);
+
+/// Runs the pipeline and resizes the result to out_size x out_size — the
+/// "to tensor" step of Fig 1 (3) happens via Image::to_tensor afterwards.
+Image run_isp_resized(const RawImage& raw, const IspConfig& config,
+                      std::size_t out_size);
+
+}  // namespace hetero

@@ -1,0 +1,99 @@
+#include "isp/sensor.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hetero {
+
+SensorModel::SensorModel(SensorConfig config) : config_(std::move(config)) {
+  HS_CHECK(config_.raw_height % 2 == 0 && config_.raw_width % 2 == 0 &&
+               config_.raw_height > 0 && config_.raw_width > 0,
+           "SensorModel: mosaic dimensions must be positive and even");
+  HS_CHECK(config_.bit_depth >= 4 && config_.bit_depth <= 16,
+           "SensorModel: bit depth out of range");
+}
+
+RawImage SensorModel::capture(const Image& scene, Rng& rng) const {
+  HS_CHECK(!scene.empty(), "SensorModel::capture: empty scene");
+  const SensorConfig& c = config_;
+
+  // (1) Optics: lens point-spread blur in the scene domain, then sample the
+  // focal plane at sensor resolution.
+  Image focal = gaussian_blur(scene, c.optics_blur_sigma);
+  focal = resize_bilinear(focal, c.raw_height, c.raw_width);
+
+  // (2) Spectral response: scene radiance to sensor-native channel signal.
+  focal = apply_color_matrix(focal, c.spectral_response);
+
+  // (2b) Per-shot illuminant / auto-white-point tint: a colour-temperature
+  // factor tilting R against B, plus a smaller magenta-green shift. The
+  // white-balance ISP stage is what removes this downstream.
+  if (c.illuminant_variation > 0.0f) {
+    const float temp =
+        std::exp(static_cast<float>(rng.normal(0.0, c.illuminant_variation)));
+    const float green = std::exp(static_cast<float>(
+        rng.normal(0.0, c.illuminant_variation / 3.0)));
+    for (std::size_t i = 0; i < focal.num_pixels(); ++i) {
+      focal.data()[3 * i] *= temp;
+      focal.data()[3 * i + 1] *= green;
+      focal.data()[3 * i + 2] /= temp;
+    }
+  }
+
+  RawImage raw(c.raw_height, c.raw_width, c.pattern);
+  const float cy = (static_cast<float>(c.raw_height) - 1.0f) / 2.0f;
+  const float cx = (static_cast<float>(c.raw_width) - 1.0f) / 2.0f;
+  const float max_r2 = cy * cy + cx * cx;
+  const float levels = static_cast<float>((1 << c.bit_depth) - 1);
+
+  for (std::size_t y = 0; y < c.raw_height; ++y) {
+    for (std::size_t x = 0; x < c.raw_width; ++x) {
+      const int ch = raw.channel_at(y, x);
+      float signal =
+          focal.at(y, x, static_cast<std::size_t>(ch)) * c.exposure_gain;
+      signal = std::max(signal, 0.0f);
+
+      // (3) Vignetting: radial cos^4-style falloff.
+      const float dy = static_cast<float>(y) - cy;
+      const float dx = static_cast<float>(x) - cx;
+      const float falloff = 1.0f - c.vignetting * (dy * dy + dx * dx) / max_r2;
+      signal *= falloff;
+
+      // (4) Noise: shot (signal-dependent) + read (additive).
+      const float shot_sigma = c.shot_noise * std::sqrt(signal);
+      signal += static_cast<float>(rng.normal(0.0, shot_sigma));
+      signal += static_cast<float>(rng.normal(0.0, c.read_noise));
+
+      // (5) Black level (ADC pedestal; gain maps full-scale signal to
+      // full-well, so codes span [black_level, 1]), saturation clip, ADC
+      // quantization.
+      signal = std::clamp(signal * (1.0f - c.black_level) + c.black_level,
+                          0.0f, 1.0f);
+      signal = std::round(signal * levels) / levels;
+      raw.at(y, x) = signal;
+    }
+  }
+  return raw;
+}
+
+ColorMatrix SensorModel::ccm() const {
+  // White-preserving colour-correction matrix: the inverse of the spectral
+  // response with each row normalized to sum 1, so CCM * (1,1,1)^T =
+  // (1,1,1)^T. Real ISPs factor colour correction this way — the CCM fixes
+  // hue/saturation (channel mixing) while the *white point* (the sensor's
+  // raw cast plus the illuminant) is the white-balance stage's job. Without
+  // this factorization, skipping WB would be a no-op because the CCM would
+  // silently fix the cast too.
+  ColorMatrix inv = inverse3(config_.spectral_response);
+  for (int r = 0; r < 3; ++r) {
+    float row_sum = 0.0f;
+    for (int c = 0; c < 3; ++c) row_sum += inv[static_cast<std::size_t>(r * 3 + c)];
+    HS_CHECK(std::abs(row_sum) > 1e-6f, "SensorModel::ccm: degenerate row");
+    for (int c = 0; c < 3; ++c) inv[static_cast<std::size_t>(r * 3 + c)] /= row_sum;
+  }
+  return inv;
+}
+
+}  // namespace hetero

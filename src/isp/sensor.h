@@ -1,0 +1,69 @@
+// Camera sensor model: scene radiance -> Bayer RAW mosaic.
+//
+// This is the "HW" half of system-induced data heterogeneity. Each device
+// profile carries its own SensorConfig; two sensors photographing the same
+// scene radiance produce different RAW data because of:
+//   * spectral response   - a 3x3 matrix mapping scene-linear sRGB radiance
+//                           into sensor-native channel responses (colour
+//                           cast / crosstalk; differs per CMOS generation),
+//   * optics              - lens PSF blur (focal length / aperture proxy),
+//   * vignetting          - radial light falloff,
+//   * exposure gain       - auto-exposure calibration differences,
+//   * noise               - signal-dependent shot noise + additive read
+//                           noise (pixel size proxy: small pixels -> more
+//                           noise),
+//   * black level + ADC quantization at the sensor bit depth,
+//   * resolution          - mosaic size (binning-class sensors are smaller).
+//
+// The capture path mirrors Fig 1 step (1) of the paper.
+#pragma once
+
+#include "image/color.h"
+#include "image/image.h"
+#include "image/raw_image.h"
+
+namespace hetero {
+
+class Rng;
+
+struct SensorConfig {
+  std::size_t raw_height = 64;
+  std::size_t raw_width = 64;
+  BayerPattern pattern = BayerPattern::kRGGB;
+  /// Scene-linear sRGB -> sensor-native RGB response.
+  ColorMatrix spectral_response = identity3();
+  float optics_blur_sigma = 0.4f;  ///< lens PSF, in scene pixels
+  float vignetting = 0.10f;        ///< relative falloff at the corners
+  float exposure_gain = 1.0f;
+  float shot_noise = 0.010f;  ///< variance = shot_noise^2 * signal
+  float read_noise = 0.002f;  ///< additive Gaussian stddev
+  float black_level = 0.00f;  ///< pedestal added before quantization
+  int bit_depth = 10;         ///< ADC levels = 2^bit_depth
+  /// Per-capture illuminant / auto-white-point variation: each shot draws a
+  /// random colour-temperature tint (log-normal, this sigma) that scales R
+  /// up / B down (or vice versa) plus a smaller green shift. This is the
+  /// cast the ISP's white-balance stage exists to remove — without a
+  /// varying illuminant, omitting WB would be a no-op and Fig 3's dominant
+  /// effect (56% degradation from skipping WB) could not reproduce.
+  float illuminant_variation = 0.20f;
+};
+
+class SensorModel {
+ public:
+  explicit SensorModel(SensorConfig config);
+
+  const SensorConfig& config() const { return config_; }
+
+  /// Captures a linear-light scene image into a RAW Bayer mosaic.
+  /// Deterministic given the rng state.
+  RawImage capture(const Image& scene, Rng& rng) const;
+
+  /// Colour-correction matrix the ISP should use to return sensor-native
+  /// colours to sRGB: the inverse of the spectral response.
+  ColorMatrix ccm() const;
+
+ private:
+  SensorConfig config_;
+};
+
+}  // namespace hetero

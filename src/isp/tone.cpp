@@ -1,0 +1,76 @@
+#include "isp/tone.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "image/color.h"
+
+namespace hetero {
+namespace {
+
+/// Partial (30%) histogram equalization of the luminance channel, applied as
+/// a per-pixel luminance gain so hue is preserved.
+Image tone_equalize(const Image& img) {
+  constexpr int kBins = 64;
+  constexpr float kBlend = 0.3f;
+  const std::size_t n = img.num_pixels();
+  if (n == 0) return img;
+
+  std::array<double, kBins> hist{};
+  const float* data = img.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float y =
+        luminance(data[3 * i], data[3 * i + 1], data[3 * i + 2]);
+    const int bin = std::clamp(static_cast<int>(y * kBins), 0, kBins - 1);
+    hist[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  std::array<double, kBins> cdf{};
+  double acc = 0.0;
+  for (int b = 0; b < kBins; ++b) {
+    acc += hist[static_cast<std::size_t>(b)];
+    cdf[static_cast<std::size_t>(b)] = acc / static_cast<double>(n);
+  }
+
+  Image out = img;
+  float* dst = out.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float y = luminance(dst[3 * i], dst[3 * i + 1], dst[3 * i + 2]);
+    if (y <= 1e-6f) continue;
+    const int bin = std::clamp(static_cast<int>(y * kBins), 0, kBins - 1);
+    const float target =
+        (1.0f - kBlend) * y +
+        kBlend * static_cast<float>(cdf[static_cast<std::size_t>(bin)]);
+    const float gain = target / y;
+    for (std::size_t c = 0; c < 3; ++c) {
+      dst[3 * i + c] = std::clamp(dst[3 * i + c] * gain, 0.0f, 1.0f);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* tone_name(ToneAlgo algo) {
+  switch (algo) {
+    case ToneAlgo::kNone: return "none";
+    case ToneAlgo::kSrgbGamma: return "srgb-gamma";
+    case ToneAlgo::kSrgbGammaEq: return "srgb-gamma+equalization";
+  }
+  return "?";
+}
+
+Image tone_transform(const Image& img, ToneAlgo algo) {
+  HS_CHECK(!img.empty(), "tone_transform: empty image");
+  switch (algo) {
+    case ToneAlgo::kNone:
+      return img;
+    case ToneAlgo::kSrgbGamma:
+      return srgb_encode(img);
+    case ToneAlgo::kSrgbGammaEq:
+      return tone_equalize(srgb_encode(img));
+  }
+  return img;
+}
+
+}  // namespace hetero

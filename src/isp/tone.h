@@ -1,0 +1,21 @@
+// Tone transformation: linear-light -> display-referred encoding.
+//
+//   * kNone        - stage omitted: the tensor sees linear-light values
+//                    (dark mid-tones; the paper's most damaging omission
+//                    after white balance).
+//   * kSrgbGamma   - standard sRGB gamma correction (Baseline).
+//   * kSrgbGammaEq - sRGB gamma followed by partial luminance histogram
+//                    equalization ("tone equalization", Option 2).
+#pragma once
+
+#include "image/image.h"
+
+namespace hetero {
+
+enum class ToneAlgo { kNone, kSrgbGamma, kSrgbGammaEq };
+
+const char* tone_name(ToneAlgo algo);
+
+Image tone_transform(const Image& img, ToneAlgo algo);
+
+}  // namespace hetero

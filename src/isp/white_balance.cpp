@@ -1,0 +1,77 @@
+#include "isp/white_balance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hetero {
+namespace {
+
+constexpr float kEps = 1e-6f;
+
+/// Per-channel value at the given brightness quantile (0..1).
+std::array<float, 3> channel_quantile(const Image& img, double q) {
+  std::array<float, 3> out{1.0f, 1.0f, 1.0f};
+  const std::size_t n = img.num_pixels();
+  if (n == 0) return out;
+  std::vector<float> vals(n);
+  for (std::size_t c = 0; c < 3; ++c) {
+    const float* data = img.data();
+    for (std::size_t i = 0; i < n; ++i) vals[i] = data[3 * i + c];
+    const std::size_t k = std::min(
+        n - 1, static_cast<std::size_t>(q * static_cast<double>(n - 1)));
+    std::nth_element(vals.begin(), vals.begin() + static_cast<std::ptrdiff_t>(k),
+                     vals.end());
+    out[c] = vals[k];
+  }
+  return out;
+}
+
+}  // namespace
+
+const char* white_balance_name(WhiteBalanceAlgo algo) {
+  switch (algo) {
+    case WhiteBalanceAlgo::kNone: return "none";
+    case WhiteBalanceAlgo::kGrayWorld: return "gray-world";
+    case WhiteBalanceAlgo::kWhitePatch: return "white-patch";
+  }
+  return "?";
+}
+
+std::array<float, 3> white_balance_gains(const Image& img,
+                                         WhiteBalanceAlgo algo) {
+  switch (algo) {
+    case WhiteBalanceAlgo::kNone:
+      return {1.0f, 1.0f, 1.0f};
+    case WhiteBalanceAlgo::kGrayWorld: {
+      // Anchor to green: gains make all channel means equal the green mean.
+      const auto means = img.channel_means();
+      const float g = static_cast<float>(means[1]);
+      return {g / std::max(static_cast<float>(means[0]), kEps), 1.0f,
+              g / std::max(static_cast<float>(means[2]), kEps)};
+    }
+    case WhiteBalanceAlgo::kWhitePatch: {
+      // Anchor to the 99th-percentile highlights ("the white patch").
+      const auto peaks = channel_quantile(img, 0.99);
+      const float g = std::max(peaks[1], kEps);
+      return {g / std::max(peaks[0], kEps), 1.0f,
+              g / std::max(peaks[2], kEps)};
+    }
+  }
+  return {1.0f, 1.0f, 1.0f};
+}
+
+Image white_balance(const Image& img, WhiteBalanceAlgo algo) {
+  HS_CHECK(!img.empty(), "white_balance: empty image");
+  if (algo == WhiteBalanceAlgo::kNone) return img;
+  const auto gains = white_balance_gains(img, algo);
+  Image out = img;
+  float* data = out.data();
+  const std::size_t n = out.num_pixels();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t c = 0; c < 3; ++c) data[3 * i + c] *= gains[c];
+  }
+  return out;
+}
+
+}  // namespace hetero

@@ -1,0 +1,26 @@
+// Colour (white balance) transformation — the ISP stage the paper found most
+// influential (Fig 3: omitting WB degrades accuracy by 56%).
+//
+//   * kNone       - stage omitted.
+//   * kGrayWorld  - scales channels so their means match the green mean
+//                   (Ebner 2007), the Baseline column of Table 3.
+//   * kWhitePatch - scales channels so the brightest-percentile values
+//                   align (the "max-RGB" assumption).
+#pragma once
+
+#include "image/image.h"
+
+namespace hetero {
+
+enum class WhiteBalanceAlgo { kNone, kGrayWorld, kWhitePatch };
+
+const char* white_balance_name(WhiteBalanceAlgo algo);
+
+/// Applies white balance to a linear-light RGB image.
+Image white_balance(const Image& img, WhiteBalanceAlgo algo);
+
+/// The per-channel gains the algorithm would apply (exposed for tests).
+std::array<float, 3> white_balance_gains(const Image& img,
+                                         WhiteBalanceAlgo algo);
+
+}  // namespace hetero

@@ -1,0 +1,67 @@
+#include "nn/activations.h"
+
+#include <algorithm>
+
+namespace hetero {
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  if (train) cached_x_ = x;
+  Tensor y = x;
+  for (float& v : y.flat()) v = std::max(v, 0.0f);
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  HS_CHECK(!cached_x_.empty(), "ReLU::backward: no cached forward");
+  HS_CHECK(grad_out.same_shape(cached_x_), "ReLU::backward: shape mismatch");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    if (cached_x_[i] <= 0.0f) g[i] = 0.0f;
+  }
+  return g;
+}
+
+float HSigmoid::f(float x) {
+  return std::clamp(x / 6.0f + 0.5f, 0.0f, 1.0f);
+}
+
+float HSigmoid::df(float x) {
+  return (x > -3.0f && x < 3.0f) ? 1.0f / 6.0f : 0.0f;
+}
+
+Tensor HSigmoid::forward(const Tensor& x, bool train) {
+  if (train) cached_x_ = x;
+  Tensor y = x;
+  for (float& v : y.flat()) v = f(v);
+  return y;
+}
+
+Tensor HSigmoid::backward(const Tensor& grad_out) {
+  HS_CHECK(!cached_x_.empty(), "HSigmoid::backward: no cached forward");
+  HS_CHECK(grad_out.same_shape(cached_x_),
+           "HSigmoid::backward: shape mismatch");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) g[i] *= df(cached_x_[i]);
+  return g;
+}
+
+Tensor HSwish::forward(const Tensor& x, bool train) {
+  if (train) cached_x_ = x;
+  Tensor y = x;
+  for (float& v : y.flat()) v = v * HSigmoid::f(v);
+  return y;
+}
+
+Tensor HSwish::backward(const Tensor& grad_out) {
+  HS_CHECK(!cached_x_.empty(), "HSwish::backward: no cached forward");
+  HS_CHECK(grad_out.same_shape(cached_x_), "HSwish::backward: shape mismatch");
+  Tensor g = grad_out;
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    const float x = cached_x_[i];
+    // d/dx [x * hsig(x)] = hsig(x) + x * hsig'(x).
+    g[i] *= HSigmoid::f(x) + x * HSigmoid::df(x);
+  }
+  return g;
+}
+
+}  // namespace hetero

@@ -1,0 +1,45 @@
+// Elementwise activations used by the mobile model zoo: ReLU, and the
+// hard-swish / hard-sigmoid pair from MobileNetV3.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace hetero {
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_x_;
+};
+
+/// h-sigmoid(x) = clamp(x/6 + 0.5, 0, 1)  (the ReLU6(x+3)/6 formulation).
+class HSigmoid : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "HSigmoid"; }
+
+  /// Scalar version, shared with SEBlock.
+  static float f(float x);
+  static float df(float x);
+
+ private:
+  Tensor cached_x_;
+};
+
+/// h-swish(x) = x * h-sigmoid(x).
+class HSwish : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "HSwish"; }
+
+ private:
+  Tensor cached_x_;
+};
+
+}  // namespace hetero

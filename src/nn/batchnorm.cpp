@@ -1,0 +1,123 @@
+#include "nn/batchnorm.h"
+
+#include <cmath>
+
+namespace hetero {
+
+BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float eps)
+    : c_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_(Tensor::ones({channels})),
+      beta_({channels}),
+      ggamma_({channels}),
+      gbeta_({channels}),
+      run_mean_({channels}),
+      run_var_(Tensor::ones({channels})) {
+  HS_CHECK(channels > 0, "BatchNorm2d: zero channels");
+}
+
+Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
+  HS_CHECK(x.rank() == 4 && x.dim(1) == c_,
+           "BatchNorm2d: input must be (N, C, H, W)");
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t hw = h * w;
+  const double count = static_cast<double>(n * hw);
+  HS_CHECK(count > 0, "BatchNorm2d: empty batch");
+
+  Tensor y({n, c_, h, w});
+  if (train) {
+    cached_xhat_ = Tensor({n, c_, h, w});
+    inv_std_.assign(c_, 0.0f);
+    cached_n_ = n;
+    cached_h_ = h;
+    cached_w_ = w;
+  }
+
+  for (std::size_t c = 0; c < c_; ++c) {
+    float mean_c, var_c;
+    if (train) {
+      double sum = 0.0, sq = 0.0;
+      for (std::size_t s = 0; s < n; ++s) {
+        const float* src = x.data() + ((s * c_) + c) * hw;
+        for (std::size_t i = 0; i < hw; ++i) {
+          sum += src[i];
+          sq += static_cast<double>(src[i]) * src[i];
+        }
+      }
+      mean_c = static_cast<float>(sum / count);
+      var_c = static_cast<float>(std::max(0.0, sq / count - sum / count * sum / count));
+      run_mean_[c] = (1 - momentum_) * run_mean_[c] + momentum_ * mean_c;
+      run_var_[c] = (1 - momentum_) * run_var_[c] + momentum_ * var_c;
+    } else {
+      mean_c = run_mean_[c];
+      var_c = run_var_[c];
+    }
+    const float inv = 1.0f / std::sqrt(var_c + eps_);
+    if (train) inv_std_[c] = inv;
+    const float g = gamma_[c], b = beta_[c];
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* src = x.data() + ((s * c_) + c) * hw;
+      float* dst = y.data() + ((s * c_) + c) * hw;
+      float* xh = train ? cached_xhat_.data() + ((s * c_) + c) * hw : nullptr;
+      for (std::size_t i = 0; i < hw; ++i) {
+        const float xhat = (src[i] - mean_c) * inv;
+        if (xh) xh[i] = xhat;
+        dst[i] = g * xhat + b;
+      }
+    }
+  }
+  return y;
+}
+
+Tensor BatchNorm2d::backward(const Tensor& grad_out) {
+  HS_CHECK(!cached_xhat_.empty(), "BatchNorm2d::backward: no cached forward");
+  const std::size_t n = cached_n_, h = cached_h_, w = cached_w_;
+  HS_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == n &&
+               grad_out.dim(1) == c_ && grad_out.dim(2) == h &&
+               grad_out.dim(3) == w,
+           "BatchNorm2d::backward: grad shape mismatch");
+  const std::size_t hw = h * w;
+  const double m = static_cast<double>(n * hw);
+
+  Tensor grad_in({n, c_, h, w});
+  for (std::size_t c = 0; c < c_; ++c) {
+    // Standard batch-norm backward: reduce dL/dgamma, dL/dbeta, then the
+    // coupled input gradient.
+    double sum_dy = 0.0, sum_dy_xhat = 0.0;
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* dy = grad_out.data() + ((s * c_) + c) * hw;
+      const float* xh = cached_xhat_.data() + ((s * c_) + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        sum_dy += dy[i];
+        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
+      }
+    }
+    ggamma_[c] += static_cast<float>(sum_dy_xhat);
+    gbeta_[c] += static_cast<float>(sum_dy);
+    const float g = gamma_[c];
+    const float inv = inv_std_[c];
+    const float k1 = static_cast<float>(sum_dy / m);
+    const float k2 = static_cast<float>(sum_dy_xhat / m);
+    for (std::size_t s = 0; s < n; ++s) {
+      const float* dy = grad_out.data() + ((s * c_) + c) * hw;
+      const float* xh = cached_xhat_.data() + ((s * c_) + c) * hw;
+      float* dx = grad_in.data() + ((s * c_) + c) * hw;
+      for (std::size_t i = 0; i < hw; ++i) {
+        dx[i] = g * inv * (dy[i] - k1 - xh[i] * k2);
+      }
+    }
+  }
+  return grad_in;
+}
+
+void BatchNorm2d::collect(ParamGroup& group) {
+  group.params.push_back(&gamma_);
+  group.params.push_back(&beta_);
+  group.grads.push_back(&ggamma_);
+  group.grads.push_back(&gbeta_);
+  group.buffers.push_back(&run_mean_);
+  group.buffers.push_back(&run_var_);
+}
+
+}  // namespace hetero

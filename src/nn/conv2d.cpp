@@ -1,0 +1,159 @@
+#include "nn/conv2d.h"
+
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+/// Copies channels [c0, c0+nc) of sample n from a (N,C,H,W) tensor into a
+/// (nc,H,W) tensor.
+Tensor channel_slice(const Tensor& x, std::size_t n, std::size_t c0,
+                     std::size_t nc) {
+  const std::size_t h = x.dim(2), w = x.dim(3);
+  Tensor out({nc, h, w});
+  const float* src = x.data() + ((n * x.dim(1)) + c0) * h * w;
+  std::copy(src, src + nc * h * w, out.data());
+  return out;
+}
+
+}  // namespace
+
+Conv2d::Conv2d(std::size_t in_c, std::size_t out_c, std::size_t kernel,
+               std::size_t stride, std::size_t pad, std::size_t groups,
+               Rng& rng, bool bias)
+    : in_c_(in_c),
+      out_c_(out_c),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      groups_(groups),
+      has_bias_(bias),
+      b_({out_c}),
+      gb_({out_c}) {
+  HS_CHECK(groups > 0 && in_c % groups == 0 && out_c % groups == 0,
+           "Conv2d: channels must be divisible by groups");
+  HS_CHECK(kernel > 0 && stride > 0, "Conv2d: kernel/stride must be positive");
+  const std::size_t fan_in = (in_c / groups) * kernel * kernel;
+  w_ = Tensor::randn({out_c, in_c / groups, kernel, kernel}, rng,
+                     std::sqrt(2.0f / static_cast<float>(fan_in)));
+  gw_ = Tensor({out_c, in_c / groups, kernel, kernel});
+}
+
+std::unique_ptr<Conv2d> Conv2d::make(std::size_t in_c, std::size_t out_c,
+                                     std::size_t kernel, std::size_t stride,
+                                     std::size_t pad, Rng& rng) {
+  return std::make_unique<Conv2d>(in_c, out_c, kernel, stride, pad, 1, rng,
+                                  false);
+}
+
+Conv2dGeometry Conv2d::group_geometry(std::size_t in_h,
+                                      std::size_t in_w) const {
+  Conv2dGeometry g;
+  g.in_c = in_c_ / groups_;
+  g.in_h = in_h;
+  g.in_w = in_w;
+  g.kernel = kernel_;
+  g.stride = stride_;
+  g.pad = pad_;
+  return g;
+}
+
+Tensor Conv2d::forward(const Tensor& x, bool train) {
+  HS_CHECK(x.rank() == 4 && x.dim(1) == in_c_,
+           "Conv2d: input must be (N, in_c, H, W)");
+  const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const Conv2dGeometry g = group_geometry(h, w);
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const std::size_t gic = in_c_ / groups_;
+  const std::size_t goc = out_c_ / groups_;
+  const std::size_t patch = gic * kernel_ * kernel_;
+
+  Tensor y({n, out_c_, oh, ow});
+  if (train) {
+    cached_cols_.assign(n * groups_, Tensor());
+    cached_n_ = n;
+    cached_h_ = h;
+    cached_w_ = w;
+  }
+
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t grp = 0; grp < groups_; ++grp) {
+      Tensor cols = im2col(channel_slice(x, s, grp * gic, gic), g);
+      // Weight slab for this group, viewed as (goc, patch).
+      Tensor wg({goc, patch});
+      std::copy(w_.data() + grp * goc * patch,
+                w_.data() + (grp + 1) * goc * patch, wg.data());
+      Tensor out = matmul(wg, cols);  // (goc, oh*ow)
+      float* dst = y.data() + ((s * out_c_) + grp * goc) * oh * ow;
+      std::copy(out.data(), out.data() + goc * oh * ow, dst);
+      if (train) cached_cols_[s * groups_ + grp] = std::move(cols);
+    }
+    if (has_bias_) {
+      for (std::size_t c = 0; c < out_c_; ++c) {
+        float* dst = y.data() + ((s * out_c_) + c) * oh * ow;
+        for (std::size_t i = 0; i < oh * ow; ++i) dst[i] += b_[c];
+      }
+    }
+  }
+  return y;
+}
+
+Tensor Conv2d::backward(const Tensor& grad_out) {
+  HS_CHECK(!cached_cols_.empty(), "Conv2d::backward: no cached forward");
+  const std::size_t n = cached_n_, h = cached_h_, w = cached_w_;
+  const Conv2dGeometry g = group_geometry(h, w);
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  HS_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == n &&
+               grad_out.dim(1) == out_c_ && grad_out.dim(2) == oh &&
+               grad_out.dim(3) == ow,
+           "Conv2d::backward: grad shape mismatch");
+  const std::size_t gic = in_c_ / groups_;
+  const std::size_t goc = out_c_ / groups_;
+  const std::size_t patch = gic * kernel_ * kernel_;
+
+  Tensor grad_in({n, in_c_, h, w});
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t grp = 0; grp < groups_; ++grp) {
+      // Gradient slab (goc, oh*ow) for this sample/group.
+      Tensor go({goc, oh * ow});
+      std::copy(grad_out.data() + ((s * out_c_) + grp * goc) * oh * ow,
+                grad_out.data() + ((s * out_c_) + (grp + 1) * goc) * oh * ow,
+                go.data());
+      const Tensor& cols = cached_cols_[s * groups_ + grp];
+      // dW_g += go * cols^T   -> (goc, patch)
+      Tensor dwg = matmul_transpose_b(go, cols);
+      float* gw = gw_.data() + grp * goc * patch;
+      for (std::size_t i = 0; i < goc * patch; ++i) gw[i] += dwg[i];
+      // dCols = W_g^T * go    -> (patch, oh*ow), then fold back.
+      Tensor wg({goc, patch});
+      std::copy(w_.data() + grp * goc * patch,
+                w_.data() + (grp + 1) * goc * patch, wg.data());
+      Tensor dcols = matmul_transpose_a(wg, go);
+      Tensor dimg = col2im(dcols, g);  // (gic, h, w)
+      float* dst = grad_in.data() + ((s * in_c_) + grp * gic) * h * w;
+      for (std::size_t i = 0; i < gic * h * w; ++i) dst[i] += dimg[i];
+    }
+    if (has_bias_) {
+      for (std::size_t c = 0; c < out_c_; ++c) {
+        const float* src = grad_out.data() + ((s * out_c_) + c) * oh * ow;
+        double acc = 0.0;
+        for (std::size_t i = 0; i < oh * ow; ++i) acc += src[i];
+        gb_[c] += static_cast<float>(acc);
+      }
+    }
+  }
+  return grad_in;
+}
+
+void Conv2d::collect(ParamGroup& group) {
+  group.params.push_back(&w_);
+  group.grads.push_back(&gw_);
+  if (has_bias_) {
+    group.params.push_back(&b_);
+    group.grads.push_back(&gb_);
+  }
+}
+
+}  // namespace hetero

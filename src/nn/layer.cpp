@@ -1,0 +1,51 @@
+#include "nn/layer.h"
+
+#include <algorithm>
+
+namespace hetero {
+
+void Layer::zero_grad() {
+  ParamGroup g;
+  collect(g);
+  for (Tensor* t : g.grads) t->zero();
+}
+
+ParamGroup Layer::param_group() {
+  ParamGroup g;
+  collect(g);
+  return g;
+}
+
+std::size_t Layer::num_params() {
+  ParamGroup g;
+  collect(g);
+  return total_size(g.params);
+}
+
+std::size_t total_size(const std::vector<Tensor*>& tensors) {
+  std::size_t n = 0;
+  for (const Tensor* t : tensors) n += t->size();
+  return n;
+}
+
+Tensor flatten_tensors(const std::vector<Tensor*>& tensors) {
+  Tensor flat({total_size(tensors)});
+  std::size_t off = 0;
+  for (const Tensor* t : tensors) {
+    std::copy(t->data(), t->data() + t->size(), flat.data() + off);
+    off += t->size();
+  }
+  return flat;
+}
+
+void unflatten_tensors(const Tensor& flat, const std::vector<Tensor*>& dst) {
+  HS_CHECK(flat.size() == total_size(dst),
+           "unflatten_tensors: size mismatch");
+  std::size_t off = 0;
+  for (Tensor* t : dst) {
+    std::copy(flat.data() + off, flat.data() + off + t->size(), t->data());
+    off += t->size();
+  }
+}
+
+}  // namespace hetero

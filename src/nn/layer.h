@@ -1,0 +1,72 @@
+// Layer abstraction for the manual-backprop neural-network stack.
+//
+// Design notes:
+//  * No autograd graph. Each layer caches what its backward pass needs
+//    during forward(train=true) and implements backward() explicitly. This
+//    keeps memory behaviour predictable and makes federated-learning
+//    parameter flattening trivial.
+//  * Layers are stateful and single-threaded: one forward must be followed
+//    by (at most) one backward before the next forward.
+//  * collect() exposes three tensor groups:
+//      - params: trained by the optimizer, part of the FL model state;
+//      - grads: same shapes as params;
+//      - buffers: non-trained state that still travels with the model
+//        (batch-norm running statistics) and is averaged by FL aggregation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hetero {
+
+/// Pointers into a layer's parameter/gradient/buffer tensors.
+struct ParamGroup {
+  std::vector<Tensor*> params;
+  std::vector<Tensor*> grads;
+  std::vector<Tensor*> buffers;
+};
+
+/// Base class for all network layers and composite blocks.
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  Layer() = default;
+  Layer(const Layer&) = delete;
+  Layer& operator=(const Layer&) = delete;
+
+  /// Computes the layer output. When train is true, caches activations
+  /// needed by backward() and uses batch statistics in normalization layers.
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+
+  /// Propagates the loss gradient; accumulates into parameter grads and
+  /// returns the gradient w.r.t. the layer input. Must follow a
+  /// forward(train=true) on the same input.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+
+  /// Appends this layer's tensors to the group (composites recurse).
+  virtual void collect(ParamGroup& group) { (void)group; }
+
+  virtual std::string name() const = 0;
+
+  /// Zeroes all gradient tensors.
+  void zero_grad();
+
+  /// Convenience wrappers around collect().
+  ParamGroup param_group();
+  std::size_t num_params();
+};
+
+/// Total element count of a tensor-pointer list.
+std::size_t total_size(const std::vector<Tensor*>& tensors);
+
+/// Concatenates tensors into one flat tensor.
+Tensor flatten_tensors(const std::vector<Tensor*>& tensors);
+
+/// Scatters a flat tensor back into the destination tensors (sizes must
+/// match exactly).
+void unflatten_tensors(const Tensor& flat, const std::vector<Tensor*>& dst);
+
+}  // namespace hetero

@@ -1,0 +1,62 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/rng.h"
+
+namespace hetero {
+
+Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
+               bool bias)
+    : in_(in_features),
+      out_(out_features),
+      has_bias_(bias),
+      w_(Tensor::randn({out_features, in_features}, rng,
+                       std::sqrt(2.0f / static_cast<float>(in_features)))),
+      b_({out_features}),
+      gw_({out_features, in_features}),
+      gb_({out_features}) {
+  HS_CHECK(in_features > 0 && out_features > 0, "Linear: zero-sized layer");
+}
+
+Tensor Linear::forward(const Tensor& x, bool train) {
+  HS_CHECK(x.rank() == 2 && x.dim(1) == in_, "Linear: input shape mismatch");
+  if (train) cached_x_ = x;
+  Tensor y = matmul_transpose_b(x, w_);  // (N, out)
+  if (has_bias_) {
+    const std::size_t n = y.dim(0);
+    for (std::size_t i = 0; i < n; ++i) {
+      float* row = y.data() + i * out_;
+      for (std::size_t j = 0; j < out_; ++j) row[j] += b_[j];
+    }
+  }
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& grad_out) {
+  HS_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_,
+           "Linear::backward: grad shape mismatch");
+  HS_CHECK(!cached_x_.empty(), "Linear::backward: no cached forward");
+  // gw += grad_out^T x ; gb += column sums ; grad_in = grad_out W.
+  gw_ += matmul_transpose_a(grad_out, cached_x_);
+  if (has_bias_) {
+    const std::size_t n = grad_out.dim(0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float* row = grad_out.data() + i * out_;
+      for (std::size_t j = 0; j < out_; ++j) gb_[j] += row[j];
+    }
+  }
+  return matmul(grad_out, w_);
+}
+
+void Linear::collect(ParamGroup& group) {
+  group.params.push_back(&w_);
+  group.grads.push_back(&gw_);
+  if (has_bias_) {
+    group.params.push_back(&b_);
+    group.grads.push_back(&gb_);
+  }
+}
+
+}  // namespace hetero

@@ -1,0 +1,75 @@
+#include "nn/loss.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace hetero {
+
+LossResult SoftmaxCrossEntropy::operator()(
+    const Tensor& logits, const std::vector<std::size_t>& labels,
+    bool compute_grad) const {
+  HS_CHECK(logits.rank() == 2, "SoftmaxCrossEntropy: logits must be (N, C)");
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  HS_CHECK(labels.size() == n, "SoftmaxCrossEntropy: label count mismatch");
+  HS_CHECK(n > 0, "SoftmaxCrossEntropy: empty batch");
+
+  Tensor probs = softmax_rows(logits);
+  double loss = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    HS_CHECK(labels[i] < c, "SoftmaxCrossEntropy: label out of range");
+    const float p = std::max(probs.at(i, labels[i]), 1e-12f);
+    loss -= std::log(p);
+  }
+  LossResult out;
+  out.loss = static_cast<float>(loss / n);
+  if (compute_grad) {
+    // d/dlogits = (softmax - onehot) / N.
+    out.grad = probs;
+    const float inv_n = 1.0f / static_cast<float>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      float* row = out.grad.data() + i * c;
+      row[labels[i]] -= 1.0f;
+      for (std::size_t j = 0; j < c; ++j) row[j] *= inv_n;
+    }
+  }
+  return out;
+}
+
+LossResult BceWithLogits::operator()(const Tensor& logits,
+                                     const Tensor& targets,
+                                     bool compute_grad) const {
+  HS_CHECK(logits.rank() == 2, "BceWithLogits: logits must be (N, C)");
+  HS_CHECK(logits.same_shape(targets), "BceWithLogits: target shape mismatch");
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  HS_CHECK(n > 0 && c > 0, "BceWithLogits: empty input");
+
+  // Numerically stable: loss = max(z,0) - z*t + log(1 + exp(-|z|)).
+  double loss = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    const float z = logits[i], t = targets[i];
+    loss += std::max(z, 0.0f) - z * t + std::log1p(std::exp(-std::abs(z)));
+  }
+  LossResult out;
+  out.loss = static_cast<float>(loss / static_cast<double>(n * c));
+  if (compute_grad) {
+    out.grad = sigmoid(logits);
+    out.grad -= targets;
+    out.grad *= 1.0f / static_cast<float>(n * c);
+  }
+  return out;
+}
+
+double accuracy(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  const auto preds = argmax_rows(logits);
+  HS_CHECK(preds.size() == labels.size(), "accuracy: label count mismatch");
+  if (preds.empty()) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < preds.size(); ++i) {
+    if (preds[i] == labels[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(preds.size());
+}
+
+}  // namespace hetero

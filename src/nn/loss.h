@@ -1,0 +1,40 @@
+// Loss functions: softmax cross-entropy for single-label classification (the
+// 12-class custom dataset) and sigmoid BCE for multi-label classification
+// (the FLAIR-style dataset).
+//
+// Both return mean loss over the batch and produce the gradient w.r.t. the
+// logits, already divided by the batch size.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace hetero {
+
+/// Result of a loss evaluation.
+struct LossResult {
+  float loss = 0.0f;   ///< mean loss over the batch
+  Tensor grad;         ///< dLoss/dlogits, same shape as logits
+};
+
+class SoftmaxCrossEntropy {
+ public:
+  /// logits: (N, C); labels: N class indices in [0, C).
+  /// compute_grad=false skips the gradient (evaluation path).
+  LossResult operator()(const Tensor& logits,
+                        const std::vector<std::size_t>& labels,
+                        bool compute_grad = true) const;
+};
+
+class BceWithLogits {
+ public:
+  /// logits and targets: (N, C), targets in {0, 1} (floats).
+  LossResult operator()(const Tensor& logits, const Tensor& targets,
+                        bool compute_grad = true) const;
+};
+
+/// Fraction of rows whose argmax matches the label.
+double accuracy(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+}  // namespace hetero

@@ -1,0 +1,94 @@
+#include "nn/model_zoo.h"
+
+#include <stdexcept>
+
+#include "nn/blocks.h"
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+std::unique_ptr<Model> make_mobile_mini(const ModelSpec& s, Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  // Stem: /2.
+  net->add(conv_bn_act(s.in_channels, 8, 3, 2, 1, 1, Nonlinearity::kHSwish,
+                       rng));
+  net->add(std::make_unique<InvertedResidual>(8, 16, 8, 3, 1, /*se=*/true,
+                                              Nonlinearity::kReLU, rng));
+  net->add(std::make_unique<InvertedResidual>(8, 24, 16, 3, 2, /*se=*/false,
+                                              Nonlinearity::kReLU, rng));
+  net->add(std::make_unique<InvertedResidual>(16, 48, 16, 3, 1, /*se=*/true,
+                                              Nonlinearity::kHSwish, rng));
+  net->add(std::make_unique<InvertedResidual>(16, 48, 24, 5, 2, /*se=*/true,
+                                              Nonlinearity::kHSwish, rng));
+  net->add(conv_bn_act(24, 48, 1, 1, 0, 1, Nonlinearity::kHSwish, rng));
+  net->add(std::make_unique<GlobalAvgPool>());
+  net->add(std::make_unique<Linear>(48, 64, rng));
+  net->add(std::make_unique<HSwish>());
+  net->add(std::make_unique<Linear>(64, s.num_classes, rng));
+  return std::make_unique<Model>("mobile-mini", std::move(net));
+}
+
+std::unique_ptr<Model> make_shuffle_mini(const ModelSpec& s, Rng& rng) {
+  auto net = std::make_unique<Sequential>();
+  net->add(conv_bn_act(s.in_channels, 12, 3, 2, 1, 1, Nonlinearity::kReLU,
+                       rng));
+  net->add(std::make_unique<ShuffleUnit>(12, 24, 2, rng));
+  net->add(std::make_unique<ShuffleUnit>(24, 24, 1, rng));
+  net->add(std::make_unique<ShuffleUnit>(24, 48, 2, rng));
+  net->add(std::make_unique<ShuffleUnit>(48, 48, 1, rng));
+  net->add(conv_bn_act(48, 64, 1, 1, 0, 1, Nonlinearity::kReLU, rng));
+  net->add(std::make_unique<GlobalAvgPool>());
+  net->add(std::make_unique<Linear>(64, s.num_classes, rng));
+  return std::make_unique<Model>("shuffle-mini", std::move(net));
+}
+
+std::unique_ptr<Model> make_squeeze_mini(const ModelSpec& s, Rng& rng) {
+  // Faithful to SqueezeNet: biased convs, ReLU, no batch normalization, and
+  // a ReLU before the final global pooling (a known training fragility the
+  // paper's Table 5 surfaces).
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Conv2d>(s.in_channels, 16, 3, 2, 1, 1, rng,
+                                    /*bias=*/true));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<MaxPool2d>(2, 2));
+  net->add(std::make_unique<FireModule>(16, 4, 8, 8, rng));
+  net->add(std::make_unique<FireModule>(16, 8, 16, 16, rng));
+  net->add(std::make_unique<MaxPool2d>(2, 2));
+  net->add(std::make_unique<FireModule>(32, 8, 16, 16, rng));
+  net->add(std::make_unique<Conv2d>(32, s.num_classes, 1, 1, 0, 1, rng,
+                                    /*bias=*/true));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<GlobalAvgPool>());
+  return std::make_unique<Model>("squeeze-mini", std::move(net));
+}
+
+std::unique_ptr<Model> make_mlp_tiny(const ModelSpec& s, Rng& rng) {
+  const std::size_t in = s.in_channels * s.image_size * s.image_size;
+  auto net = std::make_unique<Sequential>();
+  net->add(std::make_unique<Flatten>());
+  net->add(std::make_unique<Linear>(in, 32, rng));
+  net->add(std::make_unique<ReLU>());
+  net->add(std::make_unique<Linear>(32, s.num_classes, rng));
+  return std::make_unique<Model>("mlp-tiny", std::move(net));
+}
+
+}  // namespace
+
+std::unique_ptr<Model> make_model(const ModelSpec& spec, Rng& rng) {
+  HS_CHECK(spec.in_channels > 0 && spec.num_classes > 0,
+           "make_model: invalid spec");
+  HS_CHECK(spec.image_size % 4 == 0 && spec.image_size >= 8,
+           "make_model: image_size must be a multiple of 4 and >= 8");
+  if (spec.arch == "mobile-mini") return make_mobile_mini(spec, rng);
+  if (spec.arch == "shuffle-mini") return make_shuffle_mini(spec, rng);
+  if (spec.arch == "squeeze-mini") return make_squeeze_mini(spec, rng);
+  if (spec.arch == "mlp-tiny") return make_mlp_tiny(spec, rng);
+  throw std::invalid_argument("make_model: unknown architecture " + spec.arch);
+}
+
+std::vector<std::string> model_zoo_names() {
+  return {"mobile-mini", "shuffle-mini", "squeeze-mini", "mlp-tiny"};
+}
+
+}  // namespace hetero

@@ -1,0 +1,40 @@
+// Model zoo: laptop-scale versions of the three mobile CNN families the
+// paper evaluates (Table 5), plus a tiny MLP for unit tests.
+//
+//  * "mobile-mini"  - MobileNetV3-small flavoured: inverted residuals with
+//                     squeeze-excitation and h-swish.
+//  * "shuffle-mini" - ShuffleNetV2-x0.5 flavoured: channel split + shuffle.
+//  * "squeeze-mini" - SqueezeNet-1.1 flavoured: fire modules, no batch norm
+//                     (faithful to the original, and to its fragility in
+//                     the paper's Table 5).
+//  * "mlp-tiny"     - flatten + 2-layer MLP, for tests.
+//
+// All models accept (N, in_c, img, img) inputs with img a multiple of 4 and
+// produce (N, num_classes) logits.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "nn/model.h"
+
+namespace hetero {
+
+class Rng;
+
+struct ModelSpec {
+  std::string arch = "mobile-mini";
+  std::size_t in_channels = 3;
+  std::size_t image_size = 32;
+  std::size_t num_classes = 12;
+};
+
+/// Builds a model by architecture name; throws std::invalid_argument for
+/// unknown names.
+std::unique_ptr<Model> make_model(const ModelSpec& spec, Rng& rng);
+
+/// Architecture names available from make_model.
+std::vector<std::string> model_zoo_names();
+
+}  // namespace hetero

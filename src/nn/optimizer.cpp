@@ -1,0 +1,40 @@
+#include "nn/optimizer.h"
+
+namespace hetero {
+
+Sgd::Sgd(Layer& model, SgdOptions options) : options_(options) {
+  model.collect(group_);
+  HS_CHECK(group_.params.size() == group_.grads.size(),
+           "Sgd: params/grads mismatch");
+}
+
+void Sgd::step() {
+  if (options_.momentum > 0.0f && velocity_.empty()) {
+    velocity_.reserve(group_.params.size());
+    for (const Tensor* p : group_.params) velocity_.emplace_back(p->shape());
+  }
+  for (std::size_t i = 0; i < group_.params.size(); ++i) {
+    Tensor& p = *group_.params[i];
+    const Tensor& g = *group_.grads[i];
+    if (options_.momentum > 0.0f) {
+      Tensor& v = velocity_[i];
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        const float grad = g[j] + options_.weight_decay * p[j];
+        v[j] = options_.momentum * v[j] + grad;
+        p[j] -= options_.lr * v[j];
+      }
+    } else {
+      for (std::size_t j = 0; j < p.size(); ++j) {
+        const float grad = g[j] + options_.weight_decay * p[j];
+        p[j] -= options_.lr * grad;
+      }
+    }
+  }
+}
+
+void Sgd::step_and_zero() {
+  step();
+  for (Tensor* g : group_.grads) g->zero();
+}
+
+}  // namespace hetero

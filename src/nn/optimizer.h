@@ -1,0 +1,39 @@
+// SGD optimizer with optional momentum and weight decay.
+//
+// Federated clients construct a fresh Sgd per local update (momentum buffers
+// must not leak across clients sharing one model instance).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace hetero {
+
+struct SgdOptions {
+  float lr = 0.1f;
+  float momentum = 0.0f;
+  float weight_decay = 0.0f;
+};
+
+class Sgd {
+ public:
+  /// Binds to a layer's parameter group; the layer must outlive the
+  /// optimizer.
+  Sgd(Layer& model, SgdOptions options);
+
+  /// Applies one update from the accumulated grads, then leaves grads as-is
+  /// (call model.zero_grad() or step_and_zero()).
+  void step();
+
+  /// step() followed by zeroing the gradients — the common training idiom.
+  void step_and_zero();
+
+  float lr() const { return options_.lr; }
+  void set_lr(float lr) { options_.lr = lr; }
+
+ private:
+  ParamGroup group_;
+  SgdOptions options_;
+  std::vector<Tensor> velocity_;  // allocated lazily when momentum > 0
+};
+
+}  // namespace hetero

@@ -1,0 +1,175 @@
+#include "nn/pooling.h"
+
+#include <limits>
+
+namespace hetero {
+
+MaxPool2d::MaxPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride) {
+  HS_CHECK(kernel > 0 && stride > 0, "MaxPool2d: bad kernel/stride");
+}
+
+Tensor MaxPool2d::forward(const Tensor& x, bool train) {
+  HS_CHECK(x.rank() == 4, "MaxPool2d: input must be (N,C,H,W)");
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  HS_CHECK(h >= kernel_ && w >= kernel_, "MaxPool2d: window exceeds input");
+  const std::size_t oh = (h - kernel_) / stride_ + 1;
+  const std::size_t ow = (w - kernel_) / stride_ + 1;
+  Tensor y({n, c, oh, ow});
+  if (train) {
+    argmax_.assign(n * c * oh * ow, 0);
+    in_shape_ = {n, c, h, w};
+  }
+  std::size_t out_i = 0;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + ((s * c) + ch) * h * w;
+      const std::size_t plane_off = ((s * c) + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox, ++out_i) {
+          float best = -std::numeric_limits<float>::infinity();
+          std::size_t best_idx = 0;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              const std::size_t iy = oy * stride_ + ky;
+              const std::size_t ix = ox * stride_ + kx;
+              const float v = plane[iy * w + ix];
+              if (v > best) {
+                best = v;
+                best_idx = plane_off + iy * w + ix;
+              }
+            }
+          }
+          y[out_i] = best;
+          if (train) argmax_[out_i] = best_idx;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor MaxPool2d::backward(const Tensor& grad_out) {
+  HS_CHECK(!argmax_.empty(), "MaxPool2d::backward: no cached forward");
+  HS_CHECK(grad_out.size() == argmax_.size(),
+           "MaxPool2d::backward: grad size mismatch");
+  Tensor grad_in(in_shape_);
+  for (std::size_t i = 0; i < argmax_.size(); ++i) {
+    grad_in[argmax_[i]] += grad_out[i];
+  }
+  return grad_in;
+}
+
+AvgPool2d::AvgPool2d(std::size_t kernel, std::size_t stride)
+    : kernel_(kernel), stride_(stride) {
+  HS_CHECK(kernel > 0 && stride > 0, "AvgPool2d: bad kernel/stride");
+}
+
+Tensor AvgPool2d::forward(const Tensor& x, bool train) {
+  HS_CHECK(x.rank() == 4, "AvgPool2d: input must be (N,C,H,W)");
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  HS_CHECK(h >= kernel_ && w >= kernel_, "AvgPool2d: window exceeds input");
+  const std::size_t oh = (h - kernel_) / stride_ + 1;
+  const std::size_t ow = (w - kernel_) / stride_ + 1;
+  if (train) in_shape_ = {n, c, h, w};
+  Tensor y({n, c, oh, ow});
+  const float scale = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + ((s * c) + ch) * h * w;
+      float* out = y.data() + ((s * c) + ch) * oh * ow;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = 0.0f;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              acc += plane[(oy * stride_ + ky) * w + (ox * stride_ + kx)];
+            }
+          }
+          out[oy * ow + ox] = acc * scale;
+        }
+      }
+    }
+  }
+  return y;
+}
+
+Tensor AvgPool2d::backward(const Tensor& grad_out) {
+  HS_CHECK(!in_shape_.empty(), "AvgPool2d::backward: no cached forward");
+  const std::size_t n = in_shape_[0], c = in_shape_[1], h = in_shape_[2],
+                    w = in_shape_[3];
+  const std::size_t oh = (h - kernel_) / stride_ + 1;
+  const std::size_t ow = (w - kernel_) / stride_ + 1;
+  HS_CHECK(grad_out.rank() == 4 && grad_out.dim(2) == oh &&
+               grad_out.dim(3) == ow,
+           "AvgPool2d::backward: grad shape mismatch");
+  Tensor grad_in(in_shape_);
+  const float scale = 1.0f / static_cast<float>(kernel_ * kernel_);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* go = grad_out.data() + ((s * c) + ch) * oh * ow;
+      float* gi = grad_in.data() + ((s * c) + ch) * h * w;
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = go[oy * ow + ox] * scale;
+          for (std::size_t ky = 0; ky < kernel_; ++ky) {
+            for (std::size_t kx = 0; kx < kernel_; ++kx) {
+              gi[(oy * stride_ + ky) * w + (ox * stride_ + kx)] += g;
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+Tensor GlobalAvgPool::forward(const Tensor& x, bool train) {
+  HS_CHECK(x.rank() == 4, "GlobalAvgPool: input must be (N,C,H,W)");
+  const std::size_t n = x.dim(0), c = x.dim(1), h = x.dim(2), w = x.dim(3);
+  if (train) in_shape_ = {n, c, h, w};
+  Tensor y({n, c});
+  const float scale = 1.0f / static_cast<float>(h * w);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float* plane = x.data() + ((s * c) + ch) * h * w;
+      double acc = 0.0;
+      for (std::size_t i = 0; i < h * w; ++i) acc += plane[i];
+      y.at(s, ch) = static_cast<float>(acc) * scale;
+    }
+  }
+  return y;
+}
+
+Tensor GlobalAvgPool::backward(const Tensor& grad_out) {
+  HS_CHECK(!in_shape_.empty(), "GlobalAvgPool::backward: no cached forward");
+  const std::size_t n = in_shape_[0], c = in_shape_[1], h = in_shape_[2],
+                    w = in_shape_[3];
+  HS_CHECK(grad_out.rank() == 2 && grad_out.dim(0) == n && grad_out.dim(1) == c,
+           "GlobalAvgPool::backward: grad shape mismatch");
+  Tensor grad_in(in_shape_);
+  const float scale = 1.0f / static_cast<float>(h * w);
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t ch = 0; ch < c; ++ch) {
+      const float g = grad_out.at(s, ch) * scale;
+      float* plane = grad_in.data() + ((s * c) + ch) * h * w;
+      for (std::size_t i = 0; i < h * w; ++i) plane[i] = g;
+    }
+  }
+  return grad_in;
+}
+
+Tensor Flatten::forward(const Tensor& x, bool train) {
+  HS_CHECK(x.rank() >= 2, "Flatten: rank must be >= 2");
+  if (train) in_shape_ = x.shape();
+  std::size_t f = 1;
+  for (std::size_t i = 1; i < x.rank(); ++i) f *= x.dim(i);
+  return x.reshaped({x.dim(0), f});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  HS_CHECK(!in_shape_.empty(), "Flatten::backward: no cached forward");
+  return grad_out.reshaped(in_shape_);
+}
+
+}  // namespace hetero

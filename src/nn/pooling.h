@@ -1,0 +1,58 @@
+// Pooling layers: max pooling (square window), average pooling, and global
+// average pooling (the classifier-head reduction used by all zoo models).
+#pragma once
+
+#include "nn/layer.h"
+
+namespace hetero {
+
+class MaxPool2d : public Layer {
+ public:
+  MaxPool2d(std::size_t kernel, std::size_t stride);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "MaxPool2d"; }
+
+ private:
+  std::size_t kernel_, stride_;
+  std::vector<std::size_t> argmax_;  // flat input index of each output max
+  std::vector<std::size_t> in_shape_;
+};
+
+class AvgPool2d : public Layer {
+ public:
+  AvgPool2d(std::size_t kernel, std::size_t stride);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "AvgPool2d"; }
+
+ private:
+  std::size_t kernel_, stride_;
+  std::vector<std::size_t> in_shape_;
+};
+
+/// (N, C, H, W) -> (N, C): spatial mean per channel.
+class GlobalAvgPool : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "GlobalAvgPool"; }
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+/// (N, C, H, W) -> (N, C*H*W); also accepts already-flat (N, F) unchanged.
+class Flatten : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> in_shape_;
+};
+
+}  // namespace hetero

@@ -1,0 +1,29 @@
+#include "nn/sequential.h"
+
+namespace hetero {
+
+Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
+  HS_CHECK(layer != nullptr, "Sequential::add: null layer");
+  layers_.push_back(std::move(layer));
+  return *this;
+}
+
+Tensor Sequential::forward(const Tensor& x, bool train) {
+  Tensor h = x;
+  for (auto& l : layers_) h = l->forward(h, train);
+  return h;
+}
+
+Tensor Sequential::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+  return g;
+}
+
+void Sequential::collect(ParamGroup& group) {
+  for (auto& l : layers_) l->collect(group);
+}
+
+}  // namespace hetero

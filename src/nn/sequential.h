@@ -1,0 +1,29 @@
+// Sequential container: runs children in order, backward in reverse.
+#pragma once
+
+#include <memory>
+
+#include "nn/layer.h"
+
+namespace hetero {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Appends a layer; returns *this for chaining.
+  Sequential& add(std::unique_ptr<Layer> layer);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  void collect(ParamGroup& group) override;
+  std::string name() const override { return "Sequential"; }
+
+  std::size_t size() const { return layers_.size(); }
+  Layer& layer(std::size_t i) { return *layers_.at(i); }
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+}  // namespace hetero

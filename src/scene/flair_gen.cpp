@@ -1,0 +1,139 @@
+#include "scene/flair_gen.h"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+
+#include "image/color.h"
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+struct LabelArchetype {
+  const char* name;
+  float hue;
+  float sat;
+  int shape;  // 0 disc, 1 square, 2 triangle, 3 ring, 4 bar
+};
+
+constexpr std::array<LabelArchetype, FlairSceneGenerator::kNumLabels>
+    kLabels = {{
+        {"animal", 30, 0.6f, 0},      {"food", 15, 0.8f, 1},
+        {"plant", 120, 0.7f, 2},      {"vehicle", 220, 0.7f, 1},
+        {"building", 40, 0.3f, 4},    {"water", 200, 0.8f, 0},
+        {"sky", 210, 0.5f, 4},        {"person", 25, 0.4f, 2},
+        {"furniture", 35, 0.5f, 1},   {"clothing", 300, 0.6f, 2},
+        {"tool", 0, 0.1f, 4},         {"toy", 55, 0.9f, 0},
+        {"screen", 180, 0.2f, 1},     {"book", 350, 0.5f, 1},
+        {"light", 50, 0.2f, 3},       {"road", 30, 0.15f, 4},
+        {"flower", 330, 0.85f, 3},
+    }};
+
+}  // namespace
+
+FlairSceneGenerator::FlairSceneGenerator(std::size_t size) : size_(size) {
+  HS_CHECK(size >= 16, "FlairSceneGenerator: size must be >= 16");
+}
+
+const char* FlairSceneGenerator::label_name(std::size_t label) {
+  HS_CHECK(label < kNumLabels, "FlairSceneGenerator: label out of range");
+  return kLabels[label].name;
+}
+
+Image FlairSceneGenerator::generate(const std::vector<std::size_t>& labels,
+                                    Rng& rng) const {
+  HS_CHECK(!labels.empty() && labels.size() <= 3,
+           "FlairSceneGenerator: 1..3 labels per image");
+  // Neutral background with slight colour jitter.
+  float bg_r, bg_g, bg_b;
+  hsv_to_rgb(rng.uniform_f(0.0f, 360.0f), rng.uniform_f(0.02f, 0.12f),
+             rng.uniform_f(0.35f, 0.75f), bg_r, bg_g, bg_b);
+  Image img(size_, size_);
+  img.fill(srgb_decode(bg_r), srgb_decode(bg_g), srgb_decode(bg_b));
+
+  // Place each object in its own horizontal third to avoid full occlusion.
+  const float slot_w = 1.0f / static_cast<float>(labels.size());
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    HS_CHECK(labels[i] < kNumLabels,
+             "FlairSceneGenerator: label out of range");
+    const LabelArchetype& a = kLabels[labels[i]];
+    const float cx =
+        slot_w * (static_cast<float>(i) + rng.uniform_f(0.35f, 0.65f));
+    const float cy = rng.uniform_f(0.3f, 0.7f);
+    const float sc = rng.uniform_f(0.12f, 0.2f);
+    float r, g, b;
+    hsv_to_rgb(a.hue + rng.uniform_f(-15.0f, 15.0f),
+               std::clamp(a.sat + rng.uniform_f(-0.1f, 0.1f), 0.0f, 1.0f),
+               rng.uniform_f(0.5f, 0.9f), r, g, b);
+    const float fg[3] = {srgb_decode(r), srgb_decode(g), srgb_decode(b)};
+
+    for (std::size_t y = 0; y < size_; ++y) {
+      for (std::size_t x = 0; x < size_; ++x) {
+        const float u = (static_cast<float>(x) / size_ - cx) / sc;
+        const float v = (static_cast<float>(y) / size_ - cy) / sc;
+        float inside = 0.0f;
+        switch (a.shape) {
+          case 0: inside = (u * u + v * v < 1.0f) ? 1.0f : 0.0f; break;
+          case 1:
+            inside = (std::abs(u) < 0.9f && std::abs(v) < 0.9f) ? 1.0f : 0.0f;
+            break;
+          case 2: {
+            const float t = (v + 1.0f) / 2.0f;
+            inside =
+                (t >= 0.0f && t <= 1.0f && std::abs(u) < 1.0f - t) ? 1.0f
+                                                                   : 0.0f;
+            break;
+          }
+          case 3: {
+            const float rad = std::sqrt(u * u + v * v);
+            inside = (rad > 0.55f && rad < 1.0f) ? 1.0f : 0.0f;
+            break;
+          }
+          case 4:
+          default:
+            inside = (std::abs(u) < 1.4f && std::abs(v) < 0.35f) ? 1.0f : 0.0f;
+        }
+        if (inside > 0.0f) {
+          for (std::size_t c = 0; c < 3; ++c) {
+            img.at(y, x, c) = fg[c];
+          }
+        }
+      }
+    }
+  }
+  return img;
+}
+
+std::vector<double> FlairSceneGenerator::sample_user_preferences(
+    Rng& rng) const {
+  // A peaked profile: every label gets a small base weight; 2-4 favourite
+  // labels get a large boost. Normalized to sum 1.
+  std::vector<double> pref(kNumLabels, 0.2);
+  const std::size_t favourites = 2 + rng.uniform_int(3);
+  for (std::size_t i = 0; i < favourites; ++i) {
+    pref[rng.uniform_int(kNumLabels)] += rng.uniform(2.0, 6.0);
+  }
+  double total = 0.0;
+  for (double p : pref) total += p;
+  for (double& p : pref) p /= total;
+  return pref;
+}
+
+std::vector<std::size_t> FlairSceneGenerator::sample_label_set(
+    const std::vector<double>& preferences, Rng& rng) const {
+  HS_CHECK(preferences.size() == kNumLabels,
+           "sample_label_set: preference size mismatch");
+  const std::size_t count = 1 + rng.uniform_int(3);
+  std::vector<std::size_t> labels;
+  for (std::size_t attempts = 0; labels.size() < count && attempts < 20;
+       ++attempts) {
+    const std::size_t l = rng.categorical(preferences);
+    if (std::find(labels.begin(), labels.end(), l) == labels.end()) {
+      labels.push_back(l);
+    }
+  }
+  return labels;
+}
+
+}  // namespace hetero

@@ -1,0 +1,49 @@
+// FLAIR-style multi-label scene generator (for Table 6).
+//
+// FLAIR (Song et al., 2022) is a federated multi-label image dataset: each
+// user's photo roll contains several objects per photo, user interests skew
+// the label distribution, and >1000 device types appear in the wild. We
+// reproduce those axes synthetically:
+//   * 17 coarse labels, each a small object archetype (shape x colour);
+//   * images contain 1..3 objects placed in thirds of the frame;
+//   * per-user label preferences drawn from a peaked random profile
+//     (non-IID label skew across clients);
+//   * device heterogeneity comes from long_tail_population() downstream.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "image/image.h"
+
+namespace hetero {
+
+class Rng;
+
+class FlairSceneGenerator {
+ public:
+  static constexpr std::size_t kNumLabels = 17;
+
+  explicit FlairSceneGenerator(std::size_t size = 64);
+
+  std::size_t size() const { return size_; }
+
+  static const char* label_name(std::size_t label);
+
+  /// Renders a linear-light scene containing the given labels (1..3,
+  /// de-duplicated, each drawn as one object).
+  Image generate(const std::vector<std::size_t>& labels, Rng& rng) const;
+
+  /// Draws a per-user label-preference profile: a few favoured labels get
+  /// most of the probability mass.
+  std::vector<double> sample_user_preferences(Rng& rng) const;
+
+  /// Samples a label set (1..3 distinct labels) from a preference profile.
+  std::vector<std::size_t> sample_label_set(
+      const std::vector<double>& preferences, Rng& rng) const;
+
+ private:
+  std::size_t size_;
+};
+
+}  // namespace hetero

@@ -1,0 +1,69 @@
+// Procedural scene generator: the stand-in for the paper's monitor-displayed
+// 12-class ImageNet subset.
+//
+// Each class is a parametric recipe (shape family x colour family x texture)
+// rendered as a *linear-light radiance* image. Instances vary in position,
+// scale, rotation, hue and background, so a small CNN has something real to
+// learn; but crucially the scene radiance is device-independent — all
+// cross-device variation is injected downstream by SensorModel + IspPipeline,
+// exactly like the paper's controlled dark-room capture.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+#include "image/image.h"
+
+namespace hetero {
+
+class Rng;
+
+/// Foreground shape archetypes.
+enum class ShapeKind {
+  kEllipse,
+  kRect,
+  kTriangle,
+  kVStripes,
+  kHStripes,
+  kChecker,
+  kDots,
+  kCross,
+  kRing,
+  kDiagStripes
+};
+
+/// Texture overlaid on the foreground.
+enum class TextureKind { kNone, kNoise, kSpots, kScanlines };
+
+/// Recipe describing one scene class.
+struct ClassRecipe {
+  const char* name;
+  ShapeKind shape;
+  float bg_hue, bg_sat, bg_val;
+  float fg_hue, fg_sat, fg_val;
+  float hue_jitter;  ///< per-instance hue variation (degrees)
+  TextureKind texture;
+  float texture_strength;
+};
+
+class SceneGenerator {
+ public:
+  static constexpr std::size_t kNumClasses = 12;
+
+  /// size: rendered edge length in pixels (scene radiance resolution).
+  explicit SceneGenerator(std::size_t size = 64);
+
+  std::size_t size() const { return size_; }
+
+  /// Class names follow the paper's 12 ImageNet categories.
+  static const char* class_name(std::size_t cls);
+  static const ClassRecipe& recipe(std::size_t cls);
+
+  /// Renders one instance of a class; deterministic given the rng state.
+  Image generate(std::size_t cls, Rng& rng) const;
+
+ private:
+  std::size_t size_;
+};
+
+}  // namespace hetero

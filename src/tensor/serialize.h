@@ -1,0 +1,46 @@
+// Binary tensor / model-state serialization.
+//
+// Format (little-endian, version-tagged):
+//   magic "HSTN" | u32 version | u32 rank | u64 dims[rank] | f32 data[...]
+// Streams of multiple tensors are written back-to-back; a named archive
+// maps string keys to tensors (used for model checkpoints, where the key is
+// the architecture id and a user tag).
+#pragma once
+
+#include <iosfwd>
+#include <map>
+#include <string>
+
+#include "tensor/tensor.h"
+
+namespace hetero {
+
+/// Writes one tensor; throws std::runtime_error on stream failure.
+void write_tensor(std::ostream& os, const Tensor& t);
+
+/// Reads one tensor; throws std::runtime_error on malformed input.
+Tensor read_tensor(std::istream& is);
+
+/// Saves/loads a tensor to a file path.
+void save_tensor(const std::string& path, const Tensor& t);
+Tensor load_tensor(const std::string& path);
+
+/// A simple named tensor archive (model checkpoints).
+class TensorArchive {
+ public:
+  void put(const std::string& key, Tensor t);
+  bool contains(const std::string& key) const;
+  const Tensor& get(const std::string& key) const;
+  std::size_t size() const { return entries_.size(); }
+
+  void write(std::ostream& os) const;
+  static TensorArchive read(std::istream& is);
+
+  void save(const std::string& path) const;
+  static TensorArchive load(const std::string& path);
+
+ private:
+  std::map<std::string, Tensor> entries_;
+};
+
+}  // namespace hetero

@@ -1,0 +1,246 @@
+#include "tensor/tensor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "util/rng.h"
+
+namespace hetero {
+
+std::size_t shape_volume(const std::vector<std::size_t>& shape) {
+  std::size_t v = 1;
+  for (std::size_t d : shape) v *= d;
+  return v;
+}
+
+Tensor::Tensor(std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_volume(shape_), 0.0f) {}
+
+Tensor::Tensor(std::initializer_list<std::size_t> shape)
+    : Tensor(std::vector<std::size_t>(shape)) {}
+
+Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  HS_CHECK(data_.size() == shape_volume(shape_),
+           "Tensor: data size does not match shape volume");
+}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::ones(std::vector<std::size_t> shape) {
+  return full(std::move(shape), 1.0f);
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::randn(std::vector<std::size_t> shape, Rng& rng, float stddev) {
+  Tensor t(std::move(shape));
+  for (float& x : t.data_) x = static_cast<float>(rng.normal(0.0, stddev));
+  return t;
+}
+
+Tensor Tensor::rand_uniform(std::vector<std::size_t> shape, Rng& rng, float lo,
+                            float hi) {
+  Tensor t(std::move(shape));
+  for (float& x : t.data_) x = rng.uniform_f(lo, hi);
+  return t;
+}
+
+std::size_t Tensor::dim(std::size_t i) const {
+  HS_CHECK(i < shape_.size(), "Tensor::dim: axis out of range");
+  return shape_[i];
+}
+
+std::string Tensor::shape_str() const {
+  std::ostringstream os;
+  os << '[';
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i) os << ',';
+    os << shape_[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  Tensor t = *this;
+  t.reshape(std::move(new_shape));
+  return t;
+}
+
+void Tensor::reshape(std::vector<std::size_t> new_shape) {
+  HS_CHECK(shape_volume(new_shape) == data_.size(),
+           "Tensor::reshape: volume mismatch");
+  shape_ = std::move(new_shape);
+}
+
+std::size_t Tensor::offset1(std::size_t i0) const {
+  HS_CHECK(shape_.size() == 1 && i0 < shape_[0], "Tensor::at(1): bad index");
+  return i0;
+}
+
+std::size_t Tensor::offset2(std::size_t i0, std::size_t i1) const {
+  HS_CHECK(shape_.size() == 2 && i0 < shape_[0] && i1 < shape_[1],
+           "Tensor::at(2): bad index");
+  return i0 * shape_[1] + i1;
+}
+
+std::size_t Tensor::offset3(std::size_t i0, std::size_t i1,
+                            std::size_t i2) const {
+  HS_CHECK(shape_.size() == 3 && i0 < shape_[0] && i1 < shape_[1] &&
+               i2 < shape_[2],
+           "Tensor::at(3): bad index");
+  return (i0 * shape_[1] + i1) * shape_[2] + i2;
+}
+
+std::size_t Tensor::offset4(std::size_t i0, std::size_t i1, std::size_t i2,
+                            std::size_t i3) const {
+  HS_CHECK(shape_.size() == 4 && i0 < shape_[0] && i1 < shape_[1] &&
+               i2 < shape_[2] && i3 < shape_[3],
+           "Tensor::at(4): bad index");
+  return ((i0 * shape_[1] + i1) * shape_[2] + i2) * shape_[3] + i3;
+}
+
+float& Tensor::at(std::size_t i0) { return data_[offset1(i0)]; }
+float& Tensor::at(std::size_t i0, std::size_t i1) {
+  return data_[offset2(i0, i1)];
+}
+float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) {
+  return data_[offset3(i0, i1, i2)];
+}
+float& Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
+                  std::size_t i3) {
+  return data_[offset4(i0, i1, i2, i3)];
+}
+float Tensor::at(std::size_t i0) const { return data_[offset1(i0)]; }
+float Tensor::at(std::size_t i0, std::size_t i1) const {
+  return data_[offset2(i0, i1)];
+}
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2) const {
+  return data_[offset3(i0, i1, i2)];
+}
+float Tensor::at(std::size_t i0, std::size_t i1, std::size_t i2,
+                 std::size_t i3) const {
+  return data_[offset4(i0, i1, i2, i3)];
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+Tensor& Tensor::operator+=(const Tensor& other) {
+  HS_CHECK(same_shape(other), "Tensor::+=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator-=(const Tensor& other) {
+  HS_CHECK(same_shape(other), "Tensor::-=: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Tensor& Tensor::operator*=(float s) {
+  for (float& x : data_) x *= s;
+  return *this;
+}
+
+void Tensor::axpy(float s, const Tensor& other) {
+  HS_CHECK(same_shape(other), "Tensor::axpy: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += s * other.data_[i];
+  }
+}
+
+void Tensor::mul_inplace(const Tensor& other) {
+  HS_CHECK(same_shape(other), "Tensor::mul_inplace: shape mismatch");
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] *= other.data_[i];
+}
+
+void Tensor::clamp(float lo, float hi) {
+  for (float& x : data_) x = std::clamp(x, lo, hi);
+}
+
+float Tensor::sum() const {
+  double s = 0.0;
+  for (float x : data_) s += x;
+  return static_cast<float>(s);
+}
+
+float Tensor::mean() const {
+  return data_.empty() ? 0.0f
+                       : sum() / static_cast<float>(data_.size());
+}
+
+float Tensor::min() const {
+  HS_CHECK(!data_.empty(), "Tensor::min: empty tensor");
+  return *std::min_element(data_.begin(), data_.end());
+}
+
+float Tensor::max() const {
+  HS_CHECK(!data_.empty(), "Tensor::max: empty tensor");
+  return *std::max_element(data_.begin(), data_.end());
+}
+
+std::size_t Tensor::argmax() const {
+  HS_CHECK(!data_.empty(), "Tensor::argmax: empty tensor");
+  return static_cast<std::size_t>(
+      std::max_element(data_.begin(), data_.end()) - data_.begin());
+}
+
+float Tensor::norm() const {
+  double s = 0.0;
+  for (float x : data_) s += static_cast<double>(x) * x;
+  return static_cast<float>(std::sqrt(s));
+}
+
+Tensor Tensor::slice0(std::size_t i) const {
+  HS_CHECK(rank() >= 1, "Tensor::slice0: rank must be >= 1");
+  HS_CHECK(i < shape_[0], "Tensor::slice0: index out of range");
+  std::vector<std::size_t> sub_shape(shape_.begin() + 1, shape_.end());
+  const std::size_t stride = shape_volume(sub_shape);
+  std::vector<float> sub(data_.begin() + static_cast<std::ptrdiff_t>(i * stride),
+                         data_.begin() +
+                             static_cast<std::ptrdiff_t>((i + 1) * stride));
+  return Tensor(std::move(sub_shape), std::move(sub));
+}
+
+void Tensor::set_slice0(std::size_t i, const Tensor& value) {
+  HS_CHECK(rank() >= 1, "Tensor::set_slice0: rank must be >= 1");
+  HS_CHECK(i < shape_[0], "Tensor::set_slice0: index out of range");
+  std::vector<std::size_t> sub_shape(shape_.begin() + 1, shape_.end());
+  HS_CHECK(value.shape() == sub_shape,
+           "Tensor::set_slice0: value shape mismatch");
+  const std::size_t stride = shape_volume(sub_shape);
+  std::copy(value.data_.begin(), value.data_.end(),
+            data_.begin() + static_cast<std::ptrdiff_t>(i * stride));
+}
+
+Tensor operator+(Tensor a, const Tensor& b) {
+  a += b;
+  return a;
+}
+
+Tensor operator-(Tensor a, const Tensor& b) {
+  a -= b;
+  return a;
+}
+
+Tensor operator*(Tensor a, float s) {
+  a *= s;
+  return a;
+}
+
+Tensor operator*(float s, Tensor a) {
+  a *= s;
+  return a;
+}
+
+}  // namespace hetero

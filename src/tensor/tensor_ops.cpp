@@ -1,0 +1,182 @@
+#include "tensor/tensor_ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hetero {
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  HS_CHECK(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 inputs required");
+  HS_CHECK(a.dim(1) == b.dim(0), "matmul: inner dimensions differ");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  // i-k-j loop order keeps the inner loop contiguous over B and C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = pa[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = pb + kk * n;
+      float* crow = pc + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
+  HS_CHECK(a.rank() == 2 && b.rank() == 2,
+           "matmul_transpose_b: rank-2 inputs required");
+  HS_CHECK(a.dim(1) == b.dim(1), "matmul_transpose_b: inner dims differ");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  Tensor c({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = pb + j * k;
+      double s = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      pc[i * n + j] = static_cast<float>(s);
+    }
+  }
+  return c;
+}
+
+Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
+  HS_CHECK(a.rank() == 2 && b.rank() == 2,
+           "matmul_transpose_a: rank-2 inputs required");
+  HS_CHECK(a.dim(0) == b.dim(0), "matmul_transpose_a: inner dims differ");
+  const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  Tensor c({k, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = c.data();
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    const float* brow = pb + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* crow = pc + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+  return c;
+}
+
+Tensor im2col(const Tensor& img, const Conv2dGeometry& g) {
+  HS_CHECK(img.rank() == 3, "im2col: image must be (C,H,W)");
+  HS_CHECK(img.dim(0) == g.in_c && img.dim(1) == g.in_h && img.dim(2) == g.in_w,
+           "im2col: geometry mismatch");
+  HS_CHECK(g.in_h + 2 * g.pad >= g.kernel && g.in_w + 2 * g.pad >= g.kernel,
+           "im2col: kernel larger than padded input");
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  Tensor cols({g.in_c * g.kernel * g.kernel, oh * ow});
+  const float* src = img.data();
+  float* dst = cols.data();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        float* out_row = dst + row * oh * ow;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          // signed coordinates: padding can place the window off-image.
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            float v = 0.0f;
+            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(g.in_h) &&
+                ix >= 0 && ix < static_cast<std::ptrdiff_t>(g.in_w)) {
+              v = src[(c * g.in_h + static_cast<std::size_t>(iy)) * g.in_w +
+                      static_cast<std::size_t>(ix)];
+            }
+            out_row[oy * ow + ox] = v;
+          }
+        }
+      }
+    }
+  }
+  return cols;
+}
+
+Tensor col2im(const Tensor& cols, const Conv2dGeometry& g) {
+  const std::size_t oh = g.out_h(), ow = g.out_w();
+  HS_CHECK(cols.rank() == 2 && cols.dim(0) == g.in_c * g.kernel * g.kernel &&
+               cols.dim(1) == oh * ow,
+           "col2im: column matrix shape mismatch");
+  Tensor img({g.in_c, g.in_h, g.in_w});
+  const float* src = cols.data();
+  float* dst = img.data();
+  std::size_t row = 0;
+  for (std::size_t c = 0; c < g.in_c; ++c) {
+    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
+      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
+        const float* in_row = src + row * oh * ow;
+        for (std::size_t oy = 0; oy < oh; ++oy) {
+          const std::ptrdiff_t iy =
+              static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
+              static_cast<std::ptrdiff_t>(g.pad);
+          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
+          for (std::size_t ox = 0; ox < ow; ++ox) {
+            const std::ptrdiff_t ix =
+                static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
+                static_cast<std::ptrdiff_t>(g.pad);
+            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
+            dst[(c * g.in_h + static_cast<std::size_t>(iy)) * g.in_w +
+                static_cast<std::size_t>(ix)] += in_row[oy * ow + ox];
+          }
+        }
+      }
+    }
+  }
+  return img;
+}
+
+Tensor softmax_rows(const Tensor& logits) {
+  HS_CHECK(logits.rank() == 2, "softmax_rows: rank-2 input required");
+  const std::size_t n = logits.dim(0), c = logits.dim(1);
+  HS_CHECK(c > 0, "softmax_rows: zero classes");
+  Tensor out({n, c});
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* in = logits.data() + i * c;
+    float* o = out.data() + i * c;
+    const float mx = *std::max_element(in, in + c);
+    double sum = 0.0;
+    for (std::size_t j = 0; j < c; ++j) {
+      o[j] = std::exp(in[j] - mx);
+      sum += o[j];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (std::size_t j = 0; j < c; ++j) o[j] *= inv;
+  }
+  return out;
+}
+
+Tensor sigmoid(const Tensor& x) {
+  Tensor out = x;
+  for (float& v : out.flat()) v = 1.0f / (1.0f + std::exp(-v));
+  return out;
+}
+
+std::vector<std::size_t> argmax_rows(const Tensor& t) {
+  HS_CHECK(t.rank() == 2, "argmax_rows: rank-2 input required");
+  const std::size_t n = t.dim(0), c = t.dim(1);
+  HS_CHECK(c > 0, "argmax_rows: zero columns");
+  std::vector<std::size_t> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* row = t.data() + i * c;
+    out[i] = static_cast<std::size_t>(std::max_element(row, row + c) - row);
+  }
+  return out;
+}
+
+}  // namespace hetero

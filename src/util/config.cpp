@@ -1,0 +1,49 @@
+#include "util/config.h"
+
+#include <cstdlib>
+
+namespace hetero {
+
+std::optional<std::string> env_string(const std::string& name) {
+  const char* v = std::getenv(name.c_str());
+  if (v == nullptr || *v == '\0') return std::nullopt;
+  return std::string(v);
+}
+
+std::int64_t env_int(const std::string& name, std::int64_t fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(s->c_str(), &end, 10);
+  if (end == s->c_str() || *end != '\0') return fallback;
+  return static_cast<std::int64_t>(v);
+}
+
+double env_double(const std::string& name, double fallback) {
+  const auto s = env_string(name);
+  if (!s) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(s->c_str(), &end);
+  if (end == s->c_str() || *end != '\0') return fallback;
+  return v;
+}
+
+std::int64_t BenchConfig::pick_rounds(std::int64_t smoke,
+                                      std::int64_t paper) const {
+  if (rounds > 0) return rounds;
+  return pick(smoke, paper);
+}
+
+std::int64_t BenchConfig::pick(std::int64_t smoke, std::int64_t paper) const {
+  return scale >= 1 ? paper : smoke;
+}
+
+BenchConfig BenchConfig::from_env() {
+  BenchConfig cfg;
+  cfg.scale = static_cast<int>(env_int("HS_SCALE", 0));
+  cfg.seed = static_cast<std::uint64_t>(env_int("HS_SEED", 42));
+  cfg.rounds = env_int("HS_ROUNDS", -1);
+  return cfg;
+}
+
+}  // namespace hetero

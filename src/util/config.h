@@ -1,0 +1,40 @@
+// Environment-driven experiment configuration.
+//
+// Benchmarks honour a small set of env vars so a single binary can run both
+// as a fast smoke check (CI / `for b in build/bench/*`) and as a
+// paper-shaped experiment:
+//   HS_SCALE  : 0 = smoke (default), 1 = paper-shaped
+//   HS_SEED   : global seed (default 42)
+//   HS_ROUNDS : override communication-round count
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace hetero {
+
+/// Reads an environment variable; empty optional when unset or empty.
+std::optional<std::string> env_string(const std::string& name);
+
+/// Reads an integer env var; returns fallback when unset or unparsable.
+std::int64_t env_int(const std::string& name, std::int64_t fallback);
+
+/// Reads a double env var; returns fallback when unset or unparsable.
+double env_double(const std::string& name, double fallback);
+
+/// Benchmark scale knobs resolved from the environment.
+struct BenchConfig {
+  int scale = 0;              ///< 0 = smoke, 1 = paper-shaped.
+  std::uint64_t seed = 42;    ///< Global experiment seed.
+  std::int64_t rounds = -1;   ///< -1 = use the bench's scale-based default.
+
+  /// Picks rounds: explicit HS_ROUNDS wins, otherwise smoke/paper default.
+  std::int64_t pick_rounds(std::int64_t smoke, std::int64_t paper) const;
+  /// Generic scale-based pick for any count.
+  std::int64_t pick(std::int64_t smoke, std::int64_t paper) const;
+
+  static BenchConfig from_env();
+};
+
+}  // namespace hetero

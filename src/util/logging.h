@@ -1,0 +1,47 @@
+// Minimal leveled logger. Experiments and benches use it for progress
+// narration; tests keep it at kWarn to stay quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace hetero {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emits a single log line to stderr with a level prefix.
+void log_message(LogLevel level, const std::string& msg);
+
+namespace detail {
+
+/// Stream-style log statement builder; flushes on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+
+}  // namespace hetero
+
+#define HS_LOG_DEBUG ::hetero::detail::LogLine(::hetero::LogLevel::kDebug)
+#define HS_LOG_INFO ::hetero::detail::LogLine(::hetero::LogLevel::kInfo)
+#define HS_LOG_WARN ::hetero::detail::LogLine(::hetero::LogLevel::kWarn)
+#define HS_LOG_ERROR ::hetero::detail::LogLine(::hetero::LogLevel::kError)

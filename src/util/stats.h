@@ -1,0 +1,65 @@
+// Small statistics helpers shared by the FL metrics and benchmarks:
+// streaming mean/variance (Welford), exponential moving average (the paper's
+// L_EMA, eq. 1), and simple vector reductions.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace hetero {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  /// Population variance (divides by n). The paper reports variance of
+  /// per-device accuracy over the fixed set of device types, i.e. population.
+  double variance() const;
+  /// Sample variance (divides by n-1).
+  double sample_variance() const;
+  double stddev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Exponential moving average:  y_{t+1} = alpha * x + (1 - alpha) * y_t.
+///
+/// This is exactly the paper's eq. (1) for the aggregated-loss EMA L_EMA,
+/// with smoothing factor alpha (paper uses alpha = 0.9). Before the first
+/// update the EMA is "empty": value() returns `empty_value` (defaults to
+/// +infinity so that no client is flagged as biased in round 0).
+class Ema {
+ public:
+  explicit Ema(double alpha = 0.9);
+
+  void update(double x);
+  bool initialized() const { return initialized_; }
+  double value() const;
+  double alpha() const { return alpha_; }
+  void reset();
+
+ private:
+  double alpha_;
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Mean of a vector; 0 for empty input.
+double mean(const std::vector<double>& v);
+/// Population variance of a vector; 0 for fewer than 1 element.
+double variance(const std::vector<double>& v);
+double stddev(const std::vector<double>& v);
+double min_value(const std::vector<double>& v);
+double max_value(const std::vector<double>& v);
+
+}  // namespace hetero

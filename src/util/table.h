@@ -1,0 +1,41 @@
+// Aligned ASCII table and CSV emission used by the benchmark harnesses to
+// print paper-style tables (e.g. Table 2's 9x9 degradation matrix).
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace hetero {
+
+/// Collects rows of string cells and renders them either as an aligned
+/// monospace table (for the terminal) or as CSV (for post-processing).
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Appends a row. Rows shorter than the header are padded with "".
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string fmt(double value, int precision = 2);
+  /// Formats as a percentage string, e.g. 23.5%.
+  static std::string pct(double fraction, int precision = 1);
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+  /// Renders with column alignment and a header separator.
+  void print(std::ostream& os) const;
+
+  /// Renders as CSV (no quoting of separators; callers keep cells simple).
+  void print_csv(std::ostream& os) const;
+
+  /// Writes CSV to a file path; returns false on I/O failure.
+  bool write_csv(const std::string& path) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hetero

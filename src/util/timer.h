@@ -1,0 +1,26 @@
+// Wall-clock timer for progress reporting in experiment harnesses.
+#pragma once
+
+#include <chrono>
+
+namespace hetero {
+
+/// Starts on construction; elapsed_s() gives seconds since start or reset().
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double elapsed_s() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double elapsed_ms() const { return elapsed_s() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace hetero

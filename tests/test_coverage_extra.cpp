@@ -1,0 +1,253 @@
+// Additional edge-case and consistency coverage across modules.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "fl/algorithm.h"
+#include "fl/eval.h"
+#include "fl/trainer.h"
+#include "isp/pipeline.h"
+#include "isp/sensor.h"
+#include "nn/batchnorm.h"
+#include "nn/linear.h"
+#include "nn/loss.h"
+#include "nn/model_zoo.h"
+#include "nn/optimizer.h"
+#include "test_util.h"
+#include "util/stats.h"
+
+namespace hetero {
+namespace {
+
+// ------------------------------------------------------------- optimizer
+
+TEST(SgdExtra, MomentumPlusWeightDecayComposition) {
+  // One step with both: v = m*v + (g + wd*w); w -= lr*v.
+  Rng rng(1);
+  Linear lin(1, 1, rng, false);
+  lin.weight()[0] = 2.0f;
+  ParamGroup g = lin.param_group();
+  Sgd opt(lin, SgdOptions{0.1f, 0.9f, 0.5f});
+  (*g.grads[0])[0] = 1.0f;
+  opt.step();
+  // v = 1 + 0.5*2 = 2; w = 2 - 0.1*2 = 1.8.
+  EXPECT_NEAR(lin.weight()[0], 1.8f, 1e-6f);
+  (*g.grads[0])[0] = 0.0f;
+  opt.step();
+  // v = 0.9*2 + 0.5*1.8 = 2.7; w = 1.8 - 0.27 = 1.53.
+  EXPECT_NEAR(lin.weight()[0], 1.53f, 1e-5f);
+}
+
+TEST(SgdExtra, LrSetterTakesEffect) {
+  Rng rng(2);
+  Linear lin(1, 1, rng, false);
+  lin.weight()[0] = 1.0f;
+  ParamGroup g = lin.param_group();
+  Sgd opt(lin, SgdOptions{0.1f, 0.0f, 0.0f});
+  opt.set_lr(1.0f);
+  EXPECT_FLOAT_EQ(opt.lr(), 1.0f);
+  (*g.grads[0])[0] = 0.5f;
+  opt.step();
+  EXPECT_NEAR(lin.weight()[0], 0.5f, 1e-6f);
+}
+
+// -------------------------------------------------------------- batchnorm
+
+TEST(BatchNormExtra, TrainThenEvalConsistentOnStationaryData) {
+  // After many training passes over the same distribution, eval-mode output
+  // should be close to train-mode output.
+  Rng rng(3);
+  BatchNorm2d bn(2);
+  Tensor x;
+  for (int i = 0; i < 200; ++i) {
+    x = Tensor::randn({8, 2, 4, 4}, rng, 1.5f);
+    bn.forward(x, true);
+  }
+  Tensor train_out = bn.forward(x, true);
+  Tensor eval_out = bn.forward(x, false);
+  double dist = 0.0;
+  for (std::size_t i = 0; i < train_out.size(); ++i) {
+    dist += std::abs(train_out[i] - eval_out[i]);
+  }
+  EXPECT_LT(dist / static_cast<double>(train_out.size()), 0.1);
+}
+
+TEST(BatchNormExtra, GammaBetaAffectOutput) {
+  BatchNorm2d bn(1);
+  ParamGroup g = bn.param_group();
+  (*g.params[0])[0] = 2.0f;   // gamma
+  (*g.params[1])[0] = -1.0f;  // beta
+  Tensor x({2, 1, 2, 2});
+  for (std::size_t i = 0; i < 8; ++i) x[i] = static_cast<float>(i);
+  Tensor y = bn.forward(x, true);
+  // Output mean = beta, stddev = gamma.
+  double sum = 0.0, sq = 0.0;
+  for (float v : y.flat()) {
+    sum += v;
+    sq += static_cast<double>(v) * v;
+  }
+  EXPECT_NEAR(sum / 8.0, -1.0, 1e-4);
+  EXPECT_NEAR(std::sqrt(sq / 8.0 - sum / 8.0 * sum / 8.0), 2.0, 1e-3);
+}
+
+// -------------------------------------------------------------------- fl
+
+TEST(EvalExtra, BatchSizeLargerThanDatasetWorks) {
+  Rng rng(4);
+  ModelSpec spec;
+  spec.arch = "mlp-tiny";
+  spec.image_size = 8;
+  spec.num_classes = 2;
+  auto model = make_model(spec, rng);
+  Tensor xs({3, 3, 8, 8});
+  Dataset data(std::move(xs), std::vector<std::size_t>{0, 1, 0});
+  EXPECT_NO_THROW(evaluate_accuracy(*model, data, 64));
+  EXPECT_NO_THROW(evaluate_loss(*model, data, 64));
+}
+
+TEST(EvalExtra, LossDispatchesOnLabelMode) {
+  Rng rng(5);
+  ModelSpec spec;
+  spec.arch = "mlp-tiny";
+  spec.image_size = 8;
+  spec.num_classes = 3;
+  auto model = make_model(spec, rng);
+  Tensor xs = Tensor::rand_uniform({4, 3, 8, 8}, rng, 0, 1);
+  Dataset single(xs, std::vector<std::size_t>{0, 1, 2, 0});
+  Tensor targets({4, 3});
+  targets.at(0, 0) = 1.0f;
+  Dataset multi(xs, targets);
+  // Both evaluate without throwing, producing finite losses.
+  EXPECT_TRUE(std::isfinite(evaluate_loss(*model, single)));
+  EXPECT_TRUE(std::isfinite(evaluate_loss(*model, multi)));
+  // Accuracy rejects multi-label, AP rejects single-label.
+  EXPECT_THROW(evaluate_accuracy(*model, multi), std::invalid_argument);
+  EXPECT_THROW(evaluate_average_precision(*model, single),
+               std::invalid_argument);
+}
+
+TEST(WeightedAverageExtra, IdenticalStatesAreFixedPoint) {
+  Rng rng(6);
+  Tensor s = Tensor::randn({10}, rng);
+  std::vector<Tensor> states = {s, s, s};
+  Tensor avg = weighted_average_states(states, {1.0, 5.0, 0.25});
+  hetero::testing::expect_tensor_near(avg, s, 1e-6f);
+}
+
+TEST(TrainerExtra, MultiLabelTrainingDecreasesLoss) {
+  Rng rng(7);
+  ModelSpec spec;
+  spec.arch = "mlp-tiny";
+  spec.image_size = 8;
+  spec.num_classes = 4;
+  auto model = make_model(spec, rng);
+  Rng drng(8);
+  Tensor xs({16, 3, 8, 8});
+  Tensor ys({16, 4});
+  for (std::size_t i = 0; i < 16; ++i) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      const bool on = drng.bernoulli(0.5);
+      ys.at(i, c) = on ? 1.0f : 0.0f;
+    }
+    for (std::size_t j = 0; j < 3 * 64; ++j) {
+      // Input encodes the labels (first 4 pixels of channel 0).
+      xs[i * 3 * 64 + j] = drng.uniform_f(0, 0.1f);
+    }
+    for (std::size_t c = 0; c < 4; ++c) {
+      xs[i * 3 * 64 + c] = ys.at(i, c) > 0.5f ? 1.0f : 0.0f;
+    }
+  }
+  Dataset data(std::move(xs), std::move(ys));
+  LocalTrainConfig cfg;
+  cfg.lr = 0.2f;
+  cfg.batch_size = 8;
+  Rng trng(9);
+  const float first = local_train(*model, data, cfg, trng);
+  float last = first;
+  for (int e = 0; e < 30; ++e) last = local_train(*model, data, cfg, trng);
+  EXPECT_LT(last, first * 0.8f);
+}
+
+// -------------------------------------------------------------- isp extra
+
+TEST(IspExtra, BlackLevelStageOnlyWhenConfigured) {
+  RawImage raw(8, 8);
+  for (std::size_t y = 0; y < 8; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) raw.at(y, x) = 0.5f;
+  }
+  IspConfig none;
+  none.denoise = DenoiseAlgo::kNone;
+  none.wb = WhiteBalanceAlgo::kNone;
+  none.gamut = GamutAlgo::kNone;
+  none.tone = ToneAlgo::kNone;
+  none.jpeg_quality = 0;
+  IspConfig with_bl = none;
+  with_bl.black_level = 0.1f;
+  Image a = run_isp(raw, none);
+  Image b = run_isp(raw, with_bl);
+  // Pedestal subtraction rescales 0.5 -> (0.5-0.1)/0.9 ~= 0.444.
+  EXPECT_NEAR(a.at(4, 4, 1), 0.5f, 2e-2f);
+  EXPECT_NEAR(b.at(4, 4, 1), 0.444f, 2e-2f);
+}
+
+TEST(IspExtra, FullPipelineIdempotentConfig) {
+  // Running the same config twice on the same RAW gives identical output
+  // (the pipeline is deterministic — no hidden state).
+  SensorModel sensor{SensorConfig{}};
+  Image scene(64, 64);
+  scene.fill(0.4f, 0.5f, 0.6f);
+  Rng rng(10);
+  RawImage raw = sensor.capture(scene, rng);
+  const IspConfig cfg = IspConfig::baseline(sensor.ccm());
+  Image a = run_isp(raw, cfg);
+  Image b = run_isp(raw, cfg);
+  EXPECT_NEAR(image_mad(a, b), 0.0, 1e-9);
+}
+
+// --------------------------------------------------------------- ema sweep
+
+class EmaAlphaSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(EmaAlphaSweep, ConvergesToConstant) {
+  Ema ema(GetParam());
+  ema.update(10.0);
+  for (int i = 0; i < 500; ++i) ema.update(2.0);
+  EXPECT_NEAR(ema.value(), 2.0, 1e-3);
+}
+
+TEST_P(EmaAlphaSweep, StaysBetweenInputExtremes) {
+  Ema ema(GetParam());
+  Rng rng(11);
+  ema.update(0.5);
+  for (int i = 0; i < 100; ++i) {
+    ema.update(rng.uniform(0.0, 1.0));
+    EXPECT_GE(ema.value(), 0.0);
+    EXPECT_LE(ema.value(), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, EmaAlphaSweep,
+                         ::testing::Values(0.1, 0.5, 0.9, 0.99, 1.0));
+
+// ----------------------------------------------------- loss sanity sweeps
+
+class CeBatchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CeBatchSweep, GradNormBoundedByTwo) {
+  // ||softmax - onehot||_1 <= 2 per row, so the mean-reduced gradient's L1
+  // norm is bounded by 2 regardless of logits.
+  Rng rng(12);
+  const auto n = static_cast<std::size_t>(GetParam());
+  Tensor logits = Tensor::randn({n, 6}, rng, 10.0f);
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) labels[i] = i % 6;
+  const auto r = SoftmaxCrossEntropy()(logits, labels);
+  double l1 = 0.0;
+  for (float v : r.grad.flat()) l1 += std::abs(v);
+  EXPECT_LE(l1, 2.0 + 1e-5);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, CeBatchSweep, ::testing::Values(1, 3, 16));
+
+}  // namespace
+}  // namespace hetero

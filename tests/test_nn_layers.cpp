@@ -1,0 +1,344 @@
+// Numerical gradient checks and behaviour tests for the primitive layers.
+#include <gtest/gtest.h>
+
+#include "nn/activations.h"
+#include "nn/batchnorm.h"
+#include "nn/conv2d.h"
+#include "nn/linear.h"
+#include "nn/pooling.h"
+#include "nn/sequential.h"
+#include "test_util.h"
+
+namespace hetero {
+namespace {
+
+using hetero::testing::gradient_check;
+
+constexpr double kGradTol = 5e-2;  // float32 + central differences
+
+TEST(Linear, ForwardKnownCase) {
+  Rng rng(1);
+  Linear lin(2, 2, rng);
+  lin.weight() = Tensor({2, 2}, {1, 2, 3, 4});
+  lin.bias() = Tensor({2}, {0.5f, -0.5f});
+  Tensor x({1, 2}, {1, 1});
+  Tensor y = lin.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 3.5f);   // 1+2+0.5
+  EXPECT_FLOAT_EQ(y.at(0, 1), 6.5f);   // 3+4-0.5
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(2);
+  Linear lin(5, 4, rng);
+  Tensor x = Tensor::randn({3, 5}, rng);
+  const auto r = gradient_check(lin, x, rng);
+  EXPECT_LT(r.max_input_error, kGradTol);
+  EXPECT_LT(r.max_param_error, kGradTol);
+}
+
+TEST(Linear, GradCheckNoBias) {
+  Rng rng(3);
+  Linear lin(4, 3, rng, /*bias=*/false);
+  Tensor x = Tensor::randn({2, 4}, rng);
+  const auto r = gradient_check(lin, x, rng);
+  EXPECT_LT(r.max_input_error, kGradTol);
+  EXPECT_LT(r.max_param_error, kGradTol);
+}
+
+TEST(Linear, RejectsWrongInputShape) {
+  Rng rng(4);
+  Linear lin(4, 3, rng);
+  EXPECT_THROW(lin.forward(Tensor({2, 5}), false), std::invalid_argument);
+}
+
+TEST(Linear, GradsAccumulateAcrossBackwards) {
+  Rng rng(5);
+  Linear lin(2, 2, rng);
+  Tensor x = Tensor::randn({1, 2}, rng);
+  Tensor g = Tensor::ones({1, 2});
+  lin.forward(x, true);
+  lin.backward(g);
+  ParamGroup pg = lin.param_group();
+  const Tensor once = *pg.grads[0];
+  lin.forward(x, true);
+  lin.backward(g);
+  for (std::size_t i = 0; i < once.size(); ++i) {
+    EXPECT_NEAR((*pg.grads[0])[i], 2.0f * once[i], 1e-5f);
+  }
+  lin.zero_grad();
+  EXPECT_EQ(pg.grads[0]->sum(), 0.0f);
+}
+
+struct ConvCase {
+  std::size_t in_c, out_c, kernel, stride, pad, groups;
+};
+
+class ConvGradSweep : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(ConvGradSweep, GradCheck) {
+  const ConvCase c = GetParam();
+  Rng rng(42);
+  Conv2d conv(c.in_c, c.out_c, c.kernel, c.stride, c.pad, c.groups, rng,
+              /*bias=*/true);
+  Tensor x = Tensor::randn({2, c.in_c, 6, 6}, rng);
+  const auto r = gradient_check(conv, x, rng);
+  EXPECT_LT(r.max_input_error, kGradTol);
+  EXPECT_LT(r.max_param_error, kGradTol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, ConvGradSweep,
+    ::testing::Values(ConvCase{1, 1, 3, 1, 1, 1},   // basic 3x3
+                      ConvCase{2, 3, 3, 1, 1, 1},   // multi channel
+                      ConvCase{2, 4, 3, 2, 1, 1},   // strided
+                      ConvCase{4, 4, 3, 1, 1, 4},   // depthwise
+                      ConvCase{4, 6, 1, 1, 0, 2},   // grouped pointwise
+                      ConvCase{3, 2, 5, 2, 2, 1})); // 5x5 strided
+
+TEST(Conv2d, OutputShape) {
+  Rng rng(6);
+  Conv2d conv(3, 8, 3, 2, 1, 1, rng);
+  Tensor y = conv.forward(Tensor({2, 3, 8, 8}), false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 8, 4, 4}));
+}
+
+TEST(Conv2d, IdentityKernelPassesThrough) {
+  Rng rng(7);
+  Conv2d conv(1, 1, 1, 1, 0, 1, rng);
+  conv.weight().fill(1.0f);
+  Tensor x = Tensor::randn({1, 1, 4, 4}, rng);
+  Tensor y = conv.forward(x, false);
+  hetero::testing::expect_tensor_near(y, x, 1e-6f);
+}
+
+TEST(Conv2d, DepthwiseDoesNotMixChannels) {
+  Rng rng(8);
+  Conv2d conv(2, 2, 3, 1, 1, 2, rng);
+  Tensor x({1, 2, 4, 4});
+  // Only channel 0 carries signal.
+  for (std::size_t i = 0; i < 16; ++i) x[i] = 1.0f;
+  Tensor y = conv.forward(x, false);
+  // Channel 1 output must be exactly zero: it sees only zero input.
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_EQ(y[16 + i], 0.0f);
+}
+
+TEST(Conv2d, ChannelGroupValidation) {
+  Rng rng(9);
+  EXPECT_THROW(Conv2d(3, 4, 3, 1, 1, 2, rng), std::invalid_argument);
+  EXPECT_THROW(Conv2d(4, 3, 3, 1, 1, 2, rng), std::invalid_argument);
+}
+
+TEST(BatchNorm, NormalizesBatchStatistics) {
+  Rng rng(10);
+  BatchNorm2d bn(3);
+  Tensor x = Tensor::randn({4, 3, 5, 5}, rng, 3.0f);
+  x += Tensor::full({4, 3, 5, 5}, 7.0f);
+  Tensor y = bn.forward(x, true);
+  // Per-channel output mean ~0, var ~1 (gamma=1, beta=0).
+  for (std::size_t c = 0; c < 3; ++c) {
+    double sum = 0.0, sq = 0.0;
+    std::size_t n = 0;
+    for (std::size_t s = 0; s < 4; ++s) {
+      for (std::size_t i = 0; i < 25; ++i) {
+        const float v = y[(s * 3 + c) * 25 + i];
+        sum += v;
+        sq += v * v;
+        ++n;
+      }
+    }
+    EXPECT_NEAR(sum / n, 0.0, 1e-3);
+    EXPECT_NEAR(sq / n, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm, GradCheck) {
+  Rng rng(11);
+  BatchNorm2d bn(2);
+  Tensor x = Tensor::randn({3, 2, 4, 4}, rng);
+  const auto r = gradient_check(bn, x, rng);
+  EXPECT_LT(r.max_input_error, kGradTol);
+  EXPECT_LT(r.max_param_error, kGradTol);
+}
+
+TEST(BatchNorm, RunningStatsConvergeToDataStats) {
+  Rng rng(12);
+  BatchNorm2d bn(1, /*momentum=*/0.2f);
+  for (int i = 0; i < 200; ++i) {
+    Tensor x = Tensor::randn({8, 1, 4, 4}, rng, 2.0f);
+    x += Tensor::full({8, 1, 4, 4}, 3.0f);
+    bn.forward(x, true);
+  }
+  EXPECT_NEAR(bn.running_mean()[0], 3.0f, 0.3f);
+  EXPECT_NEAR(bn.running_var()[0], 4.0f, 0.8f);
+}
+
+TEST(BatchNorm, EvalModeUsesRunningStats) {
+  BatchNorm2d bn(1);
+  // Fresh BN: running mean 0, var 1 -> eval forward is identity-ish.
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = bn.forward(x, false);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(y[i], x[i], 1e-2f);
+}
+
+TEST(Activations, ReLUForwardAndGrad) {
+  Rng rng(13);
+  ReLU relu;
+  Tensor x({1, 4}, {-1.0f, 2.0f, -3.0f, 4.0f});
+  Tensor y = relu.forward(x, true);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_EQ(y[1], 2.0f);
+  Tensor g = relu.backward(Tensor::ones({1, 4}));
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 1.0f);
+  EXPECT_EQ(g[2], 0.0f);
+  EXPECT_EQ(g[3], 1.0f);
+}
+
+TEST(Activations, HSigmoidSaturation) {
+  HSigmoid h;
+  Tensor x({1, 3}, {-10.0f, 0.0f, 10.0f});
+  Tensor y = h.forward(x, false);
+  EXPECT_EQ(y[0], 0.0f);
+  EXPECT_FLOAT_EQ(y[1], 0.5f);
+  EXPECT_EQ(y[2], 1.0f);
+}
+
+TEST(Activations, HSwishMatchesDefinition) {
+  HSwish h;
+  Tensor x({1, 3}, {-4.0f, 0.0f, 4.0f});
+  Tensor y = h.forward(x, false);
+  EXPECT_EQ(y[0], 0.0f);             // saturated low
+  EXPECT_FLOAT_EQ(y[1], 0.0f);       // 0 * 0.5
+  EXPECT_FLOAT_EQ(y[2], 4.0f);       // saturated high: x * 1
+  Tensor x2({1, 1}, {1.2f});
+  Tensor y2 = h.forward(x2, false);
+  EXPECT_NEAR(y2[0], 1.2f * (1.2f / 6.0f + 0.5f), 1e-6f);
+}
+
+template <typename Act>
+void activation_gradcheck(std::uint64_t seed) {
+  Rng rng(seed);
+  Act act;
+  // Keep inputs away from the kinks at 0 / +-3 (non-differentiable points).
+  Tensor x({2, 6});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    float v = rng.uniform_f(0.3f, 2.4f);
+    if (rng.bernoulli(0.5)) v = -v;
+    x[i] = v;
+  }
+  const auto r = gradient_check(act, x, rng, /*eps=*/1e-3f);
+  EXPECT_LT(r.max_input_error, kGradTol);
+}
+
+TEST(Activations, ReLUGradCheck) { activation_gradcheck<ReLU>(14); }
+TEST(Activations, HSigmoidGradCheck) { activation_gradcheck<HSigmoid>(15); }
+TEST(Activations, HSwishGradCheck) { activation_gradcheck<HSwish>(16); }
+
+TEST(MaxPool, ForwardPicksMaxima) {
+  MaxPool2d pool(2, 2);
+  Tensor x({1, 1, 4, 4});
+  for (std::size_t i = 0; i < 16; ++i) x[i] = static_cast<float>(i);
+  Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 2, 2}));
+  EXPECT_EQ(y[0], 5.0f);
+  EXPECT_EQ(y[3], 15.0f);
+}
+
+TEST(MaxPool, BackwardRoutesToArgmax) {
+  MaxPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 2}, {1, 9, 2, 3});
+  pool.forward(x, true);
+  Tensor g = pool.backward(Tensor::full({1, 1, 1, 1}, 5.0f));
+  EXPECT_EQ(g[0], 0.0f);
+  EXPECT_EQ(g[1], 5.0f);
+  EXPECT_EQ(g[2], 0.0f);
+}
+
+TEST(MaxPool, GradCheck) {
+  Rng rng(17);
+  MaxPool2d pool(2, 2);
+  Tensor x = Tensor::randn({2, 2, 4, 4}, rng);  // ties have measure ~0
+  const auto r = gradient_check(pool, x, rng, 1e-3f);
+  EXPECT_LT(r.max_input_error, kGradTol);
+}
+
+TEST(AvgPool, ForwardAverages) {
+  AvgPool2d pool(2, 2);
+  Tensor x({1, 1, 2, 2}, {1, 2, 3, 4});
+  Tensor y = pool.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 2.5f);
+}
+
+TEST(AvgPool, GradCheck) {
+  Rng rng(18);
+  AvgPool2d pool(3, 2);
+  Tensor x = Tensor::randn({1, 2, 7, 7}, rng);
+  const auto r = gradient_check(pool, x, rng, 1e-3f);
+  EXPECT_LT(r.max_input_error, kGradTol);
+}
+
+TEST(GlobalAvgPool, ForwardAndGradCheck) {
+  Rng rng(19);
+  GlobalAvgPool gap;
+  Tensor x({1, 2, 2, 2}, {1, 2, 3, 4, 10, 10, 10, 10});
+  Tensor y = gap.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 2}));
+  EXPECT_FLOAT_EQ(y.at(0, 0), 2.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 10.0f);
+  Tensor x2 = Tensor::randn({2, 3, 4, 4}, rng);
+  const auto r = gradient_check(gap, x2, rng, 1e-3f);
+  EXPECT_LT(r.max_input_error, kGradTol);
+}
+
+TEST(Flatten, RoundTrip) {
+  Flatten f;
+  Tensor x({2, 3, 4, 4});
+  Tensor y = f.forward(x, true);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 48}));
+  Tensor g = f.backward(Tensor::ones({2, 48}));
+  EXPECT_EQ(g.shape(), x.shape());
+}
+
+TEST(Sequential, ComposesAndCollects) {
+  Rng rng(20);
+  Sequential seq;
+  seq.add(std::make_unique<Linear>(4, 8, rng))
+      .add(std::make_unique<ReLU>())
+      .add(std::make_unique<Linear>(8, 2, rng));
+  EXPECT_EQ(seq.size(), 3u);
+  Tensor y = seq.forward(Tensor::randn({3, 4}, rng), false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{3, 2}));
+  ParamGroup g = seq.param_group();
+  EXPECT_EQ(g.params.size(), 4u);  // two weights + two biases
+  EXPECT_EQ(total_size(g.params), 4u * 8 + 8 + 8 * 2 + 2);
+}
+
+TEST(Sequential, GradCheckThroughStack) {
+  Rng rng(21);
+  Sequential seq;
+  seq.add(std::make_unique<Linear>(4, 6, rng))
+      .add(std::make_unique<HSwish>())
+      .add(std::make_unique<Linear>(6, 3, rng));
+  Tensor x = Tensor::randn({2, 4}, rng);
+  const auto r = gradient_check(seq, x, rng);
+  EXPECT_LT(r.max_input_error, kGradTol);
+  EXPECT_LT(r.max_param_error, kGradTol);
+}
+
+TEST(FlattenTensors, RoundTrip) {
+  Rng rng(22);
+  Tensor a = Tensor::randn({2, 3}, rng);
+  Tensor b = Tensor::randn({4}, rng);
+  std::vector<Tensor*> ts = {&a, &b};
+  Tensor flat = flatten_tensors(ts);
+  EXPECT_EQ(flat.size(), 10u);
+  Tensor a2({2, 3}), b2({4});
+  std::vector<Tensor*> dst = {&a2, &b2};
+  unflatten_tensors(flat, dst);
+  hetero::testing::expect_tensor_near(a2, a);
+  hetero::testing::expect_tensor_near(b2, b);
+  EXPECT_THROW(unflatten_tensors(Tensor({9}), dst), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hetero

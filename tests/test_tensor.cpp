@@ -1,0 +1,191 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+TEST(Tensor, DefaultIsEmpty) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.rank(), 0u);
+}
+
+TEST(Tensor, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.size(), 6u);
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], 0.0f);
+}
+
+TEST(Tensor, ShapeVolume) {
+  EXPECT_EQ(shape_volume({}), 1u);
+  EXPECT_EQ(shape_volume({5}), 5u);
+  EXPECT_EQ(shape_volume({2, 3, 4}), 24u);
+  EXPECT_EQ(shape_volume({2, 0, 4}), 0u);
+}
+
+TEST(Tensor, ConstructWithDataValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), std::invalid_argument);
+}
+
+TEST(Tensor, Factories) {
+  EXPECT_EQ(Tensor::ones({3})[1], 1.0f);
+  EXPECT_EQ(Tensor::full({2}, 2.5f)[0], 2.5f);
+  Rng rng(1);
+  Tensor r = Tensor::randn({1000}, rng, 2.0f);
+  float sq = 0.0f;
+  for (float v : r.flat()) sq += v * v;
+  EXPECT_NEAR(sq / 1000.0f, 4.0f, 0.6f);
+  Tensor u = Tensor::rand_uniform({100}, rng, -1.0f, 1.0f);
+  for (float v : u.flat()) {
+    EXPECT_GE(v, -1.0f);
+    EXPECT_LT(v, 1.0f);
+  }
+}
+
+TEST(Tensor, MultiDimAccess) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 7.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 7.0f);
+  const Tensor& ct = t;
+  EXPECT_EQ(ct.at(1, 2, 3), 7.0f);
+}
+
+TEST(Tensor, AccessChecksRankAndBounds) {
+  Tensor t({2, 3});
+  EXPECT_THROW(t.at(0), std::invalid_argument);        // wrong rank
+  EXPECT_THROW(t.at(2, 0), std::invalid_argument);     // out of range
+  EXPECT_THROW(t.at(0, 0, 0), std::invalid_argument);  // wrong rank
+}
+
+TEST(Tensor, Rank4Access) {
+  Tensor t({2, 2, 2, 2});
+  t.at(1, 0, 1, 0) = 3.0f;
+  EXPECT_EQ(t[8 + 0 + 2 + 0], 3.0f);
+}
+
+TEST(Tensor, ReshapePreservesData) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0f);
+  EXPECT_THROW(t.reshape({4, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ArithmeticOps) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  Tensor c = a + b;
+  EXPECT_EQ(c[2], 33.0f);
+  c -= a;
+  EXPECT_EQ(c[1], 20.0f);
+  c *= 0.5f;
+  EXPECT_EQ(c[0], 5.0f);
+  Tensor d = 2.0f * a;
+  EXPECT_EQ(d[2], 6.0f);
+}
+
+TEST(Tensor, ShapeMismatchThrows) {
+  Tensor a({2}), b({3});
+  EXPECT_THROW(a += b, std::invalid_argument);
+  EXPECT_THROW(a.axpy(1.0f, b), std::invalid_argument);
+  EXPECT_THROW(a.mul_inplace(b), std::invalid_argument);
+}
+
+TEST(Tensor, Axpy) {
+  Tensor a({3}, {1, 1, 1});
+  Tensor b({3}, {1, 2, 3});
+  a.axpy(2.0f, b);
+  EXPECT_EQ(a[0], 3.0f);
+  EXPECT_EQ(a[2], 7.0f);
+}
+
+TEST(Tensor, HadamardAndClamp) {
+  Tensor a({3}, {1, -2, 3});
+  Tensor b({3}, {2, 2, 2});
+  a.mul_inplace(b);
+  EXPECT_EQ(a[1], -4.0f);
+  a.clamp(-1.0f, 5.0f);
+  EXPECT_EQ(a[1], -1.0f);
+  EXPECT_EQ(a[2], 5.0f);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {1, -2, 3, 0.5f});
+  EXPECT_FLOAT_EQ(t.sum(), 2.5f);
+  EXPECT_FLOAT_EQ(t.mean(), 0.625f);
+  EXPECT_FLOAT_EQ(t.min(), -2.0f);
+  EXPECT_FLOAT_EQ(t.max(), 3.0f);
+  EXPECT_EQ(t.argmax(), 2u);
+  EXPECT_NEAR(t.norm(), std::sqrt(1 + 4 + 9 + 0.25f), 1e-6f);
+}
+
+TEST(Tensor, ArgmaxFirstOnTies) {
+  Tensor t({3}, {5, 5, 5});
+  EXPECT_EQ(t.argmax(), 0u);
+}
+
+TEST(Tensor, EmptyReductionsThrow) {
+  Tensor t({0});
+  EXPECT_THROW(t.min(), std::invalid_argument);
+  EXPECT_THROW(t.argmax(), std::invalid_argument);
+  EXPECT_EQ(t.mean(), 0.0f);
+}
+
+TEST(Tensor, Slice0AndSetSlice0) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor row = t.slice0(1);
+  EXPECT_EQ(row.shape(), (std::vector<std::size_t>{3}));
+  EXPECT_EQ(row[0], 4.0f);
+  Tensor repl({3}, {9, 9, 9});
+  t.set_slice0(0, repl);
+  EXPECT_EQ(t.at(0, 2), 9.0f);
+  EXPECT_EQ(t.at(1, 0), 4.0f);
+  EXPECT_THROW(t.slice0(2), std::invalid_argument);
+  EXPECT_THROW(t.set_slice0(0, Tensor({4})), std::invalid_argument);
+}
+
+TEST(Tensor, Equality) {
+  Tensor a({2}, {1, 2});
+  Tensor b({2}, {1, 2});
+  Tensor c({2}, {1, 3});
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Tensor, FillAndZero) {
+  Tensor t({2, 2});
+  t.fill(3.0f);
+  EXPECT_EQ(t.sum(), 12.0f);
+  t.zero();
+  EXPECT_EQ(t.sum(), 0.0f);
+}
+
+class TensorShapeSweep
+    : public ::testing::TestWithParam<std::vector<std::size_t>> {};
+
+TEST_P(TensorShapeSweep, RandnThenNormMatchesSize) {
+  Rng rng(3);
+  Tensor t = Tensor::randn(GetParam(), rng, 1.0f);
+  EXPECT_EQ(t.size(), shape_volume(GetParam()));
+  if (t.size() > 100) {
+    // E[norm^2] = size for unit normals.
+    EXPECT_NEAR(t.norm() * t.norm() / static_cast<float>(t.size()), 1.0f,
+                0.5f);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, TensorShapeSweep,
+    ::testing::Values(std::vector<std::size_t>{7},
+                      std::vector<std::size_t>{4, 4},
+                      std::vector<std::size_t>{2, 3, 4},
+                      std::vector<std::size_t>{2, 3, 4, 5},
+                      std::vector<std::size_t>{1, 1, 1}));
+
+}  // namespace
+}  // namespace hetero

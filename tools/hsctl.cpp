@@ -1,0 +1,349 @@
+// hsctl — command-line front end to the HeteroSwitch library.
+//
+//   hsctl devices                       list the Table 1 device registry
+//   hsctl capture [options]             render a scene, capture it with a
+//                                       device, export PPM images
+//   hsctl signature                     device-by-device heterogeneity
+//                                       distance matrix (statistics-level
+//                                       Table 2)
+//   hsctl train [options]               centralized train-on-one-device,
+//                                       evaluate on all devices
+//   hsctl fl [options]                  run a federated simulation
+//
+// Common options: --seed N. See `hsctl <command> --help` for the rest.
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "data/builder.h"
+#include "device/device_profile.h"
+#include "fl/eval.h"
+#include "fl/compression.h"
+#include "fl/privacy.h"
+#include "fl/simulation.h"
+#include "hetero/hetero_metrics.h"
+#include "hetero/heteroswitch.h"
+#include "image/ppm.h"
+#include "nn/model_zoo.h"
+#include "scene/scene_gen.h"
+#include "util/rng.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+using namespace hetero;
+
+namespace {
+
+/// Minimal --key value argument parser.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) == 0) {
+        key = key.substr(2);
+        if (key == "help") {
+          help_ = true;
+        } else if (i + 1 < argc) {
+          values_[key] = argv[++i];
+        } else {
+          std::fprintf(stderr, "missing value for --%s\n", key.c_str());
+          ok_ = false;
+        }
+      } else {
+        std::fprintf(stderr, "unexpected argument: %s\n", key.c_str());
+        ok_ = false;
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+  bool help() const { return help_; }
+
+  std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  long get_int(const std::string& key, long fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtol(it->second.c_str(),
+                                                        nullptr, 10);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    const auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(),
+                                                        nullptr);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+  bool help_ = false;
+};
+
+int cmd_devices() {
+  Table table({"Device", "Vendor", "Tier", "Share", "Sensor", "ISP"});
+  for (const auto& d : paper_devices()) {
+    char sensor[96];
+    std::snprintf(sensor, sizeof(sensor), "%zux%zu %d-bit noise=%.3f",
+                  d.sensor.raw_width, d.sensor.raw_height, d.sensor.bit_depth,
+                  d.sensor.shot_noise);
+    table.add_row({d.name, d.vendor, std::string(1, d.tier),
+                   Table::fmt(d.market_share, 0) + "%", sensor,
+                   d.isp.describe()});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_capture(const Args& args) {
+  if (args.help()) {
+    std::printf(
+        "hsctl capture [--device NAME] [--class K] [--seed N] [--prefix P]\n"
+        "Renders one scene, captures it with the device, and writes:\n"
+        "  P_scene.ppm  P_raw.ppm  P_processed.ppm\n");
+    return 0;
+  }
+  const std::string device_name = args.get("device", "GalaxyS9");
+  const auto cls = static_cast<std::size_t>(args.get_int("class", 0));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string prefix = args.get("prefix", "hsctl");
+
+  const DeviceProfile& device = device_by_name(device_name);
+  SceneGenerator scenes(64);
+  Rng rng(seed);
+  const Image scene = scenes.generate(cls, rng);
+  const SensorModel sensor = device.sensor_model();
+  Rng cap_rng = rng.fork(1);
+  const RawImage raw = sensor.capture(scene, cap_rng);
+  const Image processed = run_isp(raw, device.isp);
+
+  const std::string scene_path = prefix + "_scene.ppm";
+  const std::string raw_path = prefix + "_raw.ppm";
+  const std::string out_path = prefix + "_processed.ppm";
+  // The scene is linear light; encode for display.
+  if (!write_ppm(scene_path, srgb_encode(scene)) ||
+      !write_ppm_mosaic(raw_path, raw) || !write_ppm(out_path, processed)) {
+    std::fprintf(stderr, "capture: failed to write PPM files\n");
+    return 1;
+  }
+  std::printf("class '%s' captured by %s\n  %s\n  %s\n  %s\n",
+              SceneGenerator::class_name(cls), device.name.c_str(),
+              scene_path.c_str(), raw_path.c_str(), out_path.c_str());
+  return 0;
+}
+
+int cmd_signature(const Args& args) {
+  if (args.help()) {
+    std::printf(
+        "hsctl signature [--per-class K] [--seed N]\n"
+        "Statistics-level heterogeneity distance between all devices.\n");
+    return 0;
+  }
+  const auto per_class = static_cast<std::size_t>(args.get_int("per-class", 3));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  SceneGenerator scenes(64);
+  CaptureConfig cfg;
+  std::vector<Dataset> datasets;
+  for (const auto& d : paper_devices()) {
+    Rng rng(seed);  // identical scene stream per device
+    datasets.push_back(build_device_dataset(d, per_class, scenes, cfg, rng));
+  }
+  std::vector<const Dataset*> ptrs;
+  for (const auto& d : datasets) ptrs.push_back(&d);
+  const auto matrix = pairwise_heterogeneity(ptrs);
+
+  std::vector<std::string> header = {"Device"};
+  for (const auto& d : paper_devices()) header.push_back(d.name);
+  Table table(header);
+  for (std::size_t i = 0; i < matrix.size(); ++i) {
+    std::vector<std::string> row = {paper_devices()[i].name};
+    for (std::size_t j = 0; j < matrix.size(); ++j) {
+      row.push_back(Table::fmt(matrix[i][j], 3));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_train(const Args& args) {
+  if (args.help()) {
+    std::printf(
+        "hsctl train [--device NAME] [--epochs E] [--per-class K] "
+        "[--arch A] [--seed N]\n"
+        "Trains on one device's captures, evaluates on every device.\n");
+    return 0;
+  }
+  const std::string device_name = args.get("device", "GalaxyS9");
+  const auto epochs = static_cast<std::size_t>(args.get_int("epochs", 10));
+  const auto per_class =
+      static_cast<std::size_t>(args.get_int("per-class", 12));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string arch = args.get("arch", "mobile-mini");
+
+  SceneGenerator scenes(64);
+  CaptureConfig cfg;
+  Rng root(seed);
+  Rng train_rng = root.fork(1);
+  Dataset train = build_device_dataset(device_by_name(device_name), per_class,
+                                       scenes, cfg, train_rng);
+  ModelSpec spec;
+  spec.arch = arch;
+  Rng model_rng = root.fork(2);
+  auto model = make_model(spec, model_rng);
+  LocalTrainConfig local;
+  local.lr = 0.1f;
+  local.batch_size = 10;
+  Timer timer;
+  Rng epoch_rng = root.fork(3);
+  float loss = 0.0f;
+  for (std::size_t e = 0; e < epochs; ++e) {
+    loss = local_train(*model, train, local, epoch_rng);
+  }
+  std::printf("trained %s on %s for %zu epochs (loss %.3f, %.1fs)\n",
+              arch.c_str(), device_name.c_str(), epochs, loss,
+              timer.elapsed_s());
+  Table table({"TestDevice", "Accuracy"});
+  for (const auto& d : paper_devices()) {
+    Rng test_rng = root.fork(500);
+    Dataset test = build_device_dataset(d, 4, scenes, cfg, test_rng);
+    table.add_row({d.name, Table::pct(evaluate_accuracy(*model, test))});
+  }
+  table.print(std::cout);
+  return 0;
+}
+
+int cmd_fl(const Args& args) {
+  if (args.help()) {
+    std::printf(
+        "hsctl fl [--method M] [--rounds T] [--clients N] [--per-round K] "
+        "[--seed S]\n"
+        "Methods: fedavg heteroswitch qfedavg fedprox scaffold fedavgm "
+        "dpfedavg compressed\n");
+    return 0;
+  }
+  const std::string method = args.get("method", "heteroswitch");
+  const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 40));
+  const auto n_clients = static_cast<std::size_t>(args.get_int("clients", 30));
+  const auto k = static_cast<std::size_t>(args.get_int("per-round", 8));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+
+  SceneGenerator scenes(64);
+  Rng root(seed);
+  PopulationConfig pcfg;
+  pcfg.num_clients = n_clients;
+  pcfg.samples_per_client = 20;
+  pcfg.test_per_class = 5;
+  pcfg.capture.tensor_size = 16;
+  pcfg.capture.illuminant_sigma_override = -1.0f;
+  Rng pop_rng = root.fork(1);
+  std::printf("building population (%zu clients)...\n", n_clients);
+  const FlPopulation pop = build_population(paper_devices(), pcfg, scenes,
+                                            pop_rng);
+
+  LocalTrainConfig local;
+  local.lr = 0.1f;
+  local.batch_size = 10;
+  std::unique_ptr<FederatedAlgorithm> algo;
+  if (method == "fedavg") {
+    algo = std::make_unique<FedAvg>(local);
+  } else if (method == "heteroswitch") {
+    algo = std::make_unique<HeteroSwitch>(local, HeteroSwitchOptions{});
+  } else if (method == "qfedavg") {
+    algo = std::make_unique<QFedAvg>(local, args.get_double("q", 1e-6));
+  } else if (method == "fedprox") {
+    algo = std::make_unique<FedProx>(
+        local, static_cast<float>(args.get_double("mu", 0.1)));
+  } else if (method == "scaffold") {
+    algo = std::make_unique<Scaffold>(local);
+  } else if (method == "fedavgm") {
+    algo = std::make_unique<FedAvgM>(
+        local, static_cast<float>(args.get_double("beta", 0.7)));
+  } else if (method == "compressed") {
+    CompressionOptions comp;
+    comp.top_k_fraction =
+        static_cast<float>(args.get_double("topk", 0.1));
+    comp.quantize_bits = static_cast<int>(args.get_int("bits", 0));
+    algo = std::make_unique<CompressedFedAvg>(local, comp);
+  } else if (method == "dpfedavg") {
+    DpOptions dp;
+    dp.clip_norm = static_cast<float>(args.get_double("clip", 1.0));
+    dp.noise_multiplier =
+        static_cast<float>(args.get_double("noise", 0.05));
+    algo = std::make_unique<DpFedAvg>(local, dp);
+  } else {
+    std::fprintf(stderr, "unknown method: %s\n", method.c_str());
+    return 1;
+  }
+
+  ModelSpec spec;
+  spec.image_size = 16;
+  Rng model_rng = root.fork(2);
+  auto model = make_model(spec, model_rng);
+  SimulationConfig sim;
+  sim.rounds = rounds;
+  sim.clients_per_round = k;
+  sim.seed = seed + 3;
+  Timer timer;
+  sim.on_round = [&](std::size_t round, double loss) {
+    if (round % 10 == 0) {
+      std::printf("  round %zu  loss %.3f  (%.1fs)\n", round, loss,
+                  timer.elapsed_s());
+    }
+  };
+  const SimulationResult r = run_simulation(*model, *algo, pop, sim);
+
+  std::printf("\n%s after %zu rounds:\n", algo->name().c_str(), rounds);
+  Table table({"Device", "Accuracy"});
+  for (std::size_t d = 0; d < pop.device_names.size(); ++d) {
+    table.add_row({pop.device_names[d],
+                   Table::pct(r.final_metrics.per_device[d])});
+  }
+  table.print(std::cout);
+  std::printf("average %.2f%%  variance %.2f  worst-case %.2f%%\n",
+              r.final_metrics.average * 100, r.final_metrics.variance * 1e4,
+              r.final_metrics.worst_case * 100);
+  return 0;
+}
+
+void print_usage() {
+  std::printf(
+      "hsctl — HeteroSwitch library front end\n"
+      "usage: hsctl <command> [options]\n\n"
+      "commands:\n"
+      "  devices     list the device registry (Table 1)\n"
+      "  capture     capture one scene with a device, export PPMs\n"
+      "  signature   statistics-level device heterogeneity matrix\n"
+      "  train       centralized cross-device characterization\n"
+      "  fl          run a federated simulation\n"
+      "run `hsctl <command> --help` for command options.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    print_usage();
+    return 1;
+  }
+  const std::string command = argv[1];
+  Args args(argc, argv, 2);
+  if (!args.ok()) return 1;
+  try {
+    if (command == "devices") return cmd_devices();
+    if (command == "capture") return cmd_capture(args);
+    if (command == "signature") return cmd_signature(args);
+    if (command == "train") return cmd_train(args);
+    if (command == "fl") return cmd_fl(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "hsctl %s: %s\n", command.c_str(), e.what());
+    return 1;
+  }
+  std::fprintf(stderr, "unknown command: %s\n\n", command.c_str());
+  print_usage();
+  return 1;
+}
