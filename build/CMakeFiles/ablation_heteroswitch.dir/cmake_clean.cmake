@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_heteroswitch.dir/bench/ablation_heteroswitch.cpp.o"
+  "CMakeFiles/ablation_heteroswitch.dir/bench/ablation_heteroswitch.cpp.o.d"
+  "bench/ablation_heteroswitch"
+  "bench/ablation_heteroswitch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_heteroswitch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

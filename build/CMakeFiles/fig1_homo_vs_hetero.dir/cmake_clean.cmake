@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_homo_vs_hetero.dir/bench/fig1_homo_vs_hetero.cpp.o"
+  "CMakeFiles/fig1_homo_vs_hetero.dir/bench/fig1_homo_vs_hetero.cpp.o.d"
+  "bench/fig1_homo_vs_hetero"
+  "bench/fig1_homo_vs_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_homo_vs_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

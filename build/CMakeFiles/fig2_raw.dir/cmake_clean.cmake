@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_raw.dir/bench/fig2_raw.cpp.o"
+  "CMakeFiles/fig2_raw.dir/bench/fig2_raw.cpp.o.d"
+  "bench/fig2_raw"
+  "bench/fig2_raw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_raw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

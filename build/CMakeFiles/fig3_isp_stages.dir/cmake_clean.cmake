@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_isp_stages.dir/bench/fig3_isp_stages.cpp.o"
+  "CMakeFiles/fig3_isp_stages.dir/bench/fig3_isp_stages.cpp.o.d"
+  "bench/fig3_isp_stages"
+  "bench/fig3_isp_stages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_isp_stages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

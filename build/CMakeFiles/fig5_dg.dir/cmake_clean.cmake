@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_dg.dir/bench/fig5_dg.cpp.o"
+  "CMakeFiles/fig5_dg.dir/bench/fig5_dg.cpp.o.d"
+  "bench/fig5_dg"
+  "bench/fig5_dg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_dg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

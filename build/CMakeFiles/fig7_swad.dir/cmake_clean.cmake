@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_swad.dir/bench/fig7_swad.cpp.o"
+  "CMakeFiles/fig7_swad.dir/bench/fig7_swad.cpp.o.d"
+  "bench/fig7_swad"
+  "bench/fig7_swad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_swad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

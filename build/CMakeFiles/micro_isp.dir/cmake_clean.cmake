@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_isp.dir/bench/micro_isp.cpp.o"
+  "CMakeFiles/micro_isp.dir/bench/micro_isp.cpp.o.d"
+  "bench/micro_isp"
+  "bench/micro_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/micro_tensor_nn.dir/bench/micro_tensor_nn.cpp.o"
+  "CMakeFiles/micro_tensor_nn.dir/bench/micro_tensor_nn.cpp.o.d"
+  "bench/micro_tensor_nn"
+  "bench/micro_tensor_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_tensor_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

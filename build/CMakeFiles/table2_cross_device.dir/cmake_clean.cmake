@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_cross_device.dir/bench/table2_cross_device.cpp.o"
+  "CMakeFiles/table2_cross_device.dir/bench/table2_cross_device.cpp.o.d"
+  "bench/table2_cross_device"
+  "bench/table2_cross_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_cross_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_main.dir/bench/table4_main.cpp.o"
+  "CMakeFiles/table4_main.dir/bench/table4_main.cpp.o.d"
+  "bench/table4_main"
+  "bench/table4_main.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_main.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_models.dir/bench/table5_models.cpp.o"
+  "CMakeFiles/table5_models.dir/bench/table5_models.cpp.o.d"
+  "bench/table5_models"
+  "bench/table5_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_flair.dir/bench/table6_flair.cpp.o"
+  "CMakeFiles/table6_flair.dir/bench/table6_flair.cpp.o.d"
+  "bench/table6_flair"
+  "bench/table6_flair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_flair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

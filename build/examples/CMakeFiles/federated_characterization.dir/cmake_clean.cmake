@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/federated_characterization.dir/federated_characterization.cpp.o"
+  "CMakeFiles/federated_characterization.dir/federated_characterization.cpp.o.d"
+  "federated_characterization"
+  "federated_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/federated_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

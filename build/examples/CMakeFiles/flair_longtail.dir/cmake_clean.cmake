@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flair_longtail.dir/flair_longtail.cpp.o"
+  "CMakeFiles/flair_longtail.dir/flair_longtail.cpp.o.d"
+  "flair_longtail"
+  "flair_longtail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flair_longtail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heteroswitch_fl.dir/heteroswitch_fl.cpp.o"
+  "CMakeFiles/heteroswitch_fl.dir/heteroswitch_fl.cpp.o.d"
+  "heteroswitch_fl"
+  "heteroswitch_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heteroswitch_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

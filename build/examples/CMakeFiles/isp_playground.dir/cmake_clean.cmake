@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isp_playground.dir/isp_playground.cpp.o"
+  "CMakeFiles/isp_playground.dir/isp_playground.cpp.o.d"
+  "isp_playground"
+  "isp_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isp_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/privacy_and_signatures.cpp" "examples/CMakeFiles/privacy_and_signatures.dir/privacy_and_signatures.cpp.o" "gcc" "examples/CMakeFiles/privacy_and_signatures.dir/privacy_and_signatures.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hetero/CMakeFiles/hs_hetero.dir/DependInfo.cmake"
+  "/root/repo/build/src/fl/CMakeFiles/hs_fl.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/hs_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/hs_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/hs_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/isp/CMakeFiles/hs_isp.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/hs_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/hs_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_and_signatures.dir/privacy_and_signatures.cpp.o"
+  "CMakeFiles/privacy_and_signatures.dir/privacy_and_signatures.cpp.o.d"
+  "privacy_and_signatures"
+  "privacy_and_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_and_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

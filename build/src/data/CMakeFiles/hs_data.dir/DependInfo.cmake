@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/builder.cpp" "src/data/CMakeFiles/hs_data.dir/builder.cpp.o" "gcc" "src/data/CMakeFiles/hs_data.dir/builder.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/hs_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/hs_data.dir/dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/device/CMakeFiles/hs_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/scene/CMakeFiles/hs_scene.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/isp/CMakeFiles/hs_isp.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/hs_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

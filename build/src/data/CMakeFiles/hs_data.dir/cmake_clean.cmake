@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_data.dir/builder.cpp.o"
+  "CMakeFiles/hs_data.dir/builder.cpp.o.d"
+  "CMakeFiles/hs_data.dir/dataset.cpp.o"
+  "CMakeFiles/hs_data.dir/dataset.cpp.o.d"
+  "libhs_data.a"
+  "libhs_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_device.dir/device_profile.cpp.o"
+  "CMakeFiles/hs_device.dir/device_profile.cpp.o.d"
+  "libhs_device.a"
+  "libhs_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_fl.dir/algorithm.cpp.o"
+  "CMakeFiles/hs_fl.dir/algorithm.cpp.o.d"
+  "CMakeFiles/hs_fl.dir/compression.cpp.o"
+  "CMakeFiles/hs_fl.dir/compression.cpp.o.d"
+  "CMakeFiles/hs_fl.dir/eval.cpp.o"
+  "CMakeFiles/hs_fl.dir/eval.cpp.o.d"
+  "CMakeFiles/hs_fl.dir/population.cpp.o"
+  "CMakeFiles/hs_fl.dir/population.cpp.o.d"
+  "CMakeFiles/hs_fl.dir/privacy.cpp.o"
+  "CMakeFiles/hs_fl.dir/privacy.cpp.o.d"
+  "CMakeFiles/hs_fl.dir/simulation.cpp.o"
+  "CMakeFiles/hs_fl.dir/simulation.cpp.o.d"
+  "CMakeFiles/hs_fl.dir/trainer.cpp.o"
+  "CMakeFiles/hs_fl.dir/trainer.cpp.o.d"
+  "libhs_fl.a"
+  "libhs_fl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_fl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_hetero.dir/hetero_metrics.cpp.o"
+  "CMakeFiles/hs_hetero.dir/hetero_metrics.cpp.o.d"
+  "CMakeFiles/hs_hetero.dir/heteroswitch.cpp.o"
+  "CMakeFiles/hs_hetero.dir/heteroswitch.cpp.o.d"
+  "CMakeFiles/hs_hetero.dir/swad.cpp.o"
+  "CMakeFiles/hs_hetero.dir/swad.cpp.o.d"
+  "CMakeFiles/hs_hetero.dir/transforms.cpp.o"
+  "CMakeFiles/hs_hetero.dir/transforms.cpp.o.d"
+  "libhs_hetero.a"
+  "libhs_hetero.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_hetero.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/image/color.cpp" "src/image/CMakeFiles/hs_image.dir/color.cpp.o" "gcc" "src/image/CMakeFiles/hs_image.dir/color.cpp.o.d"
+  "/root/repo/src/image/image.cpp" "src/image/CMakeFiles/hs_image.dir/image.cpp.o" "gcc" "src/image/CMakeFiles/hs_image.dir/image.cpp.o.d"
+  "/root/repo/src/image/ppm.cpp" "src/image/CMakeFiles/hs_image.dir/ppm.cpp.o" "gcc" "src/image/CMakeFiles/hs_image.dir/ppm.cpp.o.d"
+  "/root/repo/src/image/raw_image.cpp" "src/image/CMakeFiles/hs_image.dir/raw_image.cpp.o" "gcc" "src/image/CMakeFiles/hs_image.dir/raw_image.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/hs_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

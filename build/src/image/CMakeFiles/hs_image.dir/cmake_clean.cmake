@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_image.dir/color.cpp.o"
+  "CMakeFiles/hs_image.dir/color.cpp.o.d"
+  "CMakeFiles/hs_image.dir/image.cpp.o"
+  "CMakeFiles/hs_image.dir/image.cpp.o.d"
+  "CMakeFiles/hs_image.dir/ppm.cpp.o"
+  "CMakeFiles/hs_image.dir/ppm.cpp.o.d"
+  "CMakeFiles/hs_image.dir/raw_image.cpp.o"
+  "CMakeFiles/hs_image.dir/raw_image.cpp.o.d"
+  "libhs_image.a"
+  "libhs_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

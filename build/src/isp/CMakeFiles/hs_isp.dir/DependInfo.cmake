@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isp/compress.cpp" "src/isp/CMakeFiles/hs_isp.dir/compress.cpp.o" "gcc" "src/isp/CMakeFiles/hs_isp.dir/compress.cpp.o.d"
+  "/root/repo/src/isp/demosaic.cpp" "src/isp/CMakeFiles/hs_isp.dir/demosaic.cpp.o" "gcc" "src/isp/CMakeFiles/hs_isp.dir/demosaic.cpp.o.d"
+  "/root/repo/src/isp/denoise.cpp" "src/isp/CMakeFiles/hs_isp.dir/denoise.cpp.o" "gcc" "src/isp/CMakeFiles/hs_isp.dir/denoise.cpp.o.d"
+  "/root/repo/src/isp/gamut.cpp" "src/isp/CMakeFiles/hs_isp.dir/gamut.cpp.o" "gcc" "src/isp/CMakeFiles/hs_isp.dir/gamut.cpp.o.d"
+  "/root/repo/src/isp/pipeline.cpp" "src/isp/CMakeFiles/hs_isp.dir/pipeline.cpp.o" "gcc" "src/isp/CMakeFiles/hs_isp.dir/pipeline.cpp.o.d"
+  "/root/repo/src/isp/sensor.cpp" "src/isp/CMakeFiles/hs_isp.dir/sensor.cpp.o" "gcc" "src/isp/CMakeFiles/hs_isp.dir/sensor.cpp.o.d"
+  "/root/repo/src/isp/tone.cpp" "src/isp/CMakeFiles/hs_isp.dir/tone.cpp.o" "gcc" "src/isp/CMakeFiles/hs_isp.dir/tone.cpp.o.d"
+  "/root/repo/src/isp/white_balance.cpp" "src/isp/CMakeFiles/hs_isp.dir/white_balance.cpp.o" "gcc" "src/isp/CMakeFiles/hs_isp.dir/white_balance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/hs_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/hs_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/hs_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_isp.dir/compress.cpp.o"
+  "CMakeFiles/hs_isp.dir/compress.cpp.o.d"
+  "CMakeFiles/hs_isp.dir/demosaic.cpp.o"
+  "CMakeFiles/hs_isp.dir/demosaic.cpp.o.d"
+  "CMakeFiles/hs_isp.dir/denoise.cpp.o"
+  "CMakeFiles/hs_isp.dir/denoise.cpp.o.d"
+  "CMakeFiles/hs_isp.dir/gamut.cpp.o"
+  "CMakeFiles/hs_isp.dir/gamut.cpp.o.d"
+  "CMakeFiles/hs_isp.dir/pipeline.cpp.o"
+  "CMakeFiles/hs_isp.dir/pipeline.cpp.o.d"
+  "CMakeFiles/hs_isp.dir/sensor.cpp.o"
+  "CMakeFiles/hs_isp.dir/sensor.cpp.o.d"
+  "CMakeFiles/hs_isp.dir/tone.cpp.o"
+  "CMakeFiles/hs_isp.dir/tone.cpp.o.d"
+  "CMakeFiles/hs_isp.dir/white_balance.cpp.o"
+  "CMakeFiles/hs_isp.dir/white_balance.cpp.o.d"
+  "libhs_isp.a"
+  "libhs_isp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_isp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

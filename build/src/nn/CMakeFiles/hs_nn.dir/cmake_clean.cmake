@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_nn.dir/activations.cpp.o"
+  "CMakeFiles/hs_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/hs_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/hs_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/hs_nn.dir/blocks.cpp.o"
+  "CMakeFiles/hs_nn.dir/blocks.cpp.o.d"
+  "CMakeFiles/hs_nn.dir/conv2d.cpp.o"
+  "CMakeFiles/hs_nn.dir/conv2d.cpp.o.d"
+  "CMakeFiles/hs_nn.dir/layer.cpp.o"
+  "CMakeFiles/hs_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/hs_nn.dir/linear.cpp.o"
+  "CMakeFiles/hs_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/hs_nn.dir/loss.cpp.o"
+  "CMakeFiles/hs_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/hs_nn.dir/model.cpp.o"
+  "CMakeFiles/hs_nn.dir/model.cpp.o.d"
+  "CMakeFiles/hs_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/hs_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/hs_nn.dir/optimizer.cpp.o"
+  "CMakeFiles/hs_nn.dir/optimizer.cpp.o.d"
+  "CMakeFiles/hs_nn.dir/pooling.cpp.o"
+  "CMakeFiles/hs_nn.dir/pooling.cpp.o.d"
+  "CMakeFiles/hs_nn.dir/sequential.cpp.o"
+  "CMakeFiles/hs_nn.dir/sequential.cpp.o.d"
+  "libhs_nn.a"
+  "libhs_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_scene.dir/flair_gen.cpp.o"
+  "CMakeFiles/hs_scene.dir/flair_gen.cpp.o.d"
+  "CMakeFiles/hs_scene.dir/scene_gen.cpp.o"
+  "CMakeFiles/hs_scene.dir/scene_gen.cpp.o.d"
+  "libhs_scene.a"
+  "libhs_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_tensor.dir/serialize.cpp.o"
+  "CMakeFiles/hs_tensor.dir/serialize.cpp.o.d"
+  "CMakeFiles/hs_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/hs_tensor.dir/tensor.cpp.o.d"
+  "CMakeFiles/hs_tensor.dir/tensor_ops.cpp.o"
+  "CMakeFiles/hs_tensor.dir/tensor_ops.cpp.o.d"
+  "libhs_tensor.a"
+  "libhs_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

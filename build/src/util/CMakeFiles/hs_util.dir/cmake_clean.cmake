@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hs_util.dir/config.cpp.o"
+  "CMakeFiles/hs_util.dir/config.cpp.o.d"
+  "CMakeFiles/hs_util.dir/logging.cpp.o"
+  "CMakeFiles/hs_util.dir/logging.cpp.o.d"
+  "CMakeFiles/hs_util.dir/rng.cpp.o"
+  "CMakeFiles/hs_util.dir/rng.cpp.o.d"
+  "CMakeFiles/hs_util.dir/stats.cpp.o"
+  "CMakeFiles/hs_util.dir/stats.cpp.o.d"
+  "CMakeFiles/hs_util.dir/table.cpp.o"
+  "CMakeFiles/hs_util.dir/table.cpp.o.d"
+  "libhs_util.a"
+  "libhs_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hs_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

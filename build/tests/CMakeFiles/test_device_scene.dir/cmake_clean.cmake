@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_device_scene.dir/test_device_scene.cpp.o"
+  "CMakeFiles/test_device_scene.dir/test_device_scene.cpp.o.d"
+  "test_device_scene"
+  "test_device_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_device_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_blocks.dir/test_nn_blocks.cpp.o"
+  "CMakeFiles/test_nn_blocks.dir/test_nn_blocks.cpp.o.d"
+  "test_nn_blocks"
+  "test_nn_blocks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_blocks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsctl.dir/hsctl.cpp.o"
+  "CMakeFiles/hsctl.dir/hsctl.cpp.o.d"
+  "hsctl"
+  "hsctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
