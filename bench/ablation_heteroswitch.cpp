@@ -23,6 +23,7 @@ DeviceMetrics run(FederatedAlgorithm& algo, const FlPopulation& pop,
   sim.rounds = rounds;
   sim.clients_per_round = k;
   sim.seed = seed + 1;
+  sim.num_threads = Scale{}.threads();
   return run_simulation(*model, algo, pop, sim).final_metrics;
 }
 

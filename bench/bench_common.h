@@ -4,7 +4,8 @@
 //               finishes in seconds-to-a-minute on one core;
 //   HS_SCALE  = 1: paper-shaped run (long);
 //   HS_SEED   : experiment seed;
-//   HS_ROUNDS : override FL communication rounds.
+//   HS_ROUNDS : override FL communication rounds;
+//   HS_THREADS: worker threads for client training (0 = all cores).
 // and prints the paper-style table plus a CSV copy next to the binary.
 #pragma once
 
@@ -41,6 +42,12 @@ struct Scale {
   std::size_t repeats() const {
     return static_cast<std::size_t>(std::max<std::int64_t>(
         1, env_int("HS_REPEATS", 1)));
+  }
+  /// HS_THREADS: worker threads for the client fan-out (0 = all hardware
+  /// threads, the default). Results are bit-identical for any value.
+  std::size_t threads() const {
+    return static_cast<std::size_t>(std::max<std::int64_t>(
+        0, env_int("HS_THREADS", 0)));
   }
 };
 

@@ -18,6 +18,7 @@ double run_fl(const FlPopulation& pop, std::size_t rounds, std::size_t k,
   sim.rounds = rounds;
   sim.clients_per_round = k;
   sim.seed = seed + 1;
+  sim.num_threads = Scale{}.threads();
   run_simulation(*model, algo, pop, sim);
   return evaluate_accuracy(*model, pop.device_test.at(eval_device));
 }

@@ -29,6 +29,7 @@ std::vector<double> run_fedavg(const FlPopulation& pop, std::size_t rounds,
   sim.rounds = rounds;
   sim.clients_per_round = k;
   sim.seed = seed + 1;
+  sim.num_threads = Scale{}.threads();
   return run_simulation(*model, algo, pop, sim).final_metrics.per_device;
 }
 

@@ -18,6 +18,7 @@ double run_fedavg(const FlPopulation& pop, const LocalTrainConfig& local,
   sim.rounds = rounds;
   sim.clients_per_round = k;
   sim.seed = seed + 1;
+  sim.num_threads = Scale{}.threads();
   const SimulationResult r = run_simulation(*model, algo, pop, sim);
   return r.final_metrics.average;
 }

@@ -75,6 +75,7 @@ int main() {
       sim.rounds = rounds;
       sim.clients_per_round = k;
       sim.seed = scale.seed() + 7 + rep * 101;
+      sim.num_threads = scale.threads();
       const SimulationResult r = run_simulation(*model, *method, pop, sim);
       worst.add(r.final_metrics.worst_case);
       var.add(r.final_metrics.variance);

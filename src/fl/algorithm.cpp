@@ -37,27 +37,51 @@ Tensor weighted_average_states(const std::vector<Tensor>& states,
   return avg;
 }
 
+// ------------------------------------------------- SplitFederatedAlgorithm
+
+RoundStats SplitFederatedAlgorithm::run_round(
+    Model& model, const std::vector<std::size_t>& selected,
+    const std::vector<Dataset>& client_data, Rng& rng) {
+  HS_CHECK(!selected.empty(), "run_round: no clients selected");
+  const Tensor global = model.state();
+  std::vector<ClientUpdate> updates;
+  updates.reserve(selected.size());
+  for (std::size_t id : selected) {
+    Rng client_rng = rng.fork(id);
+    updates.push_back(
+        local_update(model, global, id, client_data.at(id), client_rng));
+  }
+  return aggregate(model, global, updates);
+}
+
 // ------------------------------------------------------------------ FedAvg
 
-RoundStats FedAvg::run_round(Model& model,
-                             const std::vector<std::size_t>& selected,
-                             const std::vector<Dataset>& client_data,
-                             Rng& rng) {
-  HS_CHECK(!selected.empty(), "FedAvg: no clients selected");
-  const Tensor global = model.state();
+ClientUpdate FedAvg::local_update(Model& model, const Tensor& global,
+                                  std::size_t client_id, const Dataset& data,
+                                  Rng& client_rng) const {
+  model.set_state(global);
+  const float loss = local_train(model, data, cfg_, client_rng);
+  ClientUpdate u;
+  u.client_id = client_id;
+  u.state = model.state();
+  u.weight = static_cast<double>(data.size());
+  u.train_loss = static_cast<double>(loss);
+  return u;
+}
+
+RoundStats FedAvg::aggregate(Model& model, const Tensor& global,
+                             std::vector<ClientUpdate>& updates) {
+  (void)global;
+  HS_CHECK(!updates.empty(), "FedAvg: no client updates");
   std::vector<Tensor> states;
   std::vector<double> weights;
   double loss_sum = 0.0, weight_sum = 0.0;
-  states.reserve(selected.size());
-  for (std::size_t id : selected) {
-    const Dataset& data = client_data.at(id);
-    model.set_state(global);
-    Rng client_rng = rng.fork(id);
-    const float loss = local_train(model, data, cfg_, client_rng);
-    states.push_back(model.state());
-    weights.push_back(static_cast<double>(data.size()));
-    loss_sum += loss * static_cast<double>(data.size());
-    weight_sum += static_cast<double>(data.size());
+  states.reserve(updates.size());
+  for (ClientUpdate& u : updates) {
+    states.push_back(std::move(u.state));
+    weights.push_back(u.weight);
+    loss_sum += u.train_loss * u.weight;
+    weight_sum += u.weight;
   }
   model.set_state(weighted_average_states(states, weights));
   return RoundStats{loss_sum / weight_sum};
@@ -65,34 +89,43 @@ RoundStats FedAvg::run_round(Model& model,
 
 // ----------------------------------------------------------------- QFedAvg
 
-RoundStats QFedAvg::run_round(Model& model,
-                              const std::vector<std::size_t>& selected,
-                              const std::vector<Dataset>& client_data,
-                              Rng& rng) {
-  HS_CHECK(!selected.empty(), "QFedAvg: no clients selected");
-  const Tensor global = model.state();
-  const double big_l = 1.0 / static_cast<double>(cfg_.lr);  // Lipschitz proxy
+ClientUpdate QFedAvg::local_update(Model& model, const Tensor& global,
+                                   std::size_t client_id, const Dataset& data,
+                                   Rng& client_rng) const {
+  model.set_state(global);
+  // F_k: loss of the *global* model on the client's data.
+  const double fk =
+      std::max(1e-10, evaluate_loss(model, data, cfg_.batch_size));
+  const float train_loss = local_train(model, data, cfg_, client_rng);
+  // Delta-w scaled to a gradient estimate: L * (w_global - w_k), with the
+  // Lipschitz proxy L = 1/lr.
+  Tensor dw = global - model.state();
+  dw *= static_cast<float>(1.0 / static_cast<double>(cfg_.lr));
+  ClientUpdate u;
+  u.client_id = client_id;
+  u.weight = static_cast<double>(data.size());
+  u.train_loss = static_cast<double>(train_loss);
+  u.aux = std::move(dw);
+  u.aux_scalar = fk;
+  return u;
+}
 
+RoundStats QFedAvg::aggregate(Model& model, const Tensor& global,
+                              std::vector<ClientUpdate>& updates) {
+  HS_CHECK(!updates.empty(), "QFedAvg: no client updates");
+  const double big_l = 1.0 / static_cast<double>(cfg_.lr);
   Tensor delta_sum(global.shape());
   double h_sum = 0.0;
   double loss_sum = 0.0, weight_sum = 0.0;
-  for (std::size_t id : selected) {
-    const Dataset& data = client_data.at(id);
-    model.set_state(global);
-    // F_k: loss of the *global* model on the client's data.
-    const double fk =
-        std::max(1e-10, evaluate_loss(model, data, cfg_.batch_size));
-    Rng client_rng = rng.fork(id);
-    const float train_loss = local_train(model, data, cfg_, client_rng);
-    // Delta-w scaled to a gradient estimate: L * (w_global - w_k).
-    Tensor dw = global - model.state();
-    dw *= static_cast<float>(big_l);
+  for (const ClientUpdate& u : updates) {
+    const Tensor& dw = u.aux;
+    const double fk = u.aux_scalar;
     const double norm2 = static_cast<double>(dw.norm()) * dw.norm();
     const double fq = std::pow(fk, q_);
     delta_sum.axpy(static_cast<float>(fq), dw);
     h_sum += q_ * std::pow(fk, q_ - 1.0) * norm2 + big_l * fq;
-    loss_sum += train_loss * static_cast<double>(data.size());
-    weight_sum += static_cast<double>(data.size());
+    loss_sum += u.train_loss * u.weight;
+    weight_sum += u.weight;
   }
   HS_CHECK(h_sum > 0.0, "QFedAvg: degenerate aggregation weights");
   Tensor new_state = global;
@@ -103,12 +136,10 @@ RoundStats QFedAvg::run_round(Model& model,
 
 // ----------------------------------------------------------------- FedProx
 
-RoundStats FedProx::run_round(Model& model,
-                              const std::vector<std::size_t>& selected,
-                              const std::vector<Dataset>& client_data,
-                              Rng& rng) {
-  HS_CHECK(!selected.empty(), "FedProx: no clients selected");
-  const Tensor global = model.state();
+ClientUpdate FedProx::local_update(Model& model, const Tensor& global,
+                                   std::size_t client_id, const Dataset& data,
+                                   Rng& client_rng) const {
+  model.set_state(global);
   const Tensor global_params = model.params();
 
   TrainHooks hooks;
@@ -126,18 +157,28 @@ RoundStats FedProx::run_round(Model& model,
     }
   };
 
+  const float loss = local_train(model, data, cfg_, client_rng, hooks);
+  ClientUpdate u;
+  u.client_id = client_id;
+  u.state = model.state();
+  u.weight = static_cast<double>(data.size());
+  u.train_loss = static_cast<double>(loss);
+  return u;
+}
+
+RoundStats FedProx::aggregate(Model& model, const Tensor& global,
+                              std::vector<ClientUpdate>& updates) {
+  (void)global;
+  HS_CHECK(!updates.empty(), "FedProx: no client updates");
   std::vector<Tensor> states;
   std::vector<double> weights;
   double loss_sum = 0.0, weight_sum = 0.0;
-  for (std::size_t id : selected) {
-    const Dataset& data = client_data.at(id);
-    model.set_state(global);
-    Rng client_rng = rng.fork(id);
-    const float loss = local_train(model, data, cfg_, client_rng, hooks);
-    states.push_back(model.state());
-    weights.push_back(static_cast<double>(data.size()));
-    loss_sum += loss * static_cast<double>(data.size());
-    weight_sum += static_cast<double>(data.size());
+  states.reserve(updates.size());
+  for (ClientUpdate& u : updates) {
+    states.push_back(std::move(u.state));
+    weights.push_back(u.weight);
+    loss_sum += u.train_loss * u.weight;
+    weight_sum += u.weight;
   }
   model.set_state(weighted_average_states(states, weights));
   return RoundStats{loss_sum / weight_sum};
@@ -150,25 +191,19 @@ void FedAvgM::init(Model& model, std::size_t num_clients) {
   velocity_ = Tensor({model.state_size()});
 }
 
-RoundStats FedAvgM::run_round(Model& model,
-                              const std::vector<std::size_t>& selected,
-                              const std::vector<Dataset>& client_data,
-                              Rng& rng) {
-  HS_CHECK(!selected.empty(), "FedAvgM: no clients selected");
+RoundStats FedAvgM::aggregate(Model& model, const Tensor& global,
+                              std::vector<ClientUpdate>& updates) {
+  HS_CHECK(!updates.empty(), "FedAvgM: no client updates");
   HS_CHECK(!velocity_.empty(), "FedAvgM: init() not called");
-  const Tensor global = model.state();
   std::vector<Tensor> states;
   std::vector<double> weights;
   double loss_sum = 0.0, weight_sum = 0.0;
-  for (std::size_t id : selected) {
-    const Dataset& data = client_data.at(id);
-    model.set_state(global);
-    Rng client_rng = rng.fork(id);
-    const float loss = local_train(model, data, cfg_, client_rng);
-    states.push_back(model.state());
-    weights.push_back(static_cast<double>(data.size()));
-    loss_sum += loss * static_cast<double>(data.size());
-    weight_sum += static_cast<double>(data.size());
+  states.reserve(updates.size());
+  for (ClientUpdate& u : updates) {
+    states.push_back(std::move(u.state));
+    weights.push_back(u.weight);
+    loss_sum += u.train_loss * u.weight;
+    weight_sum += u.weight;
   }
   // Pseudo-gradient: the (negated) average client movement.
   Tensor avg = weighted_average_states(states, weights);
@@ -188,66 +223,89 @@ void Scaffold::init(Model& model, std::size_t num_clients) {
   c_clients_.assign(num_clients, Tensor());
 }
 
-RoundStats Scaffold::run_round(Model& model,
-                               const std::vector<std::size_t>& selected,
-                               const std::vector<Dataset>& client_data,
-                               Rng& rng) {
-  HS_CHECK(!selected.empty(), "Scaffold: no clients selected");
+ClientUpdate Scaffold::local_update(Model& model, const Tensor& global,
+                                    std::size_t client_id, const Dataset& data,
+                                    Rng& client_rng) const {
   HS_CHECK(num_clients_ > 0, "Scaffold: init() not called");
-  const Tensor global = model.state();
+  HS_CHECK(client_id < c_clients_.size(), "Scaffold: client id out of range");
+  model.set_state(global);
   const Tensor global_params = model.params();
   const std::size_t p = global_params.size();
+
+  // A never-trained client's control variate is zeros; materialize a local
+  // copy instead of lazily writing the member (the member only changes in
+  // aggregate, so this function stays safe to run concurrently).
+  const Tensor ci =
+      c_clients_[client_id].empty() ? Tensor({p}) : c_clients_[client_id];
+
+  // Correction applied to every gradient step: + (c - c_i).
+  Tensor correction = c_global_ - ci;
+  TrainHooks hooks;
+  hooks.post_grad = [&correction](Model& m) {
+    ParamGroup g = m.net().param_group();
+    std::size_t off = 0;
+    for (std::size_t t = 0; t < g.grads.size(); ++t) {
+      Tensor& gr = *g.grads[t];
+      for (std::size_t j = 0; j < gr.size(); ++j) {
+        gr[j] += correction[off + j];
+      }
+      off += gr.size();
+    }
+  };
+
+  const float loss = local_train(model, data, cfg_, client_rng, hooks);
+  const Tensor y = model.params();
+  const std::size_t k = local_steps(data, cfg_);
+
+  // Option II control-variate update:
+  // c_i+ = c_i - c + (w_global - y) / (K * lr).
+  Tensor ci_new = ci - c_global_;
+  Tensor drift = global_params - y;
+  drift *= 1.0f / (static_cast<float>(k) * cfg_.lr);
+  ci_new += drift;
+
+  ClientUpdate u;
+  u.client_id = client_id;
+  u.state = model.state();
+  u.weight = static_cast<double>(data.size());
+  u.train_loss = static_cast<double>(loss);
+  u.aux = std::move(ci_new);
+  return u;
+}
+
+RoundStats Scaffold::aggregate(Model& model, const Tensor& global,
+                               std::vector<ClientUpdate>& updates) {
+  HS_CHECK(!updates.empty(), "Scaffold: no client updates");
+  HS_CHECK(num_clients_ > 0, "Scaffold: init() not called");
+  const std::size_t p = c_global_.size();
+  // The flat state layout is params followed by buffers, so the first p
+  // entries of `global` are the round-start parameters.
+  Tensor global_params({p});
+  for (std::size_t j = 0; j < p; ++j) global_params[j] = global[j];
 
   Tensor dw_sum({p});
   Tensor dc_sum({p});
   std::vector<Tensor> buffer_states;
   double loss_sum = 0.0, weight_sum = 0.0;
+  buffer_states.reserve(updates.size());
 
-  for (std::size_t id : selected) {
-    const Dataset& data = client_data.at(id);
-    HS_CHECK(id < c_clients_.size(), "Scaffold: client id out of range");
-    if (c_clients_[id].empty()) c_clients_[id] = Tensor({p});
-    const Tensor& ci = c_clients_[id];
-
-    // Correction applied to every gradient step: + (c - c_i).
-    Tensor correction = c_global_ - ci;
-    TrainHooks hooks;
-    hooks.post_grad = [&correction](Model& m) {
-      ParamGroup g = m.net().param_group();
-      std::size_t off = 0;
-      for (std::size_t t = 0; t < g.grads.size(); ++t) {
-        Tensor& gr = *g.grads[t];
-        for (std::size_t j = 0; j < gr.size(); ++j) {
-          gr[j] += correction[off + j];
-        }
-        off += gr.size();
-      }
-    };
-
-    model.set_state(global);
-    Rng client_rng = rng.fork(id);
-    const float loss = local_train(model, data, cfg_, client_rng, hooks);
-    const Tensor y = model.params();
-    const std::size_t k = local_steps(data, cfg_);
-
-    // Option II control-variate update:
-    // c_i+ = c_i - c + (w_global - y) / (K * lr).
-    Tensor ci_new = ci - c_global_;
-    Tensor drift = global_params - y;
-    drift *= 1.0f / (static_cast<float>(k) * cfg_.lr);
-    ci_new += drift;
-
-    dw_sum += y - global_params;
-    dc_sum += ci_new - ci;
-    c_clients_[id] = std::move(ci_new);
-    buffer_states.push_back(model.state());
-    loss_sum += loss * static_cast<double>(data.size());
-    weight_sum += static_cast<double>(data.size());
+  for (ClientUpdate& u : updates) {
+    // dw = y - w_global over the parameter prefix of the returned state.
+    for (std::size_t j = 0; j < p; ++j) {
+      dw_sum[j] += u.state[j] - global_params[j];
+    }
+    const Tensor ci_old =
+        c_clients_[u.client_id].empty() ? Tensor({p}) : c_clients_[u.client_id];
+    dc_sum += u.aux - ci_old;
+    c_clients_[u.client_id] = std::move(u.aux);
+    buffer_states.push_back(std::move(u.state));
+    loss_sum += u.train_loss * u.weight;
+    weight_sum += u.weight;
   }
 
   // Server update: params move by the mean client delta; buffers (BN stats)
   // are plain-averaged; c accumulates (1/N) * sum dc.
-  const float inv_s = 1.0f / static_cast<float>(selected.size());
+  const float inv_s = 1.0f / static_cast<float>(updates.size());
   Tensor new_params = global_params;
   new_params.axpy(inv_s, dw_sum);
   std::vector<double> eq_weights(buffer_states.size(), 1.0);

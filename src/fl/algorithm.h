@@ -33,6 +33,8 @@ struct RoundStats {
   double mean_train_loss = 0.0;  ///< sample-weighted mean of client losses
 };
 
+class SplitFederatedAlgorithm;
+
 class FederatedAlgorithm {
  public:
   virtual ~FederatedAlgorithm() = default;
@@ -50,16 +52,78 @@ class FederatedAlgorithm {
                                const std::vector<Dataset>& client_data,
                                Rng& rng) = 0;
 
+  /// Runtime hook: algorithms whose round decomposes into pure per-client
+  /// local updates plus a serial aggregate return themselves here, which
+  /// lets the parallel client executor fan their clients out over worker
+  /// threads. Kept as a virtual instead of a dynamic_cast so the runtime
+  /// library needs no link-time dependency on this one. Algorithms with
+  /// serial cross-client state (e.g. a shared noise stream) return nullptr
+  /// and always run their own run_round.
+  virtual SplitFederatedAlgorithm* as_split() { return nullptr; }
+
   virtual std::string name() const = 0;
 };
 
-class FedAvg : public FederatedAlgorithm {
- public:
-  explicit FedAvg(LocalTrainConfig cfg) : cfg_(cfg) {}
+/// The result of one client's local training, produced by
+/// SplitFederatedAlgorithm::local_update and consumed by aggregate().
+/// `aux` / `aux_scalar` / `flags` carry algorithm-specific payloads
+/// (SCAFFOLD's updated control variate, q-FedAvg's scaled delta and F_k,
+/// HeteroSwitch's switch decisions).
+struct ClientUpdate {
+  std::size_t client_id = 0;
+  Tensor state;             ///< post-training flat state (empty if unused)
+  double weight = 0.0;      ///< aggregation weight (usually sample count)
+  double train_loss = 0.0;  ///< running-mean train loss of the local pass
+  Tensor aux;               ///< algorithm-specific tensor payload
+  double aux_scalar = 0.0;  ///< algorithm-specific scalar payload
+  unsigned flags = 0;       ///< algorithm-specific bit flags
+  double train_seconds = 0.0;  ///< wall time spent in local_update
+};
 
+/// Base for algorithms split into a pure per-client phase and a serial
+/// server phase. The contract that makes parallel execution bit-identical
+/// to serial execution:
+///   * local_update is const and must not touch shared mutable state; it
+///     depends only on (global, client_id, data, client_rng). The caller
+///     derives client_rng as rng.fork(client_id) — keyed by client id, not
+///     loop order — so the stream is identical however clients are
+///     scheduled.
+///   * aggregate runs serially and folds updates in `selected` order, so
+///     floating-point accumulation order never depends on thread timing.
+class SplitFederatedAlgorithm : public FederatedAlgorithm {
+ public:
+  /// One client's local training pass against the round-start state
+  /// `global`. Must set_state(global) on the given model before touching
+  /// it; the model may be a per-worker replica with arbitrary prior state.
+  virtual ClientUpdate local_update(Model& model, const Tensor& global,
+                                    std::size_t client_id, const Dataset& data,
+                                    Rng& client_rng) const = 0;
+
+  /// Serial server phase: folds the round's updates (ordered like the
+  /// round's `selected` list) into the global model. `global` is the
+  /// round-start state local_update ran against.
+  virtual RoundStats aggregate(Model& model, const Tensor& global,
+                               std::vector<ClientUpdate>& updates) = 0;
+
+  /// Serial reference implementation: local_update per selected client on
+  /// the shared model, then aggregate. The parallel executor produces the
+  /// same updates from worker replicas.
   RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
                        const std::vector<Dataset>& client_data,
                        Rng& rng) override;
+
+  SplitFederatedAlgorithm* as_split() override { return this; }
+};
+
+class FedAvg : public SplitFederatedAlgorithm {
+ public:
+  explicit FedAvg(LocalTrainConfig cfg) : cfg_(cfg) {}
+
+  ClientUpdate local_update(Model& model, const Tensor& global,
+                            std::size_t client_id, const Dataset& data,
+                            Rng& client_rng) const override;
+  RoundStats aggregate(Model& model, const Tensor& global,
+                       std::vector<ClientUpdate>& updates) override;
   std::string name() const override { return "FedAvg"; }
 
  protected:
@@ -69,13 +133,15 @@ class FedAvg : public FederatedAlgorithm {
 /// q-FedAvg: clients with higher loss receive higher aggregation weight,
 /// trading a little average accuracy for lower variance. q -> 0 recovers
 /// FedAvg. Paper grid: q in {1e-6 .. 1e-1}, chosen value 1e-6.
-class QFedAvg : public FederatedAlgorithm {
+class QFedAvg : public SplitFederatedAlgorithm {
  public:
   QFedAvg(LocalTrainConfig cfg, double q) : cfg_(cfg), q_(q) {}
 
-  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
-                       const std::vector<Dataset>& client_data,
-                       Rng& rng) override;
+  ClientUpdate local_update(Model& model, const Tensor& global,
+                            std::size_t client_id, const Dataset& data,
+                            Rng& client_rng) const override;
+  RoundStats aggregate(Model& model, const Tensor& global,
+                       std::vector<ClientUpdate>& updates) override;
   std::string name() const override { return "q-FedAvg"; }
 
  private:
@@ -86,13 +152,15 @@ class QFedAvg : public FederatedAlgorithm {
 /// FedProx: adds mu/2 * ||w - w_global||^2 to each client objective,
 /// implemented as a gradient correction mu * (w - w_global) before the step.
 /// Paper grid: mu in {1e-5 .. 1e-1}, chosen value 1e-1.
-class FedProx : public FederatedAlgorithm {
+class FedProx : public SplitFederatedAlgorithm {
  public:
   FedProx(LocalTrainConfig cfg, float mu) : cfg_(cfg), mu_(mu) {}
 
-  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
-                       const std::vector<Dataset>& client_data,
-                       Rng& rng) override;
+  ClientUpdate local_update(Model& model, const Tensor& global,
+                            std::size_t client_id, const Dataset& data,
+                            Rng& client_rng) const override;
+  RoundStats aggregate(Model& model, const Tensor& global,
+                       std::vector<ClientUpdate>& updates) override;
   std::string name() const override { return "FedProx"; }
 
  private:
@@ -103,42 +171,43 @@ class FedProx : public FederatedAlgorithm {
 /// SCAFFOLD: corrects client drift with control variates. The server keeps
 /// a global variate c; every client i keeps a persistent c_i (Option II
 /// update). Both cover trainable parameters only (buffers are averaged as
-/// in FedAvg).
-class Scaffold : public FederatedAlgorithm {
+/// in FedAvg). local_update only *reads* the variates (an absent c_i acts
+/// as zeros); all writes happen in aggregate, keeping the client phase pure.
+class Scaffold : public SplitFederatedAlgorithm {
  public:
   explicit Scaffold(LocalTrainConfig cfg) : cfg_(cfg) {}
 
   void init(Model& model, std::size_t num_clients) override;
-  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
-                       const std::vector<Dataset>& client_data,
-                       Rng& rng) override;
+  ClientUpdate local_update(Model& model, const Tensor& global,
+                            std::size_t client_id, const Dataset& data,
+                            Rng& client_rng) const override;
+  RoundStats aggregate(Model& model, const Tensor& global,
+                       std::vector<ClientUpdate>& updates) override;
   std::string name() const override { return "Scaffold"; }
 
  private:
   LocalTrainConfig cfg_;
   std::size_t num_clients_ = 0;
   Tensor c_global_;                 // (P)
-  std::vector<Tensor> c_clients_;   // N x (P), lazily zero-initialized
+  std::vector<Tensor> c_clients_;   // N x (P), empty = zeros (never trained)
 };
 
 /// FedAvgM (extension beyond the paper): FedAvg with server-side momentum.
 /// The server treats the round's average client delta as a pseudo-gradient
 /// and applies momentum to it — often stabilizes training under client
 /// heterogeneity. Included as an additional baseline for the ablation
-/// benches.
-class FedAvgM : public FederatedAlgorithm {
+/// benches. The client phase is plain FedAvg local training (inherited).
+class FedAvgM : public FedAvg {
  public:
   FedAvgM(LocalTrainConfig cfg, float server_momentum)
-      : cfg_(cfg), beta_(server_momentum) {}
+      : FedAvg(cfg), beta_(server_momentum) {}
 
   void init(Model& model, std::size_t num_clients) override;
-  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
-                       const std::vector<Dataset>& client_data,
-                       Rng& rng) override;
+  RoundStats aggregate(Model& model, const Tensor& global,
+                       std::vector<ClientUpdate>& updates) override;
   std::string name() const override { return "FedAvgM"; }
 
  private:
-  LocalTrainConfig cfg_;
   float beta_;
   Tensor velocity_;  // over the full state
 };

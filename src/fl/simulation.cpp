@@ -1,6 +1,7 @@
 #include "fl/simulation.h"
 
 #include "fl/eval.h"
+#include "runtime/client_executor.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
@@ -31,15 +32,25 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
            "run_simulation: bad clients_per_round");
   Rng rng(cfg.seed);
   algorithm.init(model, population.client_train.size());
+  ClientExecutor executor(cfg.num_threads);
 
   SimulationResult result;
   result.train_loss_history.reserve(cfg.rounds);
+  result.runtime.threads = executor.num_threads();
+  result.runtime.round_seconds.reserve(cfg.rounds);
   for (std::size_t round = 0; round < cfg.rounds; ++round) {
     const auto selected = rng.sample_without_replacement(
         population.client_train.size(), cfg.clients_per_round);
     Rng round_rng = rng.fork(round);
-    const RoundStats stats = algorithm.run_round(
-        model, selected, population.client_train, round_rng);
+    RoundRuntime round_runtime;
+    const RoundStats stats =
+        executor.run_round(model, algorithm, selected, population.client_train,
+                           round_rng, &round_runtime);
+    result.runtime.round_seconds.push_back(round_runtime.round_seconds);
+    result.runtime.total_seconds += round_runtime.round_seconds;
+    result.runtime.client_seconds_sum += round_runtime.client_seconds_sum;
+    result.runtime.client_seconds_max = std::max(
+        result.runtime.client_seconds_max, round_runtime.client_seconds_max);
     result.train_loss_history.push_back(stats.mean_train_loss);
     if (cfg.on_round) cfg.on_round(round, stats.mean_train_loss);
     if (cfg.eval_every > 0 && (round + 1) % cfg.eval_every == 0 &&

@@ -32,8 +32,23 @@ struct SimulationConfig {
   std::uint64_t seed = 42;
   /// Evaluate per-device metrics every eval_every rounds (0 = only final).
   std::size_t eval_every = 0;
+  /// Worker threads for the per-client training fan-out. 1 runs everything
+  /// on the calling thread; 0 selects hardware_concurrency. Results are
+  /// bit-identical for any value (see DESIGN.md, runtime contract).
+  std::size_t num_threads = 1;
   /// Optional progress callback (round, train loss).
   std::function<void(std::size_t, double)> on_round;
+};
+
+/// Wall-time accounting of one simulation run.
+struct RuntimeStats {
+  std::size_t threads = 1;     ///< resolved executor thread count
+  double total_seconds = 0.0;  ///< wall time across all rounds
+  std::vector<double> round_seconds;  ///< per-round wall time
+  /// Summed / worst per-client local-training wall time (0 for algorithms
+  /// without a split client phase).
+  double client_seconds_sum = 0.0;
+  double client_seconds_max = 0.0;
 };
 
 struct SimulationResult {
@@ -41,6 +56,7 @@ struct SimulationResult {
   std::vector<double> train_loss_history;  ///< one entry per round
   /// Metrics captured at each eval_every checkpoint (empty if disabled).
   std::vector<std::pair<std::size_t, DeviceMetrics>> checkpoints;
+  RuntimeStats runtime;
 };
 
 /// Runs T rounds of the algorithm on the population, mutating the model.

@@ -28,111 +28,115 @@ std::string HeteroSwitch::name() const {
   return hetero_switch_mode_name(options_.mode);
 }
 
-RoundStats HeteroSwitch::run_round(Model& model,
-                                   const std::vector<std::size_t>& selected,
-                                   const std::vector<Dataset>& client_data,
-                                   Rng& rng) {
-  HS_CHECK(!selected.empty(), "HeteroSwitch: no clients selected");
-  const Tensor global = model.state();
+ClientUpdate HeteroSwitch::local_update(Model& model, const Tensor& global,
+                                        std::size_t client_id,
+                                        const Dataset& full_data,
+                                        Rng& client_rng) const {
+  model.set_state(global);
+  // The switch decisions compare against the EMA as of the round start;
+  // aggregate() only updates it after every client has trained.
   const double l_ema = ema_.value();
 
+  // Optional validation split: the last validation_fraction of the
+  // client's samples measure bias; the rest train. With kTrainLoss the
+  // whole dataset does both (Algorithm 1 verbatim).
+  Dataset train_split;
+  Dataset val_split;
+  const bool use_val = options_.criterion == BiasCriterion::kValidationSplit &&
+                       full_data.size() >= 4;
+  if (use_val) {
+    const std::size_t n_val = std::max<std::size_t>(
+        1, static_cast<std::size_t>(static_cast<float>(full_data.size()) *
+                                    options_.validation_fraction));
+    std::vector<std::size_t> train_idx, val_idx;
+    for (std::size_t i = 0; i < full_data.size(); ++i) {
+      (i + n_val < full_data.size() ? train_idx : val_idx).push_back(i);
+    }
+    train_split = full_data.subset(train_idx);
+    val_split = full_data.subset(val_idx);
+  }
+  const Dataset& data = use_val ? train_split : full_data;
+  const Dataset& probe = use_val ? val_split : full_data;
+
+  // -- Algorithm 1, lines 2-5: bias measurement ---------------------------
+  // L_init: loss of the incoming global model on this client's data.
+  bool switch1 = false;
+  switch (options_.mode) {
+    case HeteroSwitchMode::kSelective: {
+      const double l_init = evaluate_loss(model, probe, cfg_.batch_size);
+      switch1 = l_init < l_ema;
+      break;
+    }
+    case HeteroSwitchMode::kAlwaysIsp:
+    case HeteroSwitchMode::kAlwaysIspSwad:
+      switch1 = true;
+      break;
+  }
+  const bool use_swad =
+      switch1 && options_.mode != HeteroSwitchMode::kAlwaysIsp;
+
+  // -- Lines 6-21: local training with optional transform + SWAD ----------
+  // Line 10: W_SWA initialized as a copy of W (the incoming weights).
+  WeightAverager swa(model.params());
+  TrainHooks hooks;
+  if (switch1) {
+    hooks.transform_batch = [this](Batch& batch, Rng& batch_rng) {
+      apply_isp_transform_batch(batch.x, options_.transform, batch_rng);
+    };
+  }
+  if (use_swad) {
+    hooks.post_step = [&swa](Model& m, std::size_t) {
+      swa.update(m.params());
+    };
+  }
+  const float l_train = local_train(model, data, cfg_, client_rng, hooks);
+
+  // -- Lines 22-29: Switch_2 decides which weights to return --------------
+  // With the validation criterion the post-training loss is re-measured
+  // on the held-out slice instead of reusing the running train loss.
+  const double l_post = use_val
+                            ? evaluate_loss(model, probe, cfg_.batch_size)
+                            : static_cast<double>(l_train);
+  bool switch2 = false;
+  switch (options_.mode) {
+    case HeteroSwitchMode::kSelective:
+      switch2 = switch1 && l_post < l_ema;
+      break;
+    case HeteroSwitchMode::kAlwaysIspSwad:
+      switch2 = true;  // always-on ablation returns the SWAD average
+      break;
+    case HeteroSwitchMode::kAlwaysIsp:
+      switch2 = false;
+      break;
+  }
+  if (switch2) model.set_params(swa.average());
+
+  ClientUpdate u;
+  u.client_id = client_id;
+  u.state = model.state();
+  u.weight = static_cast<double>(data.size());
+  u.train_loss = static_cast<double>(l_train);
+  u.flags = (switch1 ? 1u : 0u) | (switch2 ? 2u : 0u);
+  return u;
+}
+
+RoundStats HeteroSwitch::aggregate(Model& model, const Tensor& global,
+                                   std::vector<ClientUpdate>& updates) {
+  (void)global;
+  HS_CHECK(!updates.empty(), "HeteroSwitch: no client updates");
   std::vector<Tensor> states;
   std::vector<double> weights;
   double loss_sum = 0.0, weight_sum = 0.0;
-  states.reserve(selected.size());
-
-  for (std::size_t id : selected) {
-    const Dataset& full_data = client_data.at(id);
-    model.set_state(global);
+  states.reserve(updates.size());
+  for (ClientUpdate& u : updates) {
     ++update_count_;
-
-    // Optional validation split: the last validation_fraction of the
-    // client's samples measure bias; the rest train. With kTrainLoss the
-    // whole dataset does both (Algorithm 1 verbatim).
-    Dataset train_split;
-    Dataset val_split;
-    const bool use_val =
-        options_.criterion == BiasCriterion::kValidationSplit &&
-        full_data.size() >= 4;
-    if (use_val) {
-      const std::size_t n_val = std::max<std::size_t>(
-          1, static_cast<std::size_t>(
-                 static_cast<float>(full_data.size()) *
-                 options_.validation_fraction));
-      std::vector<std::size_t> train_idx, val_idx;
-      for (std::size_t i = 0; i < full_data.size(); ++i) {
-        (i + n_val < full_data.size() ? train_idx : val_idx).push_back(i);
-      }
-      train_split = full_data.subset(train_idx);
-      val_split = full_data.subset(val_idx);
-    }
-    const Dataset& data = use_val ? train_split : full_data;
-    const Dataset& probe = use_val ? val_split : full_data;
-
-    // -- Algorithm 1, lines 2-5: bias measurement -------------------------
-    // L_init: loss of the incoming global model on this client's data.
-    bool switch1 = false;
-    switch (options_.mode) {
-      case HeteroSwitchMode::kSelective: {
-        const double l_init = evaluate_loss(model, probe, cfg_.batch_size);
-        switch1 = l_init < l_ema;
-        break;
-      }
-      case HeteroSwitchMode::kAlwaysIsp:
-      case HeteroSwitchMode::kAlwaysIspSwad:
-        switch1 = true;
-        break;
-    }
-    if (switch1) ++switch1_count_;
-    const bool use_swad =
-        switch1 && options_.mode != HeteroSwitchMode::kAlwaysIsp;
-
-    // -- Lines 6-21: local training with optional transform + SWAD --------
-    // Line 10: W_SWA initialized as a copy of W (the incoming weights).
-    WeightAverager swa(model.params());
-    TrainHooks hooks;
-    if (switch1) {
-      hooks.transform_batch = [this](Batch& batch, Rng& batch_rng) {
-        apply_isp_transform_batch(batch.x, options_.transform, batch_rng);
-      };
-    }
-    if (use_swad) {
-      hooks.post_step = [&swa](Model& m, std::size_t) {
-        swa.update(m.params());
-      };
-    }
-    Rng client_rng = rng.fork(id);
-    const float l_train = local_train(model, data, cfg_, client_rng, hooks);
-
-    // -- Lines 22-29: Switch_2 decides which weights to return ------------
-    // With the validation criterion the post-training loss is re-measured
-    // on the held-out slice instead of reusing the running train loss.
-    const double l_post =
-        use_val ? evaluate_loss(model, probe, cfg_.batch_size)
-                : static_cast<double>(l_train);
-    bool switch2 = false;
-    switch (options_.mode) {
-      case HeteroSwitchMode::kSelective:
-        switch2 = switch1 && l_post < l_ema;
-        break;
-      case HeteroSwitchMode::kAlwaysIspSwad:
-        switch2 = true;  // always-on ablation returns the SWAD average
-        break;
-      case HeteroSwitchMode::kAlwaysIsp:
-        switch2 = false;
-        break;
-    }
-    if (switch2) {
-      ++switch2_count_;
-      model.set_params(swa.average());
-    }
-
-    states.push_back(model.state());
-    weights.push_back(static_cast<double>(data.size()));
-    loss_sum += static_cast<double>(l_train) * static_cast<double>(data.size());
-    weight_sum += static_cast<double>(data.size());
+    if (u.flags & 1u) ++switch1_count_;
+    if (u.flags & 2u) ++switch2_count_;
+    states.push_back(std::move(u.state));
+    weights.push_back(u.weight);
+    loss_sum += u.train_loss * u.weight;
+    weight_sum += u.weight;
   }
-
   model.set_state(weighted_average_states(states, weights));
   // Eq. 1: fold the round's aggregated train loss into the EMA.
   const double round_loss = loss_sum / weight_sum;

@@ -53,14 +53,20 @@ struct HeteroSwitchOptions {
   float validation_fraction = 0.25f;
 };
 
-class HeteroSwitch : public FederatedAlgorithm {
+class HeteroSwitch : public SplitFederatedAlgorithm {
  public:
   HeteroSwitch(LocalTrainConfig cfg, HeteroSwitchOptions options);
 
   void init(Model& model, std::size_t num_clients) override;
-  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
-                       const std::vector<Dataset>& client_data,
-                       Rng& rng) override;
+  /// Pure per-client phase: bias measurement against the round-start L_EMA,
+  /// local training with optional ISP transforms + SWAD, switch decisions.
+  /// Records Switch_1/Switch_2 in ClientUpdate::flags (bits 0/1); counters
+  /// and the EMA are only touched in aggregate().
+  ClientUpdate local_update(Model& model, const Tensor& global,
+                            std::size_t client_id, const Dataset& data,
+                            Rng& client_rng) const override;
+  RoundStats aggregate(Model& model, const Tensor& global,
+                       std::vector<ClientUpdate>& updates) override;
   std::string name() const override;
 
   /// Current EMA of the aggregated train loss (+inf before round 0).

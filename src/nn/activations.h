@@ -10,6 +10,9 @@ class ReLU : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ReLU>();
+  }
   std::string name() const override { return "ReLU"; }
 
  private:
@@ -21,6 +24,9 @@ class HSigmoid : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<HSigmoid>();
+  }
   std::string name() const override { return "HSigmoid"; }
 
   /// Scalar version, shared with SEBlock.
@@ -36,6 +42,9 @@ class HSwish : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<HSwish>();
+  }
   std::string name() const override { return "HSwish"; }
 
  private:

@@ -111,6 +111,15 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
+std::unique_ptr<Layer> BatchNorm2d::clone() const {
+  auto copy = std::make_unique<BatchNorm2d>(c_, momentum_, eps_);
+  copy->gamma_ = gamma_;
+  copy->beta_ = beta_;
+  copy->run_mean_ = run_mean_;
+  copy->run_var_ = run_var_;
+  return copy;
+}
+
 void BatchNorm2d::collect(ParamGroup& group) {
   group.params.push_back(&gamma_);
   group.params.push_back(&beta_);

@@ -20,6 +20,7 @@ class BatchNorm2d : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect(ParamGroup& group) override;
+  std::unique_ptr<Layer> clone() const override;
   std::string name() const override { return "BatchNorm2d"; }
 
   std::size_t channels() const { return c_; }

@@ -71,6 +71,13 @@ void SEBlock::collect(ParamGroup& group) {
   fc2_.collect(group);
 }
 
+SEBlock::SEBlock(const SEBlock& other)
+    : c_(other.c_), fc1_(other.fc1_), fc2_(other.fc2_) {}
+
+std::unique_ptr<Layer> SEBlock::clone() const {
+  return std::make_unique<SEBlock>(*this);
+}
+
 // --------------------------------------------------------------- Residual --
 
 Residual::Residual(std::unique_ptr<Layer> inner) : inner_(std::move(inner)) {
@@ -91,6 +98,10 @@ Tensor Residual::backward(const Tensor& grad_out) {
 }
 
 void Residual::collect(ParamGroup& group) { inner_->collect(group); }
+
+std::unique_ptr<Layer> Residual::clone() const {
+  return std::make_unique<Residual>(inner_->clone());
+}
 
 // ---------------------------------------------------------------- helpers --
 
@@ -155,6 +166,13 @@ Tensor InvertedResidual::backward(const Tensor& grad_out) {
 
 void InvertedResidual::collect(ParamGroup& group) { body_.collect(group); }
 
+InvertedResidual::InvertedResidual(const InvertedResidual& other)
+    : use_res_(other.use_res_), body_(other.body_) {}
+
+std::unique_ptr<Layer> InvertedResidual::clone() const {
+  return std::make_unique<InvertedResidual>(*this);
+}
+
 // ------------------------------------------------------------- FireModule --
 
 FireModule::FireModule(std::size_t in_c, std::size_t squeeze_c,
@@ -194,6 +212,17 @@ void FireModule::collect(ParamGroup& group) {
   squeeze_.collect(group);
   expand1_.collect(group);
   expand3_.collect(group);
+}
+
+FireModule::FireModule(const FireModule& other)
+    : e1_c_(other.e1_c_),
+      e3_c_(other.e3_c_),
+      squeeze_(other.squeeze_),
+      expand1_(other.expand1_),
+      expand3_(other.expand3_) {}
+
+std::unique_ptr<Layer> FireModule::clone() const {
+  return std::make_unique<FireModule>(*this);
 }
 
 // ---------------------------------------------------------- channel utils --
@@ -343,6 +372,17 @@ Tensor ShuffleUnit::backward(const Tensor& grad_out) {
 void ShuffleUnit::collect(ParamGroup& group) {
   if (stride_ == 2) left_.collect(group);
   right_.collect(group);
+}
+
+ShuffleUnit::ShuffleUnit(const ShuffleUnit& other)
+    : in_c_(other.in_c_),
+      out_c_(other.out_c_),
+      stride_(other.stride_),
+      left_(other.left_),
+      right_(other.right_) {}
+
+std::unique_ptr<Layer> ShuffleUnit::clone() const {
+  return std::make_unique<ShuffleUnit>(*this);
 }
 
 }  // namespace hetero

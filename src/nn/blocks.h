@@ -29,10 +29,12 @@ class Rng;
 class SEBlock : public Layer {
  public:
   SEBlock(std::size_t channels, std::size_t reduction, Rng& rng);
+  SEBlock(const SEBlock& other);
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect(ParamGroup& group) override;
+  std::unique_ptr<Layer> clone() const override;
   std::string name() const override { return "SEBlock"; }
 
  private:
@@ -52,6 +54,7 @@ class Residual : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect(ParamGroup& group) override;
+  std::unique_ptr<Layer> clone() const override;
   std::string name() const override { return "Residual"; }
 
  private:
@@ -71,10 +74,12 @@ class InvertedResidual : public Layer {
   InvertedResidual(std::size_t in_c, std::size_t expand_c, std::size_t out_c,
                    std::size_t kernel, std::size_t stride, bool use_se,
                    Nonlinearity nl, Rng& rng);
+  InvertedResidual(const InvertedResidual& other);
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect(ParamGroup& group) override;
+  std::unique_ptr<Layer> clone() const override;
   std::string name() const override { return "InvertedResidual"; }
 
  private:
@@ -88,10 +93,12 @@ class FireModule : public Layer {
  public:
   FireModule(std::size_t in_c, std::size_t squeeze_c, std::size_t expand1_c,
              std::size_t expand3_c, Rng& rng);
+  FireModule(const FireModule& other);
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect(ParamGroup& group) override;
+  std::unique_ptr<Layer> clone() const override;
   std::string name() const override { return "FireModule"; }
 
  private:
@@ -110,10 +117,12 @@ class ShuffleUnit : public Layer {
   /// and >= in_c (branch widths out_c/2 each).
   ShuffleUnit(std::size_t in_c, std::size_t out_c, std::size_t stride,
               Rng& rng);
+  ShuffleUnit(const ShuffleUnit& other);
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect(ParamGroup& group) override;
+  std::unique_ptr<Layer> clone() const override;
   std::string name() const override { return "ShuffleUnit"; }
 
  private:
@@ -131,6 +140,9 @@ class ChannelShuffle : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<ChannelShuffle>(groups_);
+  }
   std::string name() const override { return "ChannelShuffle"; }
 
  private:

@@ -147,6 +147,17 @@ Tensor Conv2d::backward(const Tensor& grad_out) {
   return grad_in;
 }
 
+std::unique_ptr<Layer> Conv2d::clone() const {
+  // Fresh instance with the same geometry; the He init is immediately
+  // overwritten with this layer's weights.
+  Rng init(0);
+  auto copy = std::make_unique<Conv2d>(in_c_, out_c_, kernel_, stride_, pad_,
+                                       groups_, init, has_bias_);
+  copy->w_ = w_;
+  copy->b_ = b_;
+  return copy;
+}
+
 void Conv2d::collect(ParamGroup& group) {
   group.params.push_back(&w_);
   group.grads.push_back(&gw_);

@@ -29,6 +29,7 @@ class Conv2d : public Layer {
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect(ParamGroup& group) override;
+  std::unique_ptr<Layer> clone() const override;
   std::string name() const override { return "Conv2d"; }
 
   std::size_t in_channels() const { return in_c_; }

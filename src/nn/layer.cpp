@@ -4,6 +4,11 @@
 
 namespace hetero {
 
+std::unique_ptr<Layer> Layer::clone() const {
+  HS_CHECK(false, "Layer::clone: not supported by this layer type");
+  return nullptr;  // unreachable
+}
+
 void Layer::zero_grad() {
   ParamGroup g;
   collect(g);

@@ -49,6 +49,14 @@ class Layer {
   /// Appends this layer's tensors to the group (composites recurse).
   virtual void collect(ParamGroup& group) { (void)group; }
 
+  /// Polymorphic deep copy: a freshly allocated layer with identical
+  /// architecture, parameters, and buffers. The parallel client runtime
+  /// (src/runtime) builds per-worker model replicas through this. Base
+  /// copy construction stays deleted so a Layer is never copied by
+  /// accident; clone() is the sanctioned path. The default implementation
+  /// throws for layers that do not support replication.
+  virtual std::unique_ptr<Layer> clone() const;
+
   virtual std::string name() const = 0;
 
   /// Zeroes all gradient tensors.

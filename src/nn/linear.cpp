@@ -50,6 +50,19 @@ Tensor Linear::backward(const Tensor& grad_out) {
   return matmul(grad_out, w_);
 }
 
+Linear::Linear(const Linear& other)
+    : in_(other.in_),
+      out_(other.out_),
+      has_bias_(other.has_bias_),
+      w_(other.w_),
+      b_(other.b_),
+      gw_(other.gw_),
+      gb_(other.gb_) {}
+
+std::unique_ptr<Layer> Linear::clone() const {
+  return std::make_unique<Linear>(*this);
+}
+
 void Linear::collect(ParamGroup& group) {
   group.params.push_back(&w_);
   group.grads.push_back(&gw_);

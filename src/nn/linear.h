@@ -14,9 +14,14 @@ class Linear : public Layer {
   Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
          bool bias = true);
 
+  /// Deep copy (weights, bias, grads); used by clone() and by composite
+  /// blocks that hold Linear members by value.
+  Linear(const Linear& other);
+
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect(ParamGroup& group) override;
+  std::unique_ptr<Layer> clone() const override;
   std::string name() const override { return "Linear"; }
 
   std::size_t in_features() const { return in_; }

@@ -10,6 +10,10 @@ Model::Model(std::string id, std::unique_ptr<Layer> net)
   num_buffers_ = total_size(group_.buffers);
 }
 
+std::unique_ptr<Model> Model::clone() const {
+  return std::make_unique<Model>(id_, net_->clone());
+}
+
 Tensor Model::forward(const Tensor& x, bool train) {
   return net_->forward(x, train);
 }

@@ -19,6 +19,10 @@ class Model {
   /// name (e.g. "mobile-mini").
   Model(std::string id, std::unique_ptr<Layer> net);
 
+  /// Deep copy: clones the network (weights, buffers) into an independent
+  /// Model. Used to build per-worker replicas for parallel client execution.
+  std::unique_ptr<Model> clone() const;
+
   Tensor forward(const Tensor& x, bool train = false);
   Tensor backward(const Tensor& grad);
   void zero_grad();

@@ -12,6 +12,9 @@ class MaxPool2d : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<MaxPool2d>(kernel_, stride_);
+  }
   std::string name() const override { return "MaxPool2d"; }
 
  private:
@@ -26,6 +29,9 @@ class AvgPool2d : public Layer {
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<AvgPool2d>(kernel_, stride_);
+  }
   std::string name() const override { return "AvgPool2d"; }
 
  private:
@@ -38,6 +44,9 @@ class GlobalAvgPool : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<GlobalAvgPool>();
+  }
   std::string name() const override { return "GlobalAvgPool"; }
 
  private:
@@ -49,6 +58,9 @@ class Flatten : public Layer {
  public:
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
+  std::unique_ptr<Layer> clone() const override {
+    return std::make_unique<Flatten>();
+  }
   std::string name() const override { return "Flatten"; }
 
  private:

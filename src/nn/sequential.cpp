@@ -2,6 +2,15 @@
 
 namespace hetero {
 
+Sequential::Sequential(const Sequential& other) {
+  layers_.reserve(other.layers_.size());
+  for (const auto& l : other.layers_) layers_.push_back(l->clone());
+}
+
+std::unique_ptr<Layer> Sequential::clone() const {
+  return std::make_unique<Sequential>(*this);
+}
+
 Sequential& Sequential::add(std::unique_ptr<Layer> layer) {
   HS_CHECK(layer != nullptr, "Sequential::add: null layer");
   layers_.push_back(std::move(layer));

@@ -11,12 +11,17 @@ class Sequential : public Layer {
  public:
   Sequential() = default;
 
+  /// Deep copy: clones every child layer. Used by clone() and by composite
+  /// blocks that hold Sequential members by value.
+  Sequential(const Sequential& other);
+
   /// Appends a layer; returns *this for chaining.
   Sequential& add(std::unique_ptr<Layer> layer);
 
   Tensor forward(const Tensor& x, bool train) override;
   Tensor backward(const Tensor& grad_out) override;
   void collect(ParamGroup& group) override;
+  std::unique_ptr<Layer> clone() const override;
   std::string name() const override { return "Sequential"; }
 
   std::size_t size() const { return layers_.size(); }

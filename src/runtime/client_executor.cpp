@@ -1,0 +1,120 @@
+#include "runtime/client_executor.h"
+
+#include <chrono>
+
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
+
+ClientExecutor::ClientExecutor(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 1;
+  }
+  num_threads_ = num_threads;
+  if (num_threads_ > 1) {
+    pool_ = std::make_unique<ThreadPool>(num_threads_);
+    replicas_.resize(num_threads_);
+  }
+}
+
+ClientExecutor::~ClientExecutor() = default;
+
+RoundStats ClientExecutor::run_round(Model& model,
+                                     FederatedAlgorithm& algorithm,
+                                     const std::vector<std::size_t>& selected,
+                                     const std::vector<Dataset>& client_data,
+                                     Rng& rng, RoundRuntime* runtime) {
+  const Clock::time_point start = Clock::now();
+  RoundStats stats;
+  SplitFederatedAlgorithm* split = algorithm.as_split();
+  if (split == nullptr) {
+    // Serial-only algorithm (e.g. a shared server-side noise stream).
+    stats = algorithm.run_round(model, selected, client_data, rng);
+    if (runtime) *runtime = RoundRuntime{};
+  } else if (pool_ == nullptr) {
+    stats = run_split_serial(model, *split, selected, client_data, rng,
+                             runtime);
+  } else {
+    stats = run_split_parallel(model, *split, selected, client_data, rng,
+                               runtime);
+  }
+  if (runtime) runtime->round_seconds = seconds_since(start);
+  return stats;
+}
+
+RoundStats ClientExecutor::run_split_serial(
+    Model& model, SplitFederatedAlgorithm& split,
+    const std::vector<std::size_t>& selected,
+    const std::vector<Dataset>& client_data, Rng& rng,
+    RoundRuntime* runtime) {
+  HS_CHECK(!selected.empty(), "ClientExecutor: no clients selected");
+  const Tensor global = model.state();
+  std::vector<ClientUpdate> updates;
+  updates.reserve(selected.size());
+  for (std::size_t id : selected) {
+    Rng client_rng = rng.fork(id);
+    const Clock::time_point c0 = Clock::now();
+    updates.push_back(
+        split.local_update(model, global, id, client_data.at(id), client_rng));
+    updates.back().train_seconds = seconds_since(c0);
+  }
+  if (runtime) {
+    *runtime = RoundRuntime{};
+    for (const ClientUpdate& u : updates) {
+      runtime->client_seconds_sum += u.train_seconds;
+      runtime->client_seconds_max =
+          std::max(runtime->client_seconds_max, u.train_seconds);
+    }
+  }
+  return split.aggregate(model, global, updates);
+}
+
+RoundStats ClientExecutor::run_split_parallel(
+    Model& model, SplitFederatedAlgorithm& split,
+    const std::vector<std::size_t>& selected,
+    const std::vector<Dataset>& client_data, Rng& rng,
+    RoundRuntime* runtime) {
+  HS_CHECK(!selected.empty(), "ClientExecutor: no clients selected");
+  const Tensor global = model.state();
+  std::vector<ClientUpdate> updates(selected.size());
+
+  // Fan out. Each worker lazily clones its own replica the first time it
+  // picks up a client; after that only the replica's state is overwritten.
+  // Slot updates[i] is written by exactly one task, and the shared inputs
+  // (model, global, rng, client_data, the algorithm) are only read.
+  pool_->parallel_for(selected.size(), [&](std::size_t i) {
+    const std::size_t w = ThreadPool::worker_index();
+    HS_CHECK(w < replicas_.size(), "ClientExecutor: bad worker index");
+    if (!replicas_[w]) replicas_[w] = model.clone();
+    const std::size_t id = selected[i];
+    Rng client_rng = rng.fork(id);
+    const Clock::time_point c0 = Clock::now();
+    updates[i] = split.local_update(*replicas_[w], global, id,
+                                    client_data.at(id), client_rng);
+    updates[i].train_seconds = seconds_since(c0);
+  });
+
+  if (runtime) {
+    *runtime = RoundRuntime{};
+    runtime->parallel = true;
+    for (const ClientUpdate& u : updates) {
+      runtime->client_seconds_sum += u.train_seconds;
+      runtime->client_seconds_max =
+          std::max(runtime->client_seconds_max, u.train_seconds);
+    }
+  }
+  // Serial server phase, folding in `selected` order.
+  return split.aggregate(model, global, updates);
+}
+
+}  // namespace hetero

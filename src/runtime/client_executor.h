@@ -1,0 +1,68 @@
+// ClientExecutor: fans one round's selected clients over a worker pool.
+//
+// Split algorithms (FederatedAlgorithm::as_split() != nullptr) expose a
+// pure per-client local_update; the executor runs those on per-worker Model
+// replicas (cloned lazily from the global model, so memory stays
+// O(workers), not O(clients)) and then runs the serial aggregate on the
+// caller's thread. Algorithms without a split form fall back to their own
+// serial run_round.
+//
+// Determinism contract (see DESIGN.md): every client's RNG stream is forked
+// from its client id — never from loop order or worker identity — and
+// aggregate folds updates in `selected` order, so the result is
+// bit-identical for any thread count, including 1.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "fl/algorithm.h"
+#include "runtime/thread_pool.h"
+
+namespace hetero {
+
+/// Wall-time breakdown of one executed round.
+struct RoundRuntime {
+  double round_seconds = 0.0;       ///< whole round, fan-out + aggregate
+  double client_seconds_sum = 0.0;  ///< summed per-client local_update time
+  double client_seconds_max = 0.0;  ///< slowest single client update
+  bool parallel = false;            ///< false when a serial path ran
+};
+
+class ClientExecutor {
+ public:
+  /// num_threads == 0 selects std::thread::hardware_concurrency();
+  /// num_threads == 1 runs everything on the calling thread (no pool).
+  explicit ClientExecutor(std::size_t num_threads);
+  ~ClientExecutor();
+
+  ClientExecutor(const ClientExecutor&) = delete;
+  ClientExecutor& operator=(const ClientExecutor&) = delete;
+
+  /// Resolved thread count (after the 0 -> hardware_concurrency mapping).
+  std::size_t num_threads() const { return num_threads_; }
+
+  /// Runs one communication round, mutating the global model exactly like
+  /// algorithm.run_round would. Per-client timing is reported through
+  /// `runtime` when non-null (client times only for split algorithms).
+  RoundStats run_round(Model& model, FederatedAlgorithm& algorithm,
+                       const std::vector<std::size_t>& selected,
+                       const std::vector<Dataset>& client_data, Rng& rng,
+                       RoundRuntime* runtime = nullptr);
+
+ private:
+  RoundStats run_split_serial(Model& model, SplitFederatedAlgorithm& split,
+                              const std::vector<std::size_t>& selected,
+                              const std::vector<Dataset>& client_data,
+                              Rng& rng, RoundRuntime* runtime);
+  RoundStats run_split_parallel(Model& model, SplitFederatedAlgorithm& split,
+                                const std::vector<std::size_t>& selected,
+                                const std::vector<Dataset>& client_data,
+                                Rng& rng, RoundRuntime* runtime);
+
+  std::size_t num_threads_ = 1;
+  std::unique_ptr<ThreadPool> pool_;              // null when num_threads_==1
+  std::vector<std::unique_ptr<Model>> replicas_;  // one slot per worker
+};
+
+}  // namespace hetero

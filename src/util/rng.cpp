@@ -123,4 +123,14 @@ Rng Rng::fork(std::uint64_t tag) const {
   return Rng(splitmix64(mix));
 }
 
+Rng Rng::fork(std::uint64_t tag_a, std::uint64_t tag_b) const {
+  // Both keys feed one mix with distinct multipliers/rotations so (a, b)
+  // and (b, a) land in unrelated streams.
+  std::uint64_t mix = s_[0] ^ rotl(s_[2], 13) ^
+                      (tag_a * 0xD1342543DE82EF95ull) ^
+                      rotl(tag_b * 0xA0761D6478BD642Full, 29);
+  std::uint64_t pre = splitmix64(mix);
+  return Rng(splitmix64(pre));
+}
+
 }  // namespace hetero

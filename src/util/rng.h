@@ -69,6 +69,15 @@ class Rng {
   /// Derives an independent child stream; `tag` distinguishes siblings.
   Rng fork(std::uint64_t tag) const;
 
+  /// Two-key fork: derives an independent child stream keyed on an ordered
+  /// pair (e.g. (round, client)). Unlike chaining fork(a).fork(b), both keys
+  /// enter one mix, so fork(a, b) streams are decorrelated from every
+  /// fork(tag) stream and from fork(b, a). This is the canonical way to pin
+  /// a stream to a (round, client) coordinate in new scheduling code: the
+  /// stream depends only on the keys and the parent state, never on how many
+  /// draws other clients consumed first.
+  Rng fork(std::uint64_t tag_a, std::uint64_t tag_b) const;
+
  private:
   std::uint64_t s_[4];
   bool has_cached_normal_ = false;

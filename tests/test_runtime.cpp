@@ -1,0 +1,314 @@
+// Parallel client-execution runtime tests: thread pool behaviour, model
+// replica cloning, and the determinism contract (results bit-identical for
+// any thread count).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <stdexcept>
+#include <vector>
+
+#include "fl/algorithm.h"
+#include "fl/privacy.h"
+#include "fl/simulation.h"
+#include "hetero/heteroswitch.h"
+#include "nn/model_zoo.h"
+#include "runtime/client_executor.h"
+#include "runtime/thread_pool.h"
+#include "util/rng.h"
+
+namespace hetero {
+namespace {
+
+Dataset two_class_data(std::size_t n, float lo, float hi, std::uint64_t seed) {
+  Rng rng(seed);
+  Tensor xs({n, 3, 8, 8});
+  std::vector<std::size_t> labels(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    labels[i] = i % 2;
+    const float base = labels[i] == 0 ? lo : hi;
+    for (std::size_t j = 0; j < 3 * 64; ++j) {
+      xs[i * 3 * 64 + j] = base + rng.uniform_f(-0.05f, 0.05f);
+    }
+  }
+  return Dataset(std::move(xs), std::move(labels));
+}
+
+std::unique_ptr<Model> tiny_model(std::uint64_t seed) {
+  Rng rng(seed);
+  ModelSpec spec;
+  spec.arch = "mlp-tiny";
+  spec.image_size = 8;
+  spec.num_classes = 2;
+  return make_model(spec, rng);
+}
+
+FlPopulation synthetic_population(std::size_t clients, std::uint64_t seed) {
+  FlPopulation pop;
+  for (std::size_t i = 0; i < clients; ++i) {
+    // Varying sizes exercise the sample-weighted aggregation paths.
+    pop.client_train.push_back(
+        two_class_data(12 + 2 * (i % 3), 0.15f, 0.85f, seed + i));
+    pop.client_device.push_back(0);
+  }
+  pop.device_test.push_back(two_class_data(32, 0.15f, 0.85f, seed + 100));
+  pop.device_names.push_back("synthetic");
+  return pop;
+}
+
+LocalTrainConfig fast_cfg() {
+  LocalTrainConfig cfg;
+  cfg.lr = 0.05f;
+  cfg.epochs = 1;
+  cfg.batch_size = 4;
+  return cfg;
+}
+
+void expect_same_metrics(const DeviceMetrics& a, const DeviceMetrics& b) {
+  ASSERT_EQ(a.per_device.size(), b.per_device.size());
+  for (std::size_t i = 0; i < a.per_device.size(); ++i) {
+    EXPECT_EQ(a.per_device[i], b.per_device[i]);
+  }
+  EXPECT_EQ(a.average, b.average);
+  EXPECT_EQ(a.variance, b.variance);
+  EXPECT_EQ(a.worst_case, b.worst_case);
+}
+
+// -------------------------------------------------------------- ThreadPool --
+
+TEST(ThreadPool, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  pool.parallel_for(kN, [&](std::size_t i) { ++hits[i]; });
+  for (std::size_t i = 0; i < kN; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerPoolRunsIndicesInOrder) {
+  ThreadPool pool(1);
+  std::vector<std::size_t> order;  // single worker: no synchronization needed
+  pool.parallel_for(64, [&](std::size_t i) { order.push_back(i); });
+  ASSERT_EQ(order.size(), 64u);
+  for (std::size_t i = 0; i < order.size(); ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(ThreadPool, ParallelForPropagatesWorkerException) {
+  ThreadPool pool(3);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [](std::size_t i) {
+                                   if (i == 37) {
+                                     throw std::runtime_error("boom");
+                                   }
+                                 }),
+               std::runtime_error);
+  // The pool survives a poisoned loop and keeps accepting work.
+  std::atomic<int> count{0};
+  pool.parallel_for(10, [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(ThreadPool, ParallelForZeroIterationsIsNoOp) {
+  ThreadPool pool(2);
+  pool.parallel_for(0, [](std::size_t) { FAIL() << "must not run"; });
+}
+
+TEST(ThreadPool, SubmitFuturePropagatesException) {
+  ThreadPool pool(2);
+  auto ok = pool.submit([] {});
+  auto bad = pool.submit([] { throw std::runtime_error("task failed"); });
+  EXPECT_NO_THROW(ok.get());
+  EXPECT_THROW(bad.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, WorkerIndexIsBoundedInsideAndNposOutside) {
+  EXPECT_EQ(ThreadPool::worker_index(), ThreadPool::npos);
+  ThreadPool pool(4);
+  std::atomic<bool> bounded{true};
+  pool.parallel_for(256, [&](std::size_t) {
+    if (ThreadPool::worker_index() >= 4) bounded = false;
+  });
+  EXPECT_TRUE(bounded.load());
+}
+
+TEST(ThreadPool, RejectsZeroWorkers) {
+  EXPECT_THROW(ThreadPool(0), std::invalid_argument);
+}
+
+// ------------------------------------------------------------ two-key fork --
+
+TEST(RngFork2, DeterministicAndKeyOrderSensitive) {
+  Rng rng(123);
+  Rng a1 = rng.fork(3, 7);
+  Rng a2 = rng.fork(3, 7);
+  Rng b = rng.fork(7, 3);
+  Rng c = rng.fork(3, 8);
+  const std::uint64_t va = a1.next_u64();
+  EXPECT_EQ(va, a2.next_u64());
+  EXPECT_NE(va, b.next_u64());
+  EXPECT_NE(va, c.next_u64());
+}
+
+// ------------------------------------------------------------- Model clone --
+
+TEST(ModelClone, ConvArchCloneIsDeepAndStateIdentical) {
+  // mobile-mini exercises Conv2d, BatchNorm2d, SEBlock, InvertedResidual,
+  // Sequential, pooling and Linear clones in one go.
+  Rng rng(11);
+  ModelSpec spec;
+  spec.arch = "mobile-mini";
+  spec.image_size = 16;
+  spec.num_classes = 4;
+  auto model = make_model(spec, rng);
+  auto copy = model->clone();
+
+  ASSERT_EQ(copy->state_size(), model->state_size());
+  const Tensor s0 = model->state();
+  const Tensor s1 = copy->state();
+  for (std::size_t j = 0; j < s0.size(); ++j) EXPECT_EQ(s0[j], s1[j]);
+
+  // Mutating the clone must not leak into the original.
+  Tensor altered = s1;
+  for (std::size_t j = 0; j < altered.size(); ++j) altered[j] += 1.0f;
+  copy->set_state(altered);
+  const Tensor s0_after = model->state();
+  for (std::size_t j = 0; j < s0.size(); ++j) EXPECT_EQ(s0[j], s0_after[j]);
+}
+
+TEST(ModelClone, CloneForwardMatchesOriginal) {
+  auto model = tiny_model(21);
+  auto copy = model->clone();
+  Rng rng(22);
+  Tensor x({2, 3, 8, 8});
+  for (std::size_t j = 0; j < x.size(); ++j) x[j] = rng.uniform_f(0.0f, 1.0f);
+  const Tensor ya = model->forward(x);
+  const Tensor yb = copy->forward(x);
+  ASSERT_EQ(ya.size(), yb.size());
+  for (std::size_t j = 0; j < ya.size(); ++j) EXPECT_EQ(ya[j], yb[j]);
+}
+
+// ---------------------------------------------- determinism across threads --
+
+SimulationResult run_sim(FederatedAlgorithm& algo, std::size_t num_threads,
+                         std::uint64_t seed) {
+  auto model = tiny_model(seed);
+  FlPopulation pop = synthetic_population(8, 500);
+  SimulationConfig sim;
+  sim.rounds = 5;
+  sim.clients_per_round = 4;
+  sim.seed = seed;
+  sim.num_threads = num_threads;
+  return run_simulation(*model, algo, pop, sim);
+}
+
+TEST(Determinism, FedAvgBitIdenticalAcrossThreadCounts) {
+  FedAvg a1(fast_cfg());
+  FedAvg a4(fast_cfg());
+  const SimulationResult r1 = run_sim(a1, 1, 33);
+  const SimulationResult r4 = run_sim(a4, 4, 33);
+  ASSERT_EQ(r1.train_loss_history.size(), r4.train_loss_history.size());
+  for (std::size_t t = 0; t < r1.train_loss_history.size(); ++t) {
+    EXPECT_EQ(r1.train_loss_history[t], r4.train_loss_history[t]);
+  }
+  expect_same_metrics(r1.final_metrics, r4.final_metrics);
+}
+
+TEST(Determinism, HeteroSwitchBitIdenticalAcrossThreadCounts) {
+  HeteroSwitchOptions opts;  // selective mode, train-loss criterion
+  HeteroSwitch h1(fast_cfg(), opts);
+  HeteroSwitch h4(fast_cfg(), opts);
+  const SimulationResult r1 = run_sim(h1, 1, 44);
+  const SimulationResult r4 = run_sim(h4, 4, 44);
+  ASSERT_EQ(r1.train_loss_history.size(), r4.train_loss_history.size());
+  for (std::size_t t = 0; t < r1.train_loss_history.size(); ++t) {
+    EXPECT_EQ(r1.train_loss_history[t], r4.train_loss_history[t]);
+  }
+  expect_same_metrics(r1.final_metrics, r4.final_metrics);
+  // The switching decisions and EMA must replay identically too.
+  EXPECT_EQ(h1.switch1_activations(), h4.switch1_activations());
+  EXPECT_EQ(h1.switch2_activations(), h4.switch2_activations());
+  EXPECT_EQ(h1.client_updates(), h4.client_updates());
+  EXPECT_EQ(h1.ema_loss(), h4.ema_loss());
+}
+
+TEST(Determinism, ScaffoldBitIdenticalAcrossThreadCounts) {
+  Scaffold s1(fast_cfg());
+  Scaffold s3(fast_cfg());
+  const SimulationResult r1 = run_sim(s1, 1, 55);
+  const SimulationResult r3 = run_sim(s3, 3, 55);
+  for (std::size_t t = 0; t < r1.train_loss_history.size(); ++t) {
+    EXPECT_EQ(r1.train_loss_history[t], r3.train_loss_history[t]);
+  }
+  expect_same_metrics(r1.final_metrics, r3.final_metrics);
+}
+
+TEST(Determinism, SerialOnlyAlgorithmFallsBackAndStaysDeterministic) {
+  // DpFedAvg keeps a serial server-side noise stream (as_split() == null);
+  // the executor must run it unchanged regardless of the thread budget.
+  DpOptions opts;
+  DpFedAvg d1(fast_cfg(), opts);
+  DpFedAvg d4(fast_cfg(), opts);
+  EXPECT_EQ(d1.as_split(), nullptr);
+  const SimulationResult r1 = run_sim(d1, 1, 66);
+  const SimulationResult r4 = run_sim(d4, 4, 66);
+  for (std::size_t t = 0; t < r1.train_loss_history.size(); ++t) {
+    EXPECT_EQ(r1.train_loss_history[t], r4.train_loss_history[t]);
+  }
+  expect_same_metrics(r1.final_metrics, r4.final_metrics);
+}
+
+// ---------------------------------------------------------- runtime stats --
+
+TEST(RuntimeStats, PopulatedBySimulation) {
+  FedAvg algo(fast_cfg());
+  const SimulationResult r = run_sim(algo, 2, 77);
+  EXPECT_EQ(r.runtime.threads, 2u);
+  ASSERT_EQ(r.runtime.round_seconds.size(), 5u);
+  double sum = 0.0;
+  for (double s : r.runtime.round_seconds) {
+    EXPECT_GE(s, 0.0);
+    sum += s;
+  }
+  EXPECT_GT(r.runtime.total_seconds, 0.0);
+  EXPECT_NEAR(r.runtime.total_seconds, sum, 1e-9);
+  EXPECT_GT(r.runtime.client_seconds_sum, 0.0);
+  EXPECT_GT(r.runtime.client_seconds_max, 0.0);
+  EXPECT_LE(r.runtime.client_seconds_max, r.runtime.client_seconds_sum);
+}
+
+TEST(RuntimeStats, ZeroThreadsResolvesToHardwareConcurrency) {
+  ClientExecutor executor(0);
+  EXPECT_GE(executor.num_threads(), 1u);
+}
+
+// ------------------------------------------------- executor direct checks --
+
+TEST(ClientExecutor, MatchesAlgorithmRunRoundExactly) {
+  // One round driven by the executor vs. the algorithm's own serial
+  // run_round, from identical starting points.
+  FlPopulation pop = synthetic_population(6, 900);
+  const std::vector<std::size_t> selected = {4, 1, 3};
+
+  auto model_a = tiny_model(88);
+  FedAvg algo_a(fast_cfg());
+  Rng rng_a(5);
+  const RoundStats ref =
+      algo_a.run_round(*model_a, selected, pop.client_train, rng_a);
+
+  auto model_b = tiny_model(88);
+  FedAvg algo_b(fast_cfg());
+  Rng rng_b(5);
+  ClientExecutor executor(4);
+  RoundRuntime runtime;
+  const RoundStats got = executor.run_round(*model_b, algo_b, selected,
+                                            pop.client_train, rng_b, &runtime);
+
+  EXPECT_EQ(ref.mean_train_loss, got.mean_train_loss);
+  EXPECT_TRUE(runtime.parallel);
+  EXPECT_GT(runtime.client_seconds_sum, 0.0);
+  const Tensor sa = model_a->state();
+  const Tensor sb = model_b->state();
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t j = 0; j < sa.size(); ++j) EXPECT_EQ(sa[j], sb[j]);
+}
+
+}  // namespace
+}  // namespace hetero

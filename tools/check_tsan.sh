@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds the tree with ThreadSanitizer and runs the parallel-runtime tests.
+#
+# Usage: tools/check_tsan.sh [extra ctest args]
+#
+# Uses a dedicated build directory (build-tsan) so the regular build stays
+# untouched. The runtime tests exercise the ThreadPool and the parallel
+# ClientExecutor paths, which is where any data race in the client fan-out
+# would surface.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR=${BUILD_DIR:-build-tsan}
+
+cmake -B "${BUILD_DIR}" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHETERO_SANITIZE=thread
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target test_runtime
+
+# halt_on_error makes a race fail the run instead of just logging it.
+TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
+  ctest --test-dir "${BUILD_DIR}" -R '^test_runtime$' --output-on-failure "$@"
+
+echo "TSan check passed."
