@@ -24,6 +24,7 @@ DeviceMetrics run(FederatedAlgorithm& algo, const FlPopulation& pop,
   sim.clients_per_round = k;
   sim.seed = seed + 1;
   sim.num_threads = Scale{}.threads();
+  sim.observer = trace_sink().run("ablation." + algo.name());
   return run_simulation(*model, algo, pop, sim).final_metrics;
 }
 

@@ -5,19 +5,26 @@
 //   HS_SCALE  = 1: paper-shaped run (long);
 //   HS_SEED   : experiment seed;
 //   HS_ROUNDS : override FL communication rounds;
-//   HS_THREADS: worker threads for client training (0 = all cores).
+//   HS_REPEATS: seeds to average metrics over;
+//   HS_THREADS: worker threads for client training (0 = all cores);
+//   HS_TRACE  : write a JSONL trace of every simulation to this path
+//               (HS_TRACE_TIMINGS=0 drops wall-clock fields).
 // and prints the paper-style table plus a CSV copy next to the binary.
 #pragma once
 
 #include <cstdio>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "data/builder.h"
 #include "fl/eval.h"
+#include "fl/observer.h"
 #include "fl/simulation.h"
 #include "fl/trainer.h"
 #include "nn/model_zoo.h"
+#include "obs/jsonl.h"
+#include "obs/tracer.h"
 #include "util/config.h"
 #include "util/rng.h"
 #include "util/stats.h"
@@ -26,7 +33,9 @@
 
 namespace hetero::bench {
 
-/// Experiment knobs resolved from HS_* plus smoke/paper defaults.
+/// Experiment knobs resolved from HS_* plus smoke/paper defaults. All env
+/// reads live in BenchConfig::from_env(); this wrapper only adds the
+/// smoke/paper picking.
 struct Scale {
   BenchConfig env = BenchConfig::from_env();
 
@@ -39,17 +48,51 @@ struct Scale {
   std::uint64_t seed() const { return env.seed; }
   bool paper_scale() const { return env.scale >= 1; }
   /// HS_REPEATS: how many seeds to average metrics over (default 1).
-  std::size_t repeats() const {
-    return static_cast<std::size_t>(std::max<std::int64_t>(
-        1, env_int("HS_REPEATS", 1)));
-  }
+  std::size_t repeats() const { return env.repeats; }
   /// HS_THREADS: worker threads for the client fan-out (0 = all hardware
   /// threads, the default). Results are bit-identical for any value.
-  std::size_t threads() const {
-    return static_cast<std::size_t>(std::max<std::int64_t>(
-        0, env_int("HS_THREADS", 0)));
-  }
+  std::size_t threads() const { return env.threads; }
 };
+
+/// Process-wide trace sink for HS_TRACE: owns the JSONL writer, the Tracer,
+/// and a TracingObserver. When HS_TRACE is unset every accessor returns
+/// null/no-ops and the simulation runs untraced (observer = nullptr costs
+/// nothing on the hot path).
+class TraceSink {
+ public:
+  TraceSink() {
+    const BenchConfig env = BenchConfig::from_env();
+    if (env.trace_path.empty()) return;
+    writer_ = std::make_unique<obs::JsonlWriter>(env.trace_path);
+    obs::TracerOptions options;
+    options.include_timings = env.trace_timings;
+    tracer_ = std::make_unique<obs::Tracer>(*writer_, options);
+    observer_ = std::make_unique<TracingObserver>(*tracer_);
+  }
+
+  bool enabled() const { return observer_ != nullptr; }
+
+  /// Starts a labelled run in the trace and returns the observer to hang
+  /// on SimulationConfig::observer — or nullptr when tracing is off, which
+  /// SimulationConfig accepts as "no telemetry".
+  RoundObserver* run(const std::string& label) {
+    if (!enabled()) return nullptr;
+    tracer_->begin_run(label);
+    return observer_.get();
+  }
+
+ private:
+  std::unique_ptr<obs::JsonlWriter> writer_;
+  std::unique_ptr<obs::Tracer> tracer_;
+  std::unique_ptr<TracingObserver> observer_;
+};
+
+/// The bench binary's shared TraceSink (constructed on first use; flushed
+/// via the writer's destructor at exit).
+inline TraceSink& trace_sink() {
+  static TraceSink sink;
+  return sink;
+}
 
 /// Prints a standard bench header.
 inline void print_header(const char* id, const char* title,

@@ -19,6 +19,7 @@ double run_fl(const FlPopulation& pop, std::size_t rounds, std::size_t k,
   sim.clients_per_round = k;
   sim.seed = seed + 1;
   sim.num_threads = Scale{}.threads();
+  sim.observer = trace_sink().run("fig1.fedavg");
   run_simulation(*model, algo, pop, sim);
   return evaluate_accuracy(*model, pop.device_test.at(eval_device));
 }

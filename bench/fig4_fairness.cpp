@@ -30,6 +30,7 @@ std::vector<double> run_fedavg(const FlPopulation& pop, std::size_t rounds,
   sim.clients_per_round = k;
   sim.seed = seed + 1;
   sim.num_threads = Scale{}.threads();
+  sim.observer = trace_sink().run("fig4.fedavg");
   return run_simulation(*model, algo, pop, sim).final_metrics.per_device;
 }
 

@@ -24,6 +24,7 @@ double train_and_eval(const FlPopulation& pop, std::size_t rounds,
   sim.clients_per_round = k;
   sim.seed = seed + 1;
   sim.num_threads = Scale{}.threads();
+  sim.observer = trace_sink().run("fig5.exclude");
   run_simulation(*model, algo, pop, sim);
   return evaluate_accuracy(*model, pop.device_test.at(eval_device));
 }
@@ -66,6 +67,7 @@ int main() {
     sim.clients_per_round = k;
     sim.seed = scale.seed() + 5;
     sim.num_threads = scale.threads();
+    sim.observer = trace_sink().run("fig5.reference");
     const SimulationResult r = run_simulation(*model, algo, ref_pop, sim);
     ref_acc = r.final_metrics.per_device;
   }

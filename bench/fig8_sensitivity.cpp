@@ -19,6 +19,7 @@ double run_fedavg(const FlPopulation& pop, const LocalTrainConfig& local,
   sim.clients_per_round = k;
   sim.seed = seed + 1;
   sim.num_threads = Scale{}.threads();
+  sim.observer = trace_sink().run("fig8.fedavg");
   const SimulationResult r = run_simulation(*model, algo, pop, sim);
   return r.final_metrics.average;
 }

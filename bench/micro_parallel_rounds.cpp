@@ -84,6 +84,8 @@ int main() {
     sim.clients_per_round = k;
     sim.seed = scale.seed() + 1;
     sim.num_threads = threads;
+    sim.observer =
+        trace_sink().run("micro.threads=" + std::to_string(threads));
     const SimulationResult r = run_simulation(*model, algo, pop, sim);
 
     const double rate =

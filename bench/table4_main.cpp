@@ -76,6 +76,7 @@ int main() {
       sim.clients_per_round = k;
       sim.seed = scale.seed() + 7 + rep * 101;
       sim.num_threads = scale.threads();
+      sim.observer = trace_sink().run("table4." + method->name());
       const SimulationResult r = run_simulation(*model, *method, pop, sim);
       worst.add(r.final_metrics.worst_case);
       var.add(r.final_metrics.variance);

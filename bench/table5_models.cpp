@@ -54,6 +54,7 @@ int main() {
       sim.clients_per_round = k;
       sim.seed = scale.seed() + 7;
       sim.num_threads = scale.threads();
+      sim.observer = trace_sink().run(arch + "." + method->name());
       const SimulationResult r = run_simulation(*model, *method, pop, sim);
       const DeviceMetrics& m = r.final_metrics;
       table.add_row({arch, method->name(), Table::fmt(m.worst_case * 100, 2),

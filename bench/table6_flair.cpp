@@ -54,6 +54,7 @@ int main() {
     sim.clients_per_round = k;
     sim.seed = scale.seed() + 9;
     sim.num_threads = scale.threads();
+    sim.observer = trace_sink().run("table6." + method->name());
     const SimulationResult r = run_simulation(*model, *method, pop, sim);
     const DeviceMetrics& m = r.final_metrics;
     table.add_row({method->name(), Table::fmt(m.average * 100, 2),

@@ -1,5 +1,6 @@
 #include "fl/algorithm.h"
 
+#include <chrono>
 #include <cmath>
 
 #include "fl/eval.h"
@@ -14,6 +15,12 @@ std::size_t local_steps(const Dataset& data, const LocalTrainConfig& cfg) {
   const std::size_t per_epoch =
       (data.size() + cfg.batch_size - 1) / cfg.batch_size;
   return per_epoch * cfg.epochs;
+}
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
 }  // namespace
@@ -37,19 +44,56 @@ Tensor weighted_average_states(const std::vector<Tensor>& states,
   return avg;
 }
 
+RoundStats summarize_updates(const std::vector<ClientUpdate>& updates,
+                             std::size_t global_state_size) {
+  HS_CHECK(!updates.empty(), "summarize_updates: no client updates");
+  RoundStats stats;
+  stats.num_clients = updates.size();
+  stats.min_train_loss = updates.front().train_loss;
+  stats.max_train_loss = updates.front().train_loss;
+  double loss_sum = 0.0;
+  for (const ClientUpdate& u : updates) {
+    loss_sum += u.train_loss * u.weight;
+    stats.weight_sum += u.weight;
+    stats.min_train_loss = std::min(stats.min_train_loss, u.train_loss);
+    stats.max_train_loss = std::max(stats.max_train_loss, u.train_loss);
+    stats.bytes_up += static_cast<std::uint64_t>(
+        (u.state.size() + u.aux.size()) * sizeof(float));
+  }
+  HS_CHECK(stats.weight_sum > 0.0, "summarize_updates: zero total weight");
+  stats.mean_train_loss = loss_sum / stats.weight_sum;
+  stats.bytes_down = static_cast<std::uint64_t>(updates.size()) *
+                     static_cast<std::uint64_t>(global_state_size) *
+                     sizeof(float);
+  return stats;
+}
+
+// --------------------------------------------------------------------- NVI
+
+RoundStats FederatedAlgorithm::run_round(
+    Model& model, const std::vector<std::size_t>& selected,
+    const std::vector<Dataset>& client_data, Rng& rng, RoundContext* ctx) {
+  RoundContext local;
+  return do_run_round(model, selected, client_data, rng, ctx ? *ctx : local);
+}
+
 // ------------------------------------------------- SplitFederatedAlgorithm
 
-RoundStats SplitFederatedAlgorithm::run_round(
+RoundStats SplitFederatedAlgorithm::do_run_round(
     Model& model, const std::vector<std::size_t>& selected,
-    const std::vector<Dataset>& client_data, Rng& rng) {
+    const std::vector<Dataset>& client_data, Rng& rng, RoundContext& ctx) {
   HS_CHECK(!selected.empty(), "run_round: no clients selected");
   const Tensor global = model.state();
   std::vector<ClientUpdate> updates;
   updates.reserve(selected.size());
-  for (std::size_t id : selected) {
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const std::size_t id = selected[i];
     Rng client_rng = rng.fork(id);
+    const Clock::time_point c0 = Clock::now();
     updates.push_back(
         local_update(model, global, id, client_data.at(id), client_rng));
+    updates.back().train_seconds = seconds_since(c0);
+    ctx.finish_client(updates.back(), i);
   }
   return aggregate(model, global, updates);
 }
@@ -73,18 +117,16 @@ RoundStats FedAvg::aggregate(Model& model, const Tensor& global,
                              std::vector<ClientUpdate>& updates) {
   (void)global;
   HS_CHECK(!updates.empty(), "FedAvg: no client updates");
+  RoundStats stats = summarize_updates(updates, model.state_size());
   std::vector<Tensor> states;
   std::vector<double> weights;
-  double loss_sum = 0.0, weight_sum = 0.0;
   states.reserve(updates.size());
   for (ClientUpdate& u : updates) {
     states.push_back(std::move(u.state));
     weights.push_back(u.weight);
-    loss_sum += u.train_loss * u.weight;
-    weight_sum += u.weight;
   }
   model.set_state(weighted_average_states(states, weights));
-  return RoundStats{loss_sum / weight_sum};
+  return stats;
 }
 
 // ----------------------------------------------------------------- QFedAvg
@@ -113,10 +155,10 @@ ClientUpdate QFedAvg::local_update(Model& model, const Tensor& global,
 RoundStats QFedAvg::aggregate(Model& model, const Tensor& global,
                               std::vector<ClientUpdate>& updates) {
   HS_CHECK(!updates.empty(), "QFedAvg: no client updates");
+  RoundStats stats = summarize_updates(updates, model.state_size());
   const double big_l = 1.0 / static_cast<double>(cfg_.lr);
   Tensor delta_sum(global.shape());
   double h_sum = 0.0;
-  double loss_sum = 0.0, weight_sum = 0.0;
   for (const ClientUpdate& u : updates) {
     const Tensor& dw = u.aux;
     const double fk = u.aux_scalar;
@@ -124,14 +166,13 @@ RoundStats QFedAvg::aggregate(Model& model, const Tensor& global,
     const double fq = std::pow(fk, q_);
     delta_sum.axpy(static_cast<float>(fq), dw);
     h_sum += q_ * std::pow(fk, q_ - 1.0) * norm2 + big_l * fq;
-    loss_sum += u.train_loss * u.weight;
-    weight_sum += u.weight;
   }
   HS_CHECK(h_sum > 0.0, "QFedAvg: degenerate aggregation weights");
   Tensor new_state = global;
   new_state.axpy(static_cast<float>(-1.0 / h_sum), delta_sum);
   model.set_state(new_state);
-  return RoundStats{loss_sum / weight_sum};
+  stats.extras["qfedavg.h_sum"] = h_sum;
+  return stats;
 }
 
 // ----------------------------------------------------------------- FedProx
@@ -170,18 +211,16 @@ RoundStats FedProx::aggregate(Model& model, const Tensor& global,
                               std::vector<ClientUpdate>& updates) {
   (void)global;
   HS_CHECK(!updates.empty(), "FedProx: no client updates");
+  RoundStats stats = summarize_updates(updates, model.state_size());
   std::vector<Tensor> states;
   std::vector<double> weights;
-  double loss_sum = 0.0, weight_sum = 0.0;
   states.reserve(updates.size());
   for (ClientUpdate& u : updates) {
     states.push_back(std::move(u.state));
     weights.push_back(u.weight);
-    loss_sum += u.train_loss * u.weight;
-    weight_sum += u.weight;
   }
   model.set_state(weighted_average_states(states, weights));
-  return RoundStats{loss_sum / weight_sum};
+  return stats;
 }
 
 // ----------------------------------------------------------------- FedAvgM
@@ -195,15 +234,13 @@ RoundStats FedAvgM::aggregate(Model& model, const Tensor& global,
                               std::vector<ClientUpdate>& updates) {
   HS_CHECK(!updates.empty(), "FedAvgM: no client updates");
   HS_CHECK(!velocity_.empty(), "FedAvgM: init() not called");
+  RoundStats stats = summarize_updates(updates, model.state_size());
   std::vector<Tensor> states;
   std::vector<double> weights;
-  double loss_sum = 0.0, weight_sum = 0.0;
   states.reserve(updates.size());
   for (ClientUpdate& u : updates) {
     states.push_back(std::move(u.state));
     weights.push_back(u.weight);
-    loss_sum += u.train_loss * u.weight;
-    weight_sum += u.weight;
   }
   // Pseudo-gradient: the (negated) average client movement.
   Tensor avg = weighted_average_states(states, weights);
@@ -212,7 +249,9 @@ RoundStats FedAvgM::aggregate(Model& model, const Tensor& global,
   velocity_ += pseudo_grad;
   Tensor new_state = global - velocity_;
   model.set_state(new_state);
-  return RoundStats{loss_sum / weight_sum};
+  stats.extras["fedavgm.velocity_norm"] =
+      static_cast<double>(velocity_.norm());
+  return stats;
 }
 
 // ---------------------------------------------------------------- Scaffold
@@ -277,6 +316,7 @@ RoundStats Scaffold::aggregate(Model& model, const Tensor& global,
                                std::vector<ClientUpdate>& updates) {
   HS_CHECK(!updates.empty(), "Scaffold: no client updates");
   HS_CHECK(num_clients_ > 0, "Scaffold: init() not called");
+  RoundStats stats = summarize_updates(updates, model.state_size());
   const std::size_t p = c_global_.size();
   // The flat state layout is params followed by buffers, so the first p
   // entries of `global` are the round-start parameters.
@@ -286,7 +326,6 @@ RoundStats Scaffold::aggregate(Model& model, const Tensor& global,
   Tensor dw_sum({p});
   Tensor dc_sum({p});
   std::vector<Tensor> buffer_states;
-  double loss_sum = 0.0, weight_sum = 0.0;
   buffer_states.reserve(updates.size());
 
   for (ClientUpdate& u : updates) {
@@ -299,8 +338,6 @@ RoundStats Scaffold::aggregate(Model& model, const Tensor& global,
     dc_sum += u.aux - ci_old;
     c_clients_[u.client_id] = std::move(u.aux);
     buffer_states.push_back(std::move(u.state));
-    loss_sum += u.train_loss * u.weight;
-    weight_sum += u.weight;
   }
 
   // Server update: params move by the mean client delta; buffers (BN stats)
@@ -313,7 +350,10 @@ RoundStats Scaffold::aggregate(Model& model, const Tensor& global,
   model.set_state(avg_state);
   model.set_params(new_params);
   c_global_.axpy(1.0f / static_cast<float>(num_clients_), dc_sum);
-  return RoundStats{loss_sum / weight_sum};
+  stats.extras["scaffold.c_global_norm"] =
+      static_cast<double>(c_global_.norm());
+  stats.extras["scaffold.dc_norm"] = static_cast<double>(dc_sum.norm());
+  return stats;
 }
 
 }  // namespace hetero

@@ -6,6 +6,13 @@
 // A single Model instance is reused for every simulated client by swapping
 // flat states (memory stays O(1) in the number of clients).
 //
+// run_round is a non-virtual entry point (NVI): it builds a default
+// RoundContext when the caller passes none and forwards to the protected
+// virtual do_run_round(..., RoundContext&). The context threads the
+// telemetry observer (fl/observer.h) and per-client wall-time accounting
+// through every execution path, so existing 4-argument callsites keep
+// compiling while new callers attach observability.
+//
 // Implemented methods (Section 6.2 of the paper):
 //   * FedAvg   (McMahan et al. 2017)  - sample-weighted state averaging.
 //   * q-FedAvg (Li et al. 2019)       - loss-reweighted updates for fair
@@ -16,11 +23,14 @@
 // HeteroSwitch itself lives in src/hetero and plugs into the same interface.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
 
 #include "data/dataset.h"
+#include "fl/observer.h"
 #include "fl/trainer.h"
 #include "nn/model.h"
 
@@ -28,9 +38,28 @@ namespace hetero {
 
 class Rng;
 
-/// Per-round statistics reported back to the simulation.
+/// Per-round statistics reported back to the simulation and delivered to
+/// observers via RoundObserver::on_round_end.
 struct RoundStats {
   double mean_train_loss = 0.0;  ///< sample-weighted mean of client losses
+  double min_train_loss = 0.0;   ///< best single client loss (unweighted)
+  double max_train_loss = 0.0;   ///< worst single client loss (unweighted)
+  std::size_t num_clients = 0;   ///< clients that trained this round
+  double weight_sum = 0.0;       ///< total aggregation weight (sample count)
+  /// Estimated client->server traffic: tensor payloads actually returned
+  /// (state + aux at 4 bytes/element, or the compressed size where the
+  /// algorithm compresses).
+  std::uint64_t bytes_up = 0;
+  /// Estimated server->client traffic: one full state per selected client.
+  std::uint64_t bytes_down = 0;
+  /// Wall time of the whole round (fan-out + aggregate); filled by the
+  /// executor, NOT deterministic.
+  double round_seconds = 0.0;
+  /// Algorithm-specific scalars keyed by a namespaced name (for example
+  /// "hs.switch1", "dp.noise_stddev", "scaffold.c_global_norm"). A sorted
+  /// map so traces list extras in a stable order. Adding a new scalar
+  /// needs no new virtuals anywhere.
+  std::map<std::string, double> extras;
 };
 
 class SplitFederatedAlgorithm;
@@ -46,11 +75,12 @@ class FederatedAlgorithm {
   }
 
   /// Runs one communication round over the selected clients (indices into
-  /// client_data) and updates the global model in place.
-  virtual RoundStats run_round(Model& model,
-                               const std::vector<std::size_t>& selected,
-                               const std::vector<Dataset>& client_data,
-                               Rng& rng) = 0;
+  /// client_data) and updates the global model in place. When `ctx` is
+  /// null a throwaway context is used (no telemetry); otherwise per-client
+  /// observations and wall-time accounting flow through it.
+  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
+                       const std::vector<Dataset>& client_data, Rng& rng,
+                       RoundContext* ctx = nullptr);
 
   /// Runtime hook: algorithms whose round decomposes into pure per-client
   /// local updates plus a serial aggregate return themselves here, which
@@ -58,10 +88,19 @@ class FederatedAlgorithm {
   /// threads. Kept as a virtual instead of a dynamic_cast so the runtime
   /// library needs no link-time dependency on this one. Algorithms with
   /// serial cross-client state (e.g. a shared noise stream) return nullptr
-  /// and always run their own run_round.
+  /// and always run their own round serially.
   virtual SplitFederatedAlgorithm* as_split() { return nullptr; }
 
   virtual std::string name() const = 0;
+
+ protected:
+  /// The actual round implementation. Implementations must report every
+  /// client through ctx.finish_client (timing + observer delivery); round
+  /// begin/end events are emitted by the driver (ClientExecutor), not here.
+  virtual RoundStats do_run_round(Model& model,
+                                  const std::vector<std::size_t>& selected,
+                                  const std::vector<Dataset>& client_data,
+                                  Rng& rng, RoundContext& ctx) = 0;
 };
 
 /// The result of one client's local training, produced by
@@ -79,6 +118,15 @@ struct ClientUpdate {
   unsigned flags = 0;       ///< algorithm-specific bit flags
   double train_seconds = 0.0;  ///< wall time spent in local_update
 };
+
+/// Fills the generic RoundStats fields from a round's client updates:
+/// sample-weighted mean loss, unweighted min/max loss, client/weight
+/// totals, and the byte estimates (uplink from the tensors each update
+/// carries, downlink as one global state per client). Call it BEFORE an
+/// aggregate moves the state tensors out of `updates`. extras stay empty
+/// for the caller to fill.
+RoundStats summarize_updates(const std::vector<ClientUpdate>& updates,
+                             std::size_t global_state_size);
 
 /// Base for algorithms split into a pure per-client phase and a serial
 /// server phase. The contract that makes parallel execution bit-identical
@@ -105,14 +153,16 @@ class SplitFederatedAlgorithm : public FederatedAlgorithm {
   virtual RoundStats aggregate(Model& model, const Tensor& global,
                                std::vector<ClientUpdate>& updates) = 0;
 
-  /// Serial reference implementation: local_update per selected client on
-  /// the shared model, then aggregate. The parallel executor produces the
-  /// same updates from worker replicas.
-  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
-                       const std::vector<Dataset>& client_data,
-                       Rng& rng) override;
-
   SplitFederatedAlgorithm* as_split() override { return this; }
+
+ protected:
+  /// Serial reference implementation: local_update per selected client on
+  /// the shared model (timed, reported through ctx), then aggregate. The
+  /// parallel executor produces the same updates from worker replicas.
+  RoundStats do_run_round(Model& model,
+                          const std::vector<std::size_t>& selected,
+                          const std::vector<Dataset>& client_data, Rng& rng,
+                          RoundContext& ctx) override;
 };
 
 class FedAvg : public SplitFederatedAlgorithm {

@@ -1,12 +1,22 @@
 #include "fl/compression.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <numeric>
 
 #include "util/rng.h"
 
 namespace hetero {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
 
 SparseUpdate top_k_sparsify(const Tensor& dense, std::size_t k) {
   SparseUpdate out;
@@ -74,9 +84,9 @@ void CompressedFedAvg::init(Model& model, std::size_t num_clients) {
   residuals_.assign(num_clients, Tensor());
 }
 
-RoundStats CompressedFedAvg::run_round(
+RoundStats CompressedFedAvg::do_run_round(
     Model& model, const std::vector<std::size_t>& selected,
-    const std::vector<Dataset>& client_data, Rng& rng) {
+    const std::vector<Dataset>& client_data, Rng& rng, RoundContext& ctx) {
   HS_CHECK(!selected.empty(), "CompressedFedAvg: no clients selected");
   HS_CHECK(!residuals_.empty(), "CompressedFedAvg: init() not called");
   const Tensor global = model.state();
@@ -86,12 +96,18 @@ RoundStats CompressedFedAvg::run_round(
                                   options_.top_k_fraction));
 
   Tensor update_sum({dim});
+  RoundStats stats;
+  stats.num_clients = selected.size();
   double loss_sum = 0.0, weight_sum = 0.0, byte_sum = 0.0;
-  for (std::size_t id : selected) {
+  double loss_min = 0.0, loss_max = 0.0;
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const std::size_t id = selected[i];
     const Dataset& data = client_data.at(id);
     model.set_state(global);
     Rng client_rng = rng.fork(id);
+    const Clock::time_point c0 = Clock::now();
     const float loss = local_train(model, data, cfg_, client_rng);
+    const double client_seconds = seconds_since(c0);
     Tensor delta = model.state() - global;
 
     // Error feedback: add the residual this client still owes from earlier
@@ -137,6 +153,19 @@ RoundStats CompressedFedAvg::run_round(
     byte_sum += static_cast<double>(bytes);
     loss_sum += loss * static_cast<double>(data.size());
     weight_sum += static_cast<double>(data.size());
+    const double l = static_cast<double>(loss);
+    loss_min = (i == 0) ? l : std::min(loss_min, l);
+    loss_max = (i == 0) ? l : std::max(loss_max, l);
+
+    ClientObservation obs;
+    obs.client_id = id;
+    obs.order = i;
+    obs.weight = static_cast<double>(data.size());
+    obs.train_loss = l;
+    obs.update_bytes = bytes;  // compressed, not dense
+    obs.train_seconds = client_seconds;
+    ctx.finish_client(obs);
+    stats.bytes_up += static_cast<std::uint64_t>(bytes);
   }
 
   update_sum *= 1.0f / static_cast<float>(selected.size());
@@ -145,7 +174,20 @@ RoundStats CompressedFedAvg::run_round(
   last_dense_bytes_ = dim * sizeof(float);
   last_compressed_bytes_ = static_cast<std::size_t>(
       byte_sum / static_cast<double>(selected.size()));
-  return RoundStats{loss_sum / weight_sum};
+  stats.mean_train_loss = loss_sum / weight_sum;
+  stats.min_train_loss = loss_min;
+  stats.max_train_loss = loss_max;
+  stats.weight_sum = weight_sum;
+  stats.bytes_down = static_cast<std::uint64_t>(selected.size()) *
+                     static_cast<std::uint64_t>(dim) * sizeof(float);
+  stats.extras["comp.dense_bytes"] =
+      static_cast<double>(last_dense_bytes_);
+  stats.extras["comp.compressed_bytes"] =
+      static_cast<double>(last_compressed_bytes_);
+  stats.extras["comp.ratio"] =
+      static_cast<double>(last_compressed_bytes_) /
+      static_cast<double>(last_dense_bytes_);
+  return stats;
 }
 
 }  // namespace hetero

@@ -59,15 +59,23 @@ class CompressedFedAvg : public FederatedAlgorithm {
   CompressedFedAvg(LocalTrainConfig cfg, CompressionOptions options);
 
   void init(Model& model, std::size_t num_clients) override;
-  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
-                       const std::vector<Dataset>& client_data,
-                       Rng& rng) override;
   std::string name() const override { return "CompressedFedAvg"; }
 
   /// Bytes a dense float32 update would have cost last round (per client).
   std::size_t last_dense_bytes() const { return last_dense_bytes_; }
   /// Mean compressed bytes actually "sent" per client last round.
   std::size_t last_compressed_bytes() const { return last_compressed_bytes_; }
+
+ protected:
+  /// Serial by construction: per-client error-feedback residuals are
+  /// read-modify-write shared state, so as_split() stays nullptr. Client
+  /// observations report the actual compressed byte cost, and the round's
+  /// compression summary lands in RoundStats::extras ("comp.dense_bytes",
+  /// "comp.compressed_bytes", "comp.ratio").
+  RoundStats do_run_round(Model& model,
+                          const std::vector<std::size_t>& selected,
+                          const std::vector<Dataset>& client_data, Rng& rng,
+                          RoundContext& ctx) override;
 
  private:
   LocalTrainConfig cfg_;

@@ -1,0 +1,166 @@
+// RoundObserver: the simulation's telemetry API (DESIGN.md §8).
+//
+// One observer sees every phase of a federated run:
+//   on_round_begin(round, selected)   before any client trains
+//   on_client_end(round, observation) once per client, in `selected` order
+//   on_round_end(round, stats)        after the server aggregate
+//   on_eval(round, metrics)           at eval checkpoints and the final eval
+//
+// Delivery contract: all events fire on the simulation's caller thread.
+// The parallel executor buffers per-worker client results and flushes them
+// in `selected` order, so the event stream — like the simulation results
+// themselves — is deterministic for any thread count (the determinism
+// contract of §7). Only ClientObservation::train_seconds and
+// RoundStats::round_seconds are wall-clock and therefore nondeterministic;
+// TracingObserver can omit them to produce byte-identical traces.
+//
+// This header is include-light on purpose (the runtime layer includes it
+// through fl/algorithm.h): heavyweight types are forward-declared and the
+// concrete observers live in observer.cpp.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+#include <vector>
+
+namespace hetero {
+
+struct ClientUpdate;
+struct DeviceMetrics;
+struct RoundStats;
+
+namespace obs {
+class MetricsRegistry;
+class Tracer;
+}  // namespace obs
+
+/// Scalar view of one finished client update — everything an observer may
+/// want from a ClientUpdate except the tensor payloads.
+struct ClientObservation {
+  std::size_t client_id = 0;
+  std::size_t order = 0;        ///< position in the round's `selected` list
+  double weight = 0.0;          ///< aggregation weight (sample count)
+  double train_loss = 0.0;
+  unsigned flags = 0;           ///< algorithm-specific bits (e.g. switches)
+  std::size_t update_bytes = 0; ///< uplink payload estimate (state + aux)
+  double train_seconds = 0.0;   ///< wall time; NOT deterministic
+};
+
+/// Builds the scalar view of a ClientUpdate (update_bytes counts the state
+/// and aux tensors at 4 bytes/parameter).
+ClientObservation make_observation(const ClientUpdate& update,
+                                   std::size_t order);
+
+/// The observation interface. All hooks default to no-ops so observers
+/// implement only what they need.
+class RoundObserver {
+ public:
+  virtual ~RoundObserver() = default;
+
+  virtual void on_round_begin(std::size_t /*round*/,
+                              const std::vector<std::size_t>& /*selected*/) {}
+  virtual void on_client_end(std::size_t /*round*/,
+                             const ClientObservation& /*client*/) {}
+  virtual void on_round_end(std::size_t /*round*/,
+                            const RoundStats& /*stats*/) {}
+  virtual void on_eval(std::size_t /*round*/,
+                       const DeviceMetrics& /*metrics*/) {}
+};
+
+/// Per-round execution context threaded through FederatedAlgorithm::
+/// run_round and the ClientExecutor: carries the observer (may be null)
+/// plus the per-client wall-time accounting every execution path fills —
+/// including the serial-only algorithms (DP-FedAvg, CompressedFedAvg), so
+/// RuntimeStats::client_seconds_* is populated on every path.
+struct RoundContext {
+  std::size_t round = 0;
+  RoundObserver* observer = nullptr;  ///< non-owning; null = no telemetry
+
+  double client_seconds_sum = 0.0;
+  double client_seconds_max = 0.0;
+
+  /// Records one client's wall time and, when an observer is attached,
+  /// delivers its observation.
+  void finish_client(const ClientObservation& client);
+  /// Convenience: finish_client(make_observation(update, order)).
+  void finish_client(const ClientUpdate& update, std::size_t order);
+};
+
+/// Fans events out to any number of child observers (registration order).
+class MulticastObserver : public RoundObserver {
+ public:
+  /// Null children are ignored, so callers can add conditionally.
+  void add(RoundObserver* child);
+  bool empty() const { return children_.empty(); }
+
+  void on_round_begin(std::size_t round,
+                      const std::vector<std::size_t>& selected) override;
+  void on_client_end(std::size_t round,
+                     const ClientObservation& client) override;
+  void on_round_end(std::size_t round, const RoundStats& stats) override;
+  void on_eval(std::size_t round, const DeviceMetrics& metrics) override;
+
+ private:
+  std::vector<RoundObserver*> children_;
+};
+
+/// Adapter for the deprecated SimulationConfig::on_round callback: forwards
+/// on_round_end as fn(round, stats.mean_train_loss).
+class CallbackObserver : public RoundObserver {
+ public:
+  explicit CallbackObserver(std::function<void(std::size_t, double)> fn)
+      : fn_(std::move(fn)) {}
+
+  void on_round_end(std::size_t round, const RoundStats& stats) override;
+
+ private:
+  std::function<void(std::size_t, double)> fn_;
+};
+
+/// Wraps a legacy (round, mean-loss) callback in a RoundObserver.
+std::unique_ptr<RoundObserver> observer_from_callback(
+    std::function<void(std::size_t, double)> fn);
+
+/// Emits the trace events of DESIGN.md §8 through an obs::Tracer. Honours
+/// the tracer's include_timings flag: with timings off the emitted trace is
+/// byte-identical for any thread count.
+class TracingObserver : public RoundObserver {
+ public:
+  explicit TracingObserver(obs::Tracer& tracer) : tracer_(tracer) {}
+
+  void on_round_begin(std::size_t round,
+                      const std::vector<std::size_t>& selected) override;
+  void on_client_end(std::size_t round,
+                     const ClientObservation& client) override;
+  void on_round_end(std::size_t round, const RoundStats& stats) override;
+  void on_eval(std::size_t round, const DeviceMetrics& metrics) override;
+
+ private:
+  obs::Tracer& tracer_;
+};
+
+/// Feeds an obs::MetricsRegistry:
+///   counters   fl.rounds, fl.clients, fl.bytes_up, fl.bytes_down
+///   histograms fl.client_loss, fl.client_seconds, fl.round_loss,
+///              fl.round_seconds
+///   gauges     fl.last_round_loss, fl.eval_average, fl.eval_variance,
+///              fl.eval_worst_case, plus fl.extra.<key> for every
+///              per-algorithm RoundStats extra.
+class MetricsObserver : public RoundObserver {
+ public:
+  explicit MetricsObserver(obs::MetricsRegistry& registry)
+      : registry_(registry) {}
+
+  void on_round_begin(std::size_t round,
+                      const std::vector<std::size_t>& selected) override;
+  void on_client_end(std::size_t round,
+                     const ClientObservation& client) override;
+  void on_round_end(std::size_t round, const RoundStats& stats) override;
+  void on_eval(std::size_t round, const DeviceMetrics& metrics) override;
+
+ private:
+  obs::MetricsRegistry& registry_;
+};
+
+}  // namespace hetero

@@ -1,8 +1,19 @@
 #include "fl/privacy.h"
 
+#include <chrono>
+
 #include "util/rng.h"
 
 namespace hetero {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+}  // namespace
 
 float clip_to_norm(Tensor& update, float clip_norm) {
   HS_CHECK(clip_norm > 0.0f, "clip_to_norm: clip_norm must be positive");
@@ -26,28 +37,49 @@ void DpFedAvg::init(Model& model, std::size_t num_clients) {
   noise_rng_ = Rng(options_.noise_seed);
 }
 
-RoundStats DpFedAvg::run_round(Model& model,
-                               const std::vector<std::size_t>& selected,
-                               const std::vector<Dataset>& client_data,
-                               Rng& rng) {
+RoundStats DpFedAvg::do_run_round(Model& model,
+                                  const std::vector<std::size_t>& selected,
+                                  const std::vector<Dataset>& client_data,
+                                  Rng& rng, RoundContext& ctx) {
   HS_CHECK(!selected.empty(), "DpFedAvg: no clients selected");
   const Tensor global = model.state();
 
   Tensor update_sum({global.size()});
+  RoundStats stats;
+  stats.num_clients = selected.size();
   double loss_sum = 0.0, weight_sum = 0.0;
+  double loss_min = 0.0, loss_max = 0.0;
   std::size_t clipped = 0;
-  for (std::size_t id : selected) {
+  for (std::size_t i = 0; i < selected.size(); ++i) {
+    const std::size_t id = selected[i];
     const Dataset& data = client_data.at(id);
     model.set_state(global);
     Rng client_rng = rng.fork(id);
+    const Clock::time_point c0 = Clock::now();
     const float loss = local_train(model, data, cfg_, client_rng);
+    const double client_seconds = seconds_since(c0);
     Tensor delta = model.state() - global;
-    if (clip_to_norm(delta, options_.clip_norm) < 1.0f) ++clipped;
+    const bool was_clipped = clip_to_norm(delta, options_.clip_norm) < 1.0f;
+    if (was_clipped) ++clipped;
     // DP aggregation weights clients equally (sample-size weighting would
     // leak dataset sizes).
     update_sum += delta;
     loss_sum += loss * static_cast<double>(data.size());
     weight_sum += static_cast<double>(data.size());
+    const double l = static_cast<double>(loss);
+    loss_min = (i == 0) ? l : std::min(loss_min, l);
+    loss_max = (i == 0) ? l : std::max(loss_max, l);
+
+    ClientObservation obs;
+    obs.client_id = id;
+    obs.order = i;
+    obs.weight = static_cast<double>(data.size());
+    obs.train_loss = l;
+    obs.flags = was_clipped ? 1u : 0u;
+    obs.update_bytes = delta.size() * sizeof(float);
+    obs.train_seconds = client_seconds;
+    ctx.finish_client(obs);
+    stats.bytes_up += static_cast<std::uint64_t>(delta.size() * sizeof(float));
   }
   const float inv_k = 1.0f / static_cast<float>(selected.size());
   update_sum *= inv_k;
@@ -66,7 +98,15 @@ RoundStats DpFedAvg::run_round(Model& model,
 
   Tensor new_state = global + update_sum;
   model.set_state(new_state);
-  return RoundStats{loss_sum / weight_sum};
+  stats.mean_train_loss = loss_sum / weight_sum;
+  stats.min_train_loss = loss_min;
+  stats.max_train_loss = loss_max;
+  stats.weight_sum = weight_sum;
+  stats.bytes_down = static_cast<std::uint64_t>(selected.size()) *
+                     static_cast<std::uint64_t>(global.size()) * sizeof(float);
+  stats.extras["dp.noise_stddev"] = last_sigma_;
+  stats.extras["dp.clip_fraction"] = last_clip_fraction_;
+  return stats;
 }
 
 }  // namespace hetero

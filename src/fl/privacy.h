@@ -30,15 +30,23 @@ class DpFedAvg : public FederatedAlgorithm {
   DpFedAvg(LocalTrainConfig cfg, DpOptions options);
 
   void init(Model& model, std::size_t num_clients) override;
-  RoundStats run_round(Model& model, const std::vector<std::size_t>& selected,
-                       const std::vector<Dataset>& client_data,
-                       Rng& rng) override;
   std::string name() const override { return "DP-FedAvg"; }
 
   /// Noise stddev applied per coordinate in the last round.
   double last_noise_stddev() const { return last_sigma_; }
   /// Fraction of client updates clipped in the last round.
   double last_clip_fraction() const { return last_clip_fraction_; }
+
+ protected:
+  /// Serial by construction: the server-side noise stream is shared state,
+  /// so as_split() stays nullptr. Per-client timing and observations are
+  /// still reported through ctx, and the round's noise scale / clip
+  /// fraction land in RoundStats::extras ("dp.noise_stddev",
+  /// "dp.clip_fraction").
+  RoundStats do_run_round(Model& model,
+                          const std::vector<std::size_t>& selected,
+                          const std::vector<Dataset>& client_data, Rng& rng,
+                          RoundContext& ctx) override;
 
  private:
   LocalTrainConfig cfg_;

@@ -34,6 +34,17 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
   algorithm.init(model, population.client_train.size());
   ClientExecutor executor(cfg.num_threads);
 
+  // Fan telemetry out to the configured observer and, for compatibility,
+  // the deprecated on_round callback wrapped as an observer.
+  MulticastObserver fanout;
+  fanout.add(cfg.observer);
+  std::unique_ptr<RoundObserver> legacy;
+  if (cfg.on_round) {
+    legacy = observer_from_callback(cfg.on_round);
+    fanout.add(legacy.get());
+  }
+  RoundObserver* observer = fanout.empty() ? nullptr : &fanout;
+
   SimulationResult result;
   result.train_loss_history.reserve(cfg.rounds);
   result.runtime.threads = executor.num_threads();
@@ -43,23 +54,28 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
         population.client_train.size(), cfg.clients_per_round);
     Rng round_rng = rng.fork(round);
     RoundRuntime round_runtime;
+    RoundContext ctx;
+    ctx.round = round;
+    ctx.observer = observer;
     const RoundStats stats =
         executor.run_round(model, algorithm, selected, population.client_train,
-                           round_rng, &round_runtime);
+                           round_rng, &round_runtime, &ctx);
     result.runtime.round_seconds.push_back(round_runtime.round_seconds);
     result.runtime.total_seconds += round_runtime.round_seconds;
     result.runtime.client_seconds_sum += round_runtime.client_seconds_sum;
     result.runtime.client_seconds_max = std::max(
         result.runtime.client_seconds_max, round_runtime.client_seconds_max);
+    result.runtime.serial_fallback |= round_runtime.serial_fallback;
     result.train_loss_history.push_back(stats.mean_train_loss);
-    if (cfg.on_round) cfg.on_round(round, stats.mean_train_loss);
     if (cfg.eval_every > 0 && (round + 1) % cfg.eval_every == 0 &&
         round + 1 < cfg.rounds) {
-      result.checkpoints.emplace_back(round + 1,
-                                      evaluate_per_device(model, population));
+      DeviceMetrics checkpoint = evaluate_per_device(model, population);
+      if (observer) observer->on_eval(round + 1, checkpoint);
+      result.checkpoints.emplace_back(round + 1, std::move(checkpoint));
     }
   }
   result.final_metrics = evaluate_per_device(model, population);
+  if (observer) observer->on_eval(cfg.rounds, result.final_metrics);
   return result;
 }
 

@@ -36,7 +36,12 @@ struct SimulationConfig {
   /// on the calling thread; 0 selects hardware_concurrency. Results are
   /// bit-identical for any value (see DESIGN.md, runtime contract).
   std::size_t num_threads = 1;
-  /// Optional progress callback (round, train loss).
+  /// Telemetry sink for the run's round/client/eval events (see
+  /// fl/observer.h and DESIGN.md §8). Non-owning; null disables telemetry.
+  RoundObserver* observer = nullptr;
+  /// Deprecated: use `observer`. Still honoured through an internal
+  /// CallbackObserver adapter — fires as (round, mean train loss) after
+  /// every round, alongside (not instead of) `observer`.
   std::function<void(std::size_t, double)> on_round;
 };
 
@@ -45,10 +50,13 @@ struct RuntimeStats {
   std::size_t threads = 1;     ///< resolved executor thread count
   double total_seconds = 0.0;  ///< wall time across all rounds
   std::vector<double> round_seconds;  ///< per-round wall time
-  /// Summed / worst per-client local-training wall time (0 for algorithms
-  /// without a split client phase).
+  /// Summed / worst per-client local-training wall time. Populated on
+  /// every execution path, including serial-only algorithms.
   double client_seconds_sum = 0.0;
   double client_seconds_max = 0.0;
+  /// True when the algorithm had no split client phase, so rounds ran its
+  /// own serial implementation regardless of num_threads.
+  bool serial_fallback = false;
 };
 
 struct SimulationResult {

@@ -124,24 +124,27 @@ RoundStats HeteroSwitch::aggregate(Model& model, const Tensor& global,
                                    std::vector<ClientUpdate>& updates) {
   (void)global;
   HS_CHECK(!updates.empty(), "HeteroSwitch: no client updates");
+  RoundStats stats = summarize_updates(updates, model.state_size());
   std::vector<Tensor> states;
   std::vector<double> weights;
-  double loss_sum = 0.0, weight_sum = 0.0;
+  std::size_t round_switch1 = 0, round_switch2 = 0;
   states.reserve(updates.size());
   for (ClientUpdate& u : updates) {
     ++update_count_;
-    if (u.flags & 1u) ++switch1_count_;
-    if (u.flags & 2u) ++switch2_count_;
+    if (u.flags & 1u) ++round_switch1;
+    if (u.flags & 2u) ++round_switch2;
     states.push_back(std::move(u.state));
     weights.push_back(u.weight);
-    loss_sum += u.train_loss * u.weight;
-    weight_sum += u.weight;
   }
+  switch1_count_ += round_switch1;
+  switch2_count_ += round_switch2;
   model.set_state(weighted_average_states(states, weights));
   // Eq. 1: fold the round's aggregated train loss into the EMA.
-  const double round_loss = loss_sum / weight_sum;
-  ema_.update(round_loss);
-  return RoundStats{round_loss};
+  ema_.update(stats.mean_train_loss);
+  stats.extras["hs.switch1"] = static_cast<double>(round_switch1);
+  stats.extras["hs.switch2"] = static_cast<double>(round_switch2);
+  stats.extras["hs.ema_loss"] = ema_.value();
+  return stats;
 }
 
 }  // namespace hetero

@@ -1,0 +1,290 @@
+#include "obs/jsonl.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hetero::obs {
+namespace {
+
+void append_escaped(std::string& out, std::string_view s) {
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      case '\b': out += "\\b"; break;
+      case '\f': out += "\\f"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  append_escaped(out, s);
+  return out;
+}
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "null";  // JSON has no inf/nan literals
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+// --------------------------------------------------------- JsonObjectBuilder
+
+void JsonObjectBuilder::key(std::string_view k) {
+  body_ += fields_ ? ",\"" : "\"";
+  append_escaped(body_, k);
+  body_ += "\":";
+  ++fields_;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::add(std::string_view k, double v) {
+  key(k);
+  body_ += json_number(v);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::add(std::string_view k,
+                                          std::int64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::add(std::string_view k,
+                                          std::uint64_t v) {
+  key(k);
+  body_ += std::to_string(v);
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::add(std::string_view k, bool v) {
+  key(k);
+  body_ += v ? "true" : "false";
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::add(std::string_view k,
+                                          std::string_view v) {
+  key(k);
+  body_ += '"';
+  append_escaped(body_, v);
+  body_ += '"';
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::add_array(
+    std::string_view k, const std::vector<double>& v) {
+  key(k);
+  body_ += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) body_ += ',';
+    body_ += json_number(v[i]);
+  }
+  body_ += ']';
+  return *this;
+}
+
+JsonObjectBuilder& JsonObjectBuilder::add_array(
+    std::string_view k, const std::vector<std::uint64_t>& v) {
+  key(k);
+  body_ += '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) body_ += ',';
+    body_ += std::to_string(v[i]);
+  }
+  body_ += ']';
+  return *this;
+}
+
+std::string JsonObjectBuilder::str() const { return "{" + body_ + "}"; }
+
+// --------------------------------------------------------------- JsonlWriter
+
+JsonlWriter::JsonlWriter(const std::string& path) : path_(path) {
+  file_.open(path, std::ios::out | std::ios::trunc);
+  if (!file_.is_open()) {
+    throw std::runtime_error("JsonlWriter: cannot open " + path);
+  }
+  os_ = &file_;
+}
+
+JsonlWriter::~JsonlWriter() { flush(); }
+
+void JsonlWriter::write_line(std::string_view line) {
+  os_->write(line.data(), static_cast<std::streamsize>(line.size()));
+  os_->put('\n');
+  ++lines_;
+}
+
+void JsonlWriter::flush() { os_->flush(); }
+
+// -------------------------------------------------------------------- parse
+
+namespace {
+
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void skip_ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\r' ||
+                            s[i] == '\n')) {
+      ++i;
+    }
+  }
+  bool eat(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool done() {
+    skip_ws();
+    return i >= s.size();
+  }
+};
+
+bool parse_string(Cursor& c, std::string& out) {
+  if (!c.eat('"')) return false;
+  out.clear();
+  while (c.i < c.s.size()) {
+    char ch = c.s[c.i++];
+    if (ch == '"') return true;
+    if (ch != '\\') {
+      out += ch;
+      continue;
+    }
+    if (c.i >= c.s.size()) return false;
+    char esc = c.s[c.i++];
+    switch (esc) {
+      case '"': out += '"'; break;
+      case '\\': out += '\\'; break;
+      case '/': out += '/'; break;
+      case 'n': out += '\n'; break;
+      case 't': out += '\t'; break;
+      case 'r': out += '\r'; break;
+      case 'b': out += '\b'; break;
+      case 'f': out += '\f'; break;
+      case 'u': {
+        if (c.i + 4 > c.s.size()) return false;
+        unsigned code = 0;
+        for (int k = 0; k < 4; ++k) {
+          char h = c.s[c.i++];
+          code <<= 4;
+          if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+          else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+          else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+          else return false;
+        }
+        // UTF-8 encode (the writer only emits \u00xx, but accept the BMP).
+        if (code < 0x80) {
+          out += static_cast<char>(code);
+        } else if (code < 0x800) {
+          out += static_cast<char>(0xC0 | (code >> 6));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        } else {
+          out += static_cast<char>(0xE0 | (code >> 12));
+          out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+          out += static_cast<char>(0x80 | (code & 0x3F));
+        }
+        break;
+      }
+      default: return false;
+    }
+  }
+  return false;  // unterminated
+}
+
+bool parse_number(Cursor& c, double& out) {
+  c.skip_ws();
+  const char* begin = c.s.data() + c.i;
+  char* end = nullptr;
+  out = std::strtod(begin, &end);
+  if (end == begin) return false;
+  c.i += static_cast<std::size_t>(end - begin);
+  return true;
+}
+
+bool parse_value(Cursor& c, JsonValue& v) {
+  c.skip_ws();
+  if (c.i >= c.s.size()) return false;
+  const char ch = c.s[c.i];
+  if (ch == '"') {
+    v.kind = JsonValue::Kind::kString;
+    return parse_string(c, v.string);
+  }
+  if (ch == '[') {
+    ++c.i;
+    v.kind = JsonValue::Kind::kNumberArray;
+    c.skip_ws();
+    if (c.eat(']')) return true;
+    while (true) {
+      double num;
+      if (!parse_number(c, num)) return false;
+      v.numbers.push_back(num);
+      if (c.eat(']')) return true;
+      if (!c.eat(',')) return false;
+    }
+  }
+  if (c.s.compare(c.i, 4, "true") == 0) {
+    c.i += 4;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = true;
+    return true;
+  }
+  if (c.s.compare(c.i, 5, "false") == 0) {
+    c.i += 5;
+    v.kind = JsonValue::Kind::kBool;
+    v.boolean = false;
+    return true;
+  }
+  if (c.s.compare(c.i, 4, "null") == 0) {
+    c.i += 4;
+    v.kind = JsonValue::Kind::kNull;
+    return true;
+  }
+  v.kind = JsonValue::Kind::kNumber;
+  return parse_number(c, v.number);
+}
+
+}  // namespace
+
+std::optional<JsonFlatObject> parse_flat_json(std::string_view line) {
+  Cursor c{line};
+  if (!c.eat('{')) return std::nullopt;
+  JsonFlatObject obj;
+  if (c.eat('}')) return c.done() ? std::optional(obj) : std::nullopt;
+  while (true) {
+    std::string key;
+    if (!parse_string(c, key)) return std::nullopt;
+    if (!c.eat(':')) return std::nullopt;
+    JsonValue value;
+    if (!parse_value(c, value)) return std::nullopt;
+    obj[key] = std::move(value);
+    if (c.eat('}')) break;
+    if (!c.eat(',')) return std::nullopt;
+  }
+  return c.done() ? std::optional(obj) : std::nullopt;
+}
+
+}  // namespace hetero::obs

@@ -1,0 +1,115 @@
+// JSON-lines plumbing for the observability subsystem: escaping, a
+// single-line flat-object builder with deterministic field ordering and
+// number formatting, a line-oriented writer, and a parser for the flat
+// objects the Tracer emits (used by the trace validator and tests).
+//
+// Determinism matters here: traces are part of the runtime's replay
+// contract (DESIGN.md §8), so doubles are always rendered with "%.17g"
+// (round-trippable and platform-stable for IEEE-754 binary64) and fields
+// appear exactly in insertion order.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hetero::obs {
+
+/// Escapes a string for embedding in a JSON string literal (quotes,
+/// backslash, and control characters; the latter as \uXXXX or the short
+/// forms \n \t \r \b \f).
+std::string json_escape(std::string_view s);
+
+/// Renders a double exactly as the trace format does ("%.17g", with
+/// non-finite values mapped to null since JSON has no inf/nan literals).
+std::string json_number(double v);
+
+/// Builds one flat JSON object, field by field, in insertion order.
+class JsonObjectBuilder {
+ public:
+  JsonObjectBuilder& add(std::string_view key, double v);
+  JsonObjectBuilder& add(std::string_view key, std::int64_t v);
+  JsonObjectBuilder& add(std::string_view key, std::uint64_t v);
+  JsonObjectBuilder& add(std::string_view key, int v) {
+    return add(key, static_cast<std::int64_t>(v));
+  }
+  JsonObjectBuilder& add(std::string_view key, unsigned v) {
+    return add(key, static_cast<std::uint64_t>(v));
+  }
+  JsonObjectBuilder& add(std::string_view key, bool v);
+  JsonObjectBuilder& add(std::string_view key, std::string_view v);
+  JsonObjectBuilder& add(std::string_view key, const char* v) {
+    return add(key, std::string_view(v));
+  }
+  /// Array of numbers, each rendered like add(double).
+  JsonObjectBuilder& add_array(std::string_view key,
+                               const std::vector<double>& v);
+  /// Array of unsigned integers (client id lists and the like).
+  JsonObjectBuilder& add_array(std::string_view key,
+                               const std::vector<std::uint64_t>& v);
+
+  std::size_t fields() const { return fields_; }
+  /// The finished object, e.g. {"ev":"round_end","round":3}.
+  std::string str() const;
+
+ private:
+  void key(std::string_view k);
+
+  std::string body_;
+  std::size_t fields_ = 0;
+};
+
+/// Appends newline-terminated lines to a file (or any ostream). The
+/// stream-backed constructor is non-owning and exists for tests.
+class JsonlWriter {
+ public:
+  /// Opens (truncates) `path`; throws std::runtime_error on failure.
+  explicit JsonlWriter(const std::string& path);
+  /// Writes to an externally owned stream (tests, stdout piping).
+  explicit JsonlWriter(std::ostream& os) : os_(&os) {}
+
+  JsonlWriter(const JsonlWriter&) = delete;
+  JsonlWriter& operator=(const JsonlWriter&) = delete;
+  ~JsonlWriter();
+
+  void write_line(std::string_view line);
+  void write(const JsonObjectBuilder& obj) { write_line(obj.str()); }
+  void flush();
+  std::size_t lines_written() const { return lines_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  std::string path_;       // empty for the stream-backed form
+  std::ofstream file_;
+  std::ostream* os_ = nullptr;
+  std::size_t lines_ = 0;
+};
+
+/// One parsed scalar (or number-array) value of a flat JSON object.
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kNumberArray };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<double> numbers;
+
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+  bool is_array() const { return kind == Kind::kNumberArray; }
+};
+
+using JsonFlatObject = std::map<std::string, JsonValue>;
+
+/// Parses one line holding a flat JSON object whose values are scalars or
+/// arrays of numbers — exactly the shape the Tracer emits. Returns nullopt
+/// on malformed input (including nested objects, which the trace format
+/// never produces).
+std::optional<JsonFlatObject> parse_flat_json(std::string_view line);
+
+}  // namespace hetero::obs

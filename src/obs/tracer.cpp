@@ -1,0 +1,20 @@
+#include "obs/tracer.h"
+
+namespace hetero::obs {
+
+std::uint64_t Tracer::begin_run(std::string_view label) {
+  ++run_;
+  seq_ = 0;
+  JsonObjectBuilder b = event("run_begin");
+  b.add("label", label);
+  write(b);
+  return run_;
+}
+
+JsonObjectBuilder Tracer::event(std::string_view type) {
+  JsonObjectBuilder b;
+  b.add("ev", type).add("run", run_).add("seq", seq_++);
+  return b;
+}
+
+}  // namespace hetero::obs

@@ -1,0 +1,59 @@
+// Tracer: frames JSONL span events for federated-simulation runs.
+//
+// Every event is one flat JSON object with three framing fields —
+//   "ev"  : event type ("run_begin", "round_begin", "client_end",
+//           "round_end", "eval", ...)
+//   "run" : id of the current run (incremented by begin_run; 0 if a caller
+//           never starts a named run)
+//   "seq" : per-run sequence number, strictly increasing from 0
+// — followed by the caller's payload fields. The schema of the payload per
+// event type is documented in DESIGN.md §8.
+//
+// Determinism: with include_timings == false, callers must not add
+// wall-clock fields (TracingObserver honours this), which makes the whole
+// trace a pure function of the simulation inputs — byte-identical for any
+// thread count, exactly like the simulation results themselves.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "obs/jsonl.h"
+
+namespace hetero::obs {
+
+struct TracerOptions {
+  /// Include nondeterministic wall-time fields ("seconds"). Disable to get
+  /// byte-identical traces across thread counts / runs.
+  bool include_timings = true;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(JsonlWriter& out, TracerOptions options = {})
+      : out_(&out), options_(options) {}
+
+  bool include_timings() const { return options_.include_timings; }
+
+  /// Starts a new run: bumps the run id, resets the sequence counter, and
+  /// emits a run_begin event carrying `label`. Returns the new run id.
+  std::uint64_t begin_run(std::string_view label);
+
+  /// Seeds a builder with the framing fields (ev/run/seq) and claims the
+  /// next sequence number. Append payload fields, then pass to write().
+  JsonObjectBuilder event(std::string_view type);
+
+  void write(const JsonObjectBuilder& event) { out_->write(event); }
+  void flush() { out_->flush(); }
+
+  std::uint64_t run() const { return run_; }
+  std::uint64_t events_written() const { return out_->lines_written(); }
+
+ private:
+  JsonlWriter* out_;
+  TracerOptions options_;
+  std::uint64_t run_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace hetero::obs

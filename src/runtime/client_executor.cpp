@@ -33,57 +33,43 @@ RoundStats ClientExecutor::run_round(Model& model,
                                      FederatedAlgorithm& algorithm,
                                      const std::vector<std::size_t>& selected,
                                      const std::vector<Dataset>& client_data,
-                                     Rng& rng, RoundRuntime* runtime) {
+                                     Rng& rng, RoundRuntime* runtime,
+                                     RoundContext* ctx) {
   const Clock::time_point start = Clock::now();
+  RoundContext local;
+  RoundContext& c = ctx ? *ctx : local;
+  if (c.observer) c.observer->on_round_begin(c.round, selected);
+
   RoundStats stats;
   SplitFederatedAlgorithm* split = algorithm.as_split();
-  if (split == nullptr) {
-    // Serial-only algorithm (e.g. a shared server-side noise stream).
-    stats = algorithm.run_round(model, selected, client_data, rng);
-    if (runtime) *runtime = RoundRuntime{};
-  } else if (pool_ == nullptr) {
-    stats = run_split_serial(model, *split, selected, client_data, rng,
-                             runtime);
+  const bool parallel = split != nullptr && pool_ != nullptr;
+  if (parallel) {
+    stats = run_split_parallel(model, *split, selected, client_data, rng, c);
   } else {
-    stats = run_split_parallel(model, *split, selected, client_data, rng,
-                               runtime);
+    // Serial path: the algorithm's own round implementation, which times
+    // every client and reports it through the context — split algorithms
+    // via the serial reference do_run_round, serial-only ones (e.g. a
+    // shared noise stream) via their custom round.
+    stats = algorithm.run_round(model, selected, client_data, rng, &c);
   }
-  if (runtime) runtime->round_seconds = seconds_since(start);
-  return stats;
-}
 
-RoundStats ClientExecutor::run_split_serial(
-    Model& model, SplitFederatedAlgorithm& split,
-    const std::vector<std::size_t>& selected,
-    const std::vector<Dataset>& client_data, Rng& rng,
-    RoundRuntime* runtime) {
-  HS_CHECK(!selected.empty(), "ClientExecutor: no clients selected");
-  const Tensor global = model.state();
-  std::vector<ClientUpdate> updates;
-  updates.reserve(selected.size());
-  for (std::size_t id : selected) {
-    Rng client_rng = rng.fork(id);
-    const Clock::time_point c0 = Clock::now();
-    updates.push_back(
-        split.local_update(model, global, id, client_data.at(id), client_rng));
-    updates.back().train_seconds = seconds_since(c0);
-  }
+  stats.round_seconds = seconds_since(start);
   if (runtime) {
     *runtime = RoundRuntime{};
-    for (const ClientUpdate& u : updates) {
-      runtime->client_seconds_sum += u.train_seconds;
-      runtime->client_seconds_max =
-          std::max(runtime->client_seconds_max, u.train_seconds);
-    }
+    runtime->parallel = parallel;
+    runtime->serial_fallback = split == nullptr;
+    runtime->client_seconds_sum = c.client_seconds_sum;
+    runtime->client_seconds_max = c.client_seconds_max;
+    runtime->round_seconds = stats.round_seconds;
   }
-  return split.aggregate(model, global, updates);
+  if (c.observer) c.observer->on_round_end(c.round, stats);
+  return stats;
 }
 
 RoundStats ClientExecutor::run_split_parallel(
     Model& model, SplitFederatedAlgorithm& split,
     const std::vector<std::size_t>& selected,
-    const std::vector<Dataset>& client_data, Rng& rng,
-    RoundRuntime* runtime) {
+    const std::vector<Dataset>& client_data, Rng& rng, RoundContext& ctx) {
   HS_CHECK(!selected.empty(), "ClientExecutor: no clients selected");
   const Tensor global = model.state();
   std::vector<ClientUpdate> updates(selected.size());
@@ -104,15 +90,13 @@ RoundStats ClientExecutor::run_split_parallel(
     updates[i].train_seconds = seconds_since(c0);
   });
 
-  if (runtime) {
-    *runtime = RoundRuntime{};
-    runtime->parallel = true;
-    for (const ClientUpdate& u : updates) {
-      runtime->client_seconds_sum += u.train_seconds;
-      runtime->client_seconds_max =
-          std::max(runtime->client_seconds_max, u.train_seconds);
-    }
+  // Flush buffered client events on the caller's thread, in `selected`
+  // order — never in completion order — so observers see the same stream
+  // the serial path produces.
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    ctx.finish_client(updates[i], i);
   }
+
   // Serial server phase, folding in `selected` order.
   return split.aggregate(model, global, updates);
 }

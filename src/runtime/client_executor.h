@@ -5,12 +5,19 @@
 // replicas (cloned lazily from the global model, so memory stays
 // O(workers), not O(clients)) and then runs the serial aggregate on the
 // caller's thread. Algorithms without a split form fall back to their own
-// serial run_round.
+// serial round (reported as serial_fallback).
 //
 // Determinism contract (see DESIGN.md): every client's RNG stream is forked
 // from its client id — never from loop order or worker identity — and
 // aggregate folds updates in `selected` order, so the result is
 // bit-identical for any thread count, including 1.
+//
+// Telemetry: the executor is the driver of one round, so it emits the
+// round-level observer events — on_round_begin before any client trains and
+// on_round_end (with RoundStats::round_seconds filled) after the aggregate.
+// Client events from the parallel path are buffered with the updates and
+// flushed in `selected` order on the caller's thread before the aggregate,
+// so the event stream is deterministic for any thread count too.
 #pragma once
 
 #include <memory>
@@ -27,6 +34,9 @@ struct RoundRuntime {
   double client_seconds_sum = 0.0;  ///< summed per-client local_update time
   double client_seconds_max = 0.0;  ///< slowest single client update
   bool parallel = false;            ///< false when a serial path ran
+  /// True when the algorithm has no split client phase and ran its own
+  /// serial round regardless of the requested thread count.
+  bool serial_fallback = false;
 };
 
 class ClientExecutor {
@@ -44,21 +54,21 @@ class ClientExecutor {
 
   /// Runs one communication round, mutating the global model exactly like
   /// algorithm.run_round would. Per-client timing is reported through
-  /// `runtime` when non-null (client times only for split algorithms).
+  /// `runtime` when non-null (every path, split or not). When `ctx` is
+  /// non-null its observer receives the full event stream of the round
+  /// (round_begin, one client_end per client in `selected` order,
+  /// round_end).
   RoundStats run_round(Model& model, FederatedAlgorithm& algorithm,
                        const std::vector<std::size_t>& selected,
                        const std::vector<Dataset>& client_data, Rng& rng,
-                       RoundRuntime* runtime = nullptr);
+                       RoundRuntime* runtime = nullptr,
+                       RoundContext* ctx = nullptr);
 
  private:
-  RoundStats run_split_serial(Model& model, SplitFederatedAlgorithm& split,
-                              const std::vector<std::size_t>& selected,
-                              const std::vector<Dataset>& client_data,
-                              Rng& rng, RoundRuntime* runtime);
   RoundStats run_split_parallel(Model& model, SplitFederatedAlgorithm& split,
                                 const std::vector<std::size_t>& selected,
                                 const std::vector<Dataset>& client_data,
-                                Rng& rng, RoundRuntime* runtime);
+                                Rng& rng, RoundContext& ctx);
 
   std::size_t num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;              // null when num_threads_==1

@@ -1,5 +1,6 @@
 #include "util/config.h"
 
+#include <algorithm>
 #include <cstdlib>
 
 namespace hetero {
@@ -43,6 +44,12 @@ BenchConfig BenchConfig::from_env() {
   cfg.scale = static_cast<int>(env_int("HS_SCALE", 0));
   cfg.seed = static_cast<std::uint64_t>(env_int("HS_SEED", 42));
   cfg.rounds = env_int("HS_ROUNDS", -1);
+  cfg.repeats = static_cast<std::size_t>(
+      std::max<std::int64_t>(1, env_int("HS_REPEATS", 1)));
+  cfg.threads = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, env_int("HS_THREADS", 0)));
+  cfg.trace_path = env_string("HS_TRACE").value_or("");
+  cfg.trace_timings = env_int("HS_TRACE_TIMINGS", 1) != 0;
   return cfg;
 }
 

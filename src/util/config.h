@@ -3,9 +3,14 @@
 // Benchmarks honour a small set of env vars so a single binary can run both
 // as a fast smoke check (CI / `for b in build/bench/*`) and as a
 // paper-shaped experiment:
-//   HS_SCALE  : 0 = smoke (default), 1 = paper-shaped
-//   HS_SEED   : global seed (default 42)
-//   HS_ROUNDS : override communication-round count
+//   HS_SCALE   : 0 = smoke (default), 1 = paper-shaped
+//   HS_SEED    : global seed (default 42)
+//   HS_ROUNDS  : override communication-round count
+//   HS_REPEATS : seeds to average metrics over (default 1)
+//   HS_THREADS : worker threads for client training (0 = all cores)
+//   HS_TRACE   : JSONL trace output path (unset = tracing off)
+//   HS_TRACE_TIMINGS : 0 drops wall-clock fields from the trace, making it
+//                      byte-identical across thread counts (default 1)
 #pragma once
 
 #include <cstdint>
@@ -28,6 +33,13 @@ struct BenchConfig {
   int scale = 0;              ///< 0 = smoke, 1 = paper-shaped.
   std::uint64_t seed = 42;    ///< Global experiment seed.
   std::int64_t rounds = -1;   ///< -1 = use the bench's scale-based default.
+  std::size_t repeats = 1;    ///< Seeds to average metrics over (>= 1).
+  /// Worker threads for the client fan-out (0 = all hardware threads).
+  std::size_t threads = 0;
+  /// JSONL trace output path (HS_TRACE); empty = tracing disabled.
+  std::string trace_path;
+  /// Include wall-clock fields in traces (HS_TRACE_TIMINGS, default on).
+  bool trace_timings = true;
 
   /// Picks rounds: explicit HS_ROUNDS wins, otherwise smoke/paper default.
   std::int64_t pick_rounds(std::int64_t smoke, std::int64_t paper) const;

@@ -4,14 +4,21 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <sstream>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "fl/algorithm.h"
+#include "fl/compression.h"
+#include "fl/observer.h"
 #include "fl/privacy.h"
 #include "fl/simulation.h"
 #include "hetero/heteroswitch.h"
 #include "nn/model_zoo.h"
+#include "obs/jsonl.h"
+#include "obs/tracer.h"
 #include "runtime/client_executor.h"
 #include "runtime/thread_pool.h"
 #include "util/rng.h"
@@ -308,6 +315,235 @@ TEST(ClientExecutor, MatchesAlgorithmRunRoundExactly) {
   const Tensor sb = model_b->state();
   ASSERT_EQ(sa.size(), sb.size());
   for (std::size_t j = 0; j < sa.size(); ++j) EXPECT_EQ(sa[j], sb[j]);
+}
+
+// ----------------------------------------------------- RoundObserver API --
+
+// Records every observer event as a deterministic text line (wall-clock
+// fields excluded), so two runs can be compared with string equality.
+class RecordingObserver : public RoundObserver {
+ public:
+  void on_round_begin(std::size_t round,
+                      const std::vector<std::size_t>& selected) override {
+    std::string line = "begin r=" + std::to_string(round) + " sel=";
+    for (std::size_t id : selected) line += std::to_string(id) + ",";
+    log.push_back(std::move(line));
+  }
+  void on_client_end(std::size_t round,
+                     const ClientObservation& c) override {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "client r=%zu id=%zu ord=%zu w=%.17g loss=%.17g f=%u b=%zu",
+                  round, c.client_id, c.order, c.weight, c.train_loss,
+                  c.flags, c.update_bytes);
+    log.push_back(buf);
+  }
+  void on_round_end(std::size_t round, const RoundStats& s) override {
+    char buf[256];
+    std::snprintf(buf, sizeof(buf),
+                  "end r=%zu loss=%.17g min=%.17g max=%.17g n=%zu w=%.17g "
+                  "up=%zu down=%zu",
+                  round, s.mean_train_loss, s.min_train_loss,
+                  s.max_train_loss, s.num_clients, s.weight_sum, s.bytes_up,
+                  s.bytes_down);
+    std::string line = buf;
+    for (const auto& [key, value] : s.extras) {
+      char ebuf[96];
+      std::snprintf(ebuf, sizeof(ebuf), " %s=%.17g", key.c_str(), value);
+      line += ebuf;
+    }
+    log.push_back(std::move(line));
+  }
+  void on_eval(std::size_t round, const DeviceMetrics& m) override {
+    char buf[160];
+    std::snprintf(buf, sizeof(buf), "eval r=%zu avg=%.17g var=%.17g wc=%.17g",
+                  round, m.average, m.variance, m.worst_case);
+    log.push_back(buf);
+  }
+
+  std::vector<std::string> log;
+};
+
+SimulationResult run_observed(FederatedAlgorithm& algo, RoundObserver& obs,
+                              std::size_t num_threads, std::uint64_t seed,
+                              std::size_t eval_every = 0) {
+  auto model = tiny_model(seed);
+  FlPopulation pop = synthetic_population(8, 500);
+  SimulationConfig sim;
+  sim.rounds = 5;
+  sim.clients_per_round = 4;
+  sim.seed = seed;
+  sim.num_threads = num_threads;
+  sim.eval_every = eval_every;
+  sim.observer = &obs;
+  return run_simulation(*model, algo, pop, sim);
+}
+
+TEST(Observer, EventsArriveInSelectedOrderWithinEachRound) {
+  FedAvg algo(fast_cfg());
+  RecordingObserver rec;
+  run_observed(algo, rec, 4, 91);
+  // 5 rounds x (begin + 4 clients + end) + the final eval.
+  ASSERT_EQ(rec.log.size(), 5u * 6u + 1u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    const std::size_t base = r * 6;
+    EXPECT_EQ(rec.log[base].rfind("begin r=" + std::to_string(r), 0), 0u)
+        << rec.log[base];
+    for (std::size_t i = 0; i < 4; ++i) {
+      const std::string want =
+          "client r=" + std::to_string(r) + " id=";
+      EXPECT_EQ(rec.log[base + 1 + i].rfind(want, 0), 0u)
+          << rec.log[base + 1 + i];
+      // The parallel path must flush client events in `selected` order.
+      const std::string ord = "ord=" + std::to_string(i) + " ";
+      EXPECT_NE(rec.log[base + 1 + i].find(ord), std::string::npos)
+          << rec.log[base + 1 + i];
+    }
+    EXPECT_EQ(rec.log[base + 5].rfind("end r=" + std::to_string(r), 0), 0u)
+        << rec.log[base + 5];
+  }
+  EXPECT_EQ(rec.log.back().rfind("eval r=5 ", 0), 0u) << rec.log.back();
+}
+
+TEST(Observer, PayloadsIdenticalAcrossThreadCounts) {
+  FedAvg a1(fast_cfg());
+  FedAvg a4(fast_cfg());
+  RecordingObserver rec1, rec4;
+  run_observed(a1, rec1, 1, 92);
+  run_observed(a4, rec4, 4, 92);
+  ASSERT_EQ(rec1.log.size(), rec4.log.size());
+  for (std::size_t i = 0; i < rec1.log.size(); ++i) {
+    EXPECT_EQ(rec1.log[i], rec4.log[i]) << "event " << i;
+  }
+}
+
+TEST(Observer, HeteroSwitchPayloadsIdenticalAcrossThreadCounts) {
+  // HeteroSwitch carries per-round extras (switch counters, EMA) which must
+  // also replay identically.
+  HeteroSwitchOptions opts;
+  HeteroSwitch h1(fast_cfg(), opts);
+  HeteroSwitch h3(fast_cfg(), opts);
+  RecordingObserver rec1, rec3;
+  run_observed(h1, rec1, 1, 93);
+  run_observed(h3, rec3, 3, 93);
+  ASSERT_EQ(rec1.log.size(), rec3.log.size());
+  for (std::size_t i = 0; i < rec1.log.size(); ++i) {
+    EXPECT_EQ(rec1.log[i], rec3.log[i]) << "event " << i;
+  }
+}
+
+TEST(Observer, TraceBytesIdenticalAcrossThreadCounts) {
+  // With timings off, the full JSONL trace must be byte-identical for any
+  // thread count (acceptance criterion; DESIGN.md §8).
+  auto traced_run = [](std::size_t num_threads) {
+    std::ostringstream out;
+    obs::JsonlWriter writer(out);
+    obs::TracerOptions options;
+    options.include_timings = false;
+    obs::Tracer tracer(writer, options);
+    tracer.begin_run("determinism");
+    TracingObserver observer(tracer);
+    FedAvg algo(fast_cfg());
+    run_observed(algo, observer, num_threads, 94, /*eval_every=*/2);
+    return out.str();
+  };
+  const std::string t1 = traced_run(1);
+  const std::string t4 = traced_run(4);
+  EXPECT_FALSE(t1.empty());
+  EXPECT_EQ(t1, t4);
+}
+
+TEST(Observer, EvalFiresAtCheckpointsAndFinal) {
+  FedAvg algo(fast_cfg());
+  RecordingObserver rec;
+  const SimulationResult r = run_observed(algo, rec, 2, 95, /*eval_every=*/2);
+  std::vector<std::string> evals;
+  for (const auto& line : rec.log) {
+    if (line.rfind("eval ", 0) == 0) evals.push_back(line);
+  }
+  // Checkpoints after rounds 2 and 4, then the final eval after round 5.
+  ASSERT_EQ(evals.size(), 3u);
+  EXPECT_EQ(evals[0].rfind("eval r=2 ", 0), 0u) << evals[0];
+  EXPECT_EQ(evals[1].rfind("eval r=4 ", 0), 0u) << evals[1];
+  EXPECT_EQ(evals[2].rfind("eval r=5 ", 0), 0u) << evals[2];
+  EXPECT_EQ(r.checkpoints.size(), 2u);
+}
+
+TEST(Observer, SerialFallbackIsFlaggedAndTimed) {
+  // Serial-only algorithms (no split phase) must still report per-client
+  // wall time and raise the serial_fallback flag.
+  DpOptions dp_opts;
+  DpFedAvg dp(fast_cfg(), dp_opts);
+  RecordingObserver rec;
+  {
+    auto model = tiny_model(96);
+    FlPopulation pop = synthetic_population(8, 500);
+    SimulationConfig sim;
+    sim.rounds = 2;
+    sim.clients_per_round = 3;
+    sim.seed = 96;
+    sim.num_threads = 4;
+    sim.observer = &rec;
+    const SimulationResult r = run_simulation(*model, dp, pop, sim);
+    EXPECT_TRUE(r.runtime.serial_fallback);
+    EXPECT_GT(r.runtime.client_seconds_sum, 0.0);
+    EXPECT_GT(r.runtime.client_seconds_max, 0.0);
+    EXPECT_LE(r.runtime.client_seconds_max, r.runtime.client_seconds_sum);
+  }
+  // 2 rounds x (begin + 3 clients + end) + final eval.
+  EXPECT_EQ(rec.log.size(), 2u * 5u + 1u);
+
+  CompressionOptions comp_opts;
+  CompressedFedAvg comp(fast_cfg(), comp_opts);
+  {
+    auto model = tiny_model(97);
+    FlPopulation pop = synthetic_population(6, 500);
+    SimulationConfig sim;
+    sim.rounds = 1;
+    sim.clients_per_round = 3;
+    sim.seed = 97;
+    sim.num_threads = 4;
+    const SimulationResult r = run_simulation(*model, comp, pop, sim);
+    EXPECT_TRUE(r.runtime.serial_fallback);
+    EXPECT_GT(r.runtime.client_seconds_sum, 0.0);
+  }
+
+  // A split algorithm on the parallel path must NOT raise the flag.
+  FedAvg fedavg(fast_cfg());
+  const SimulationResult r = run_sim(fedavg, 2, 98);
+  EXPECT_FALSE(r.runtime.serial_fallback);
+}
+
+TEST(Observer, MulticastFansOutAndCallbackAdapterForwards) {
+  RecordingObserver a, b;
+  MulticastObserver multi;
+  multi.add(&a);
+  multi.add(nullptr);  // ignored
+  multi.add(&b);
+  EXPECT_FALSE(multi.empty());
+
+  std::vector<std::pair<std::size_t, double>> callback_hits;
+  auto legacy = observer_from_callback(
+      [&](std::size_t round, double loss) { callback_hits.push_back({round, loss}); });
+  multi.add(legacy.get());
+
+  FedAvg algo(fast_cfg());
+  run_observed(algo, multi, 2, 99);
+  ASSERT_EQ(a.log.size(), b.log.size());
+  for (std::size_t i = 0; i < a.log.size(); ++i) EXPECT_EQ(a.log[i], b.log[i]);
+  // The legacy adapter fires once per round with the round's mean loss.
+  ASSERT_EQ(callback_hits.size(), 5u);
+  for (std::size_t r = 0; r < 5; ++r) {
+    EXPECT_EQ(callback_hits[r].first, r);
+    std::string want;
+    {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "loss=%.17g ", callback_hits[r].second);
+      want = buf;
+    }
+    EXPECT_NE(a.log[r * 6 + 5].find(want), std::string::npos)
+        << a.log[r * 6 + 5];
+  }
 }
 
 }  // namespace

@@ -37,6 +37,21 @@ using namespace hetero;
 
 namespace {
 
+/// Progress printer for `hsctl fl`: one line every 10 rounds, with the
+/// richer RoundStats the observer API delivers (loss spread + switches).
+class ProgressObserver : public RoundObserver {
+ public:
+  void on_round_end(std::size_t round, const RoundStats& stats) override {
+    if (round % 10 != 0) return;
+    std::printf("  round %zu  loss %.3f  [%.3f, %.3f]  (%.1fs)\n", round,
+                stats.mean_train_loss, stats.min_train_loss,
+                stats.max_train_loss, timer_.elapsed_s());
+  }
+
+ private:
+  Timer timer_;
+};
+
 /// Minimal --key value argument parser.
 class Args {
  public:
@@ -288,13 +303,8 @@ int cmd_fl(const Args& args) {
   sim.rounds = rounds;
   sim.clients_per_round = k;
   sim.seed = seed + 3;
-  Timer timer;
-  sim.on_round = [&](std::size_t round, double loss) {
-    if (round % 10 == 0) {
-      std::printf("  round %zu  loss %.3f  (%.1fs)\n", round, loss,
-                  timer.elapsed_s());
-    }
-  };
+  ProgressObserver progress;
+  sim.observer = &progress;
   const SimulationResult r = run_simulation(*model, *algo, pop, sim);
 
   std::printf("\n%s after %zu rounds:\n", algo->name().c_str(), rounds);

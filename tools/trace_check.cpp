@@ -1,0 +1,235 @@
+// trace_check — validator for HS_TRACE JSONL traces (DESIGN.md §8).
+//
+//   trace_check <trace.jsonl>
+//
+// Checks, per line:
+//   * the line parses as a flat JSON object with string "ev" and numeric
+//     "run" / "seq" framing fields;
+//   * "seq" starts at 0 for every run and increases by exactly 1;
+//   * event payloads carry their required fields with the right JSON types
+//     (round_begin: round/k/clients; client_end: round/client/order/weight/
+//     loss/flags/bytes; round_end: round/loss/loss_min/loss_max/clients/
+//     weight/bytes_up/bytes_down; eval: round/average/variance/worst_case/
+//     devices/per_device; run_begin: label);
+//   * every round's client_end count and order fields match the
+//     round_begin's k (0..k-1, in order);
+//   * loss_min <= loss <= loss_max on round_end.
+// Then prints a summary with per-round and per-client latency percentiles
+// (when the trace carries timing fields; HS_TRACE_TIMINGS=0 omits them).
+// Exit code 0 = valid, 1 = violations found, 2 = usage / IO error.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/jsonl.h"
+#include "obs/metrics.h"
+
+namespace {
+
+using hetero::obs::JsonFlatObject;
+using hetero::obs::JsonValue;
+
+struct Checker {
+  std::size_t line_no = 0;
+  std::size_t errors = 0;
+
+  void fail(const std::string& what) {
+    ++errors;
+    if (errors <= 20) {
+      std::fprintf(stderr, "trace_check: line %zu: %s\n", line_no,
+                   what.c_str());
+    }
+  }
+
+  const JsonValue* field(const JsonFlatObject& obj, const char* name) {
+    auto it = obj.find(name);
+    return it == obj.end() ? nullptr : &it->second;
+  }
+
+  /// Required numeric field; returns 0 (and records an error) when absent
+  /// or mistyped.
+  double num(const JsonFlatObject& obj, const char* name) {
+    const JsonValue* v = field(obj, name);
+    if (!v || !v->is_number()) {
+      fail(std::string("missing or non-numeric field \"") + name + "\"");
+      return 0.0;
+    }
+    return v->number;
+  }
+
+  /// Optional numeric field (timings are legitimately absent).
+  bool opt_num(const JsonFlatObject& obj, const char* name, double* out) {
+    const JsonValue* v = field(obj, name);
+    if (!v) return false;
+    if (!v->is_number()) {
+      fail(std::string("non-numeric field \"") + name + "\"");
+      return false;
+    }
+    *out = v->number;
+    return true;
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: trace_check <trace.jsonl>\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "trace_check: cannot open %s\n", argv[1]);
+    return 2;
+  }
+
+  Checker check;
+  hetero::obs::Histogram round_seconds;
+  hetero::obs::Histogram client_seconds;
+  std::size_t runs = 0, rounds = 0, clients = 0, evals = 0;
+
+  // Per-run framing state.
+  double current_run = -1.0;
+  double expected_seq = 0.0;
+  // Per-round state: round_begin announces k; client_end events must then
+  // arrive as order 0..k-1 before round_end.
+  bool in_round = false;
+  double round_id = 0.0;
+  double round_k = 0.0;
+  double clients_seen = 0.0;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    ++check.line_no;
+    if (line.empty()) continue;
+    const auto parsed = hetero::obs::parse_flat_json(line);
+    if (!parsed) {
+      check.fail("not a flat JSON object");
+      continue;
+    }
+    const JsonFlatObject& obj = *parsed;
+
+    const JsonValue* ev = check.field(obj, "ev");
+    if (!ev || !ev->is_string()) {
+      check.fail("missing string field \"ev\"");
+      continue;
+    }
+    const double run = check.num(obj, "run");
+    const double seq = check.num(obj, "seq");
+    if (run != current_run) {
+      current_run = run;
+      expected_seq = 0.0;
+    }
+    if (seq != expected_seq) {
+      check.fail("seq " + std::to_string(seq) + ", expected " +
+                 std::to_string(expected_seq));
+      expected_seq = seq;  // resynchronize to limit error cascades
+    }
+    expected_seq += 1.0;
+
+    const std::string& type = ev->string;
+    if (type == "run_begin") {
+      ++runs;
+      const JsonValue* label = check.field(obj, "label");
+      if (!label || !label->is_string()) {
+        check.fail("run_begin without string \"label\"");
+      }
+      in_round = false;
+    } else if (type == "round_begin") {
+      if (in_round) check.fail("round_begin inside an open round");
+      round_id = check.num(obj, "round");
+      round_k = check.num(obj, "k");
+      const JsonValue* sel = check.field(obj, "clients");
+      if (!sel || !sel->is_array()) {
+        check.fail("round_begin without \"clients\" array");
+      } else if (static_cast<double>(sel->numbers.size()) != round_k) {
+        check.fail("round_begin clients array size != k");
+      }
+      in_round = true;
+      clients_seen = 0.0;
+    } else if (type == "client_end") {
+      ++clients;
+      if (!in_round) check.fail("client_end outside a round");
+      if (check.num(obj, "round") != round_id) {
+        check.fail("client_end round mismatch");
+      }
+      check.num(obj, "client");
+      check.num(obj, "weight");
+      check.num(obj, "loss");
+      check.num(obj, "flags");
+      check.num(obj, "bytes");
+      const double order = check.num(obj, "order");
+      if (order != clients_seen) {
+        check.fail("client_end order " + std::to_string(order) +
+                   ", expected " + std::to_string(clients_seen) +
+                   " (selected-order flush violated)");
+      }
+      clients_seen += 1.0;
+      double secs = 0.0;
+      if (check.opt_num(obj, "seconds", &secs)) client_seconds.observe(secs);
+    } else if (type == "round_end") {
+      ++rounds;
+      if (!in_round) check.fail("round_end outside a round");
+      if (check.num(obj, "round") != round_id) {
+        check.fail("round_end round mismatch");
+      }
+      if (check.num(obj, "clients") != round_k) {
+        check.fail("round_end clients != round_begin k");
+      }
+      if (clients_seen != round_k) {
+        check.fail("round saw " + std::to_string(clients_seen) +
+                   " client_end events, expected " + std::to_string(round_k));
+      }
+      const double loss = check.num(obj, "loss");
+      const double lo = check.num(obj, "loss_min");
+      const double hi = check.num(obj, "loss_max");
+      if (lo > loss || loss > hi) {
+        check.fail("round_end loss outside [loss_min, loss_max]");
+      }
+      check.num(obj, "weight");
+      check.num(obj, "bytes_up");
+      check.num(obj, "bytes_down");
+      double secs = 0.0;
+      if (check.opt_num(obj, "seconds", &secs)) round_seconds.observe(secs);
+      in_round = false;
+    } else if (type == "eval") {
+      ++evals;
+      check.num(obj, "round");
+      check.num(obj, "average");
+      check.num(obj, "variance");
+      check.num(obj, "worst_case");
+      const double devices = check.num(obj, "devices");
+      const JsonValue* per = check.field(obj, "per_device");
+      if (!per || !per->is_array()) {
+        check.fail("eval without \"per_device\" array");
+      } else if (static_cast<double>(per->numbers.size()) != devices) {
+        check.fail("eval per_device array size != devices");
+      }
+    } else {
+      check.fail("unknown event type \"" + type + "\"");
+    }
+  }
+  if (in_round) check.fail("trace ends inside an open round");
+  if (check.line_no == 0) check.fail("empty trace");
+
+  std::printf("trace_check: %zu line(s), %zu run(s), %zu round(s), "
+              "%zu client update(s), %zu eval(s)\n",
+              check.line_no, runs, rounds, clients, evals);
+  if (round_seconds.count() > 0) {
+    std::printf("  round seconds: p50 %.6f  p90 %.6f  p99 %.6f  max %.6f\n",
+                round_seconds.percentile(50), round_seconds.percentile(90),
+                round_seconds.percentile(99), round_seconds.max());
+  }
+  if (client_seconds.count() > 0) {
+    std::printf("  client seconds: p50 %.6f  p90 %.6f  p99 %.6f  max %.6f\n",
+                client_seconds.percentile(50), client_seconds.percentile(90),
+                client_seconds.percentile(99), client_seconds.max());
+  }
+  if (check.errors > 0) {
+    std::fprintf(stderr, "trace_check: %zu violation(s)\n", check.errors);
+    return 1;
+  }
+  std::printf("  OK\n");
+  return 0;
+}
