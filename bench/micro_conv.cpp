@@ -1,0 +1,186 @@
+// Microbenchmark: end-to-end Conv2d forward+backward, reference vs tiled
+// kernels, on the convolution layers of the paper CNNs (mobile-/shuffle-/
+// squeeze-mini) at the paper batch size B=10 on 32x32 inputs.
+//
+// The tiled path batches im2col and runs one GEMM per group for the whole
+// mini-batch; the reference path is the seed per-sample implementation.
+// Acceptance target (ISSUE 3): total fwd+bwd >= 3x faster than reference.
+// Appends one JSONL record per shape plus a TOTAL record to
+// BENCH_kernels.json. Honours HS_SCALE / HS_SEED.
+#include <algorithm>
+#include <fstream>
+#include <vector>
+
+#include "bench_common.h"
+#include "kernels/kernels.h"
+
+using namespace hetero;
+using namespace hetero::bench;
+
+namespace {
+
+struct ConvCase {
+  const char* label;
+  std::size_t mult;  // occurrences across the three paper models
+  kernels::ConvShape s;
+};
+
+kernels::ConvShape shape(std::size_t n, std::size_t in_c, std::size_t hw,
+                         std::size_t out_c, std::size_t k, std::size_t stride,
+                         std::size_t pad, std::size_t groups) {
+  kernels::ConvShape s;
+  s.n = n;
+  s.in_c = in_c;
+  s.in_h = hw;
+  s.in_w = hw;
+  s.out_c = out_c;
+  s.kernel = k;
+  s.stride = stride;
+  s.pad = pad;
+  s.groups = groups;
+  return s;
+}
+
+// The complete convolution inventory of the three paper models (43 layers:
+// mobile-mini 14, shuffle-mini 18, squeeze-mini 11), collapsed to distinct
+// shapes with their multiplicity, so the TOTAL reflects the exact layer mix
+// one training step runs. B=10, 32x32 input; spatial sizes follow the
+// stride-2 stages (model_zoo.cpp / blocks.cpp).
+std::vector<ConvCase> conv_cases(std::size_t b) {
+  return {
+      // mobile-mini: stem + 4 inverted residuals + final 1x1.
+      {"mobile.stem3x3s2", 1, shape(b, 3, 32, 8, 3, 2, 1, 1)},
+      {"mobile.ir1-expand", 1, shape(b, 8, 16, 16, 1, 1, 0, 1)},
+      {"mobile.ir1-dw3x3", 1, shape(b, 16, 16, 16, 3, 1, 1, 16)},
+      {"mobile.ir1-project", 1, shape(b, 16, 16, 8, 1, 1, 0, 1)},
+      {"mobile.ir2-expand", 1, shape(b, 8, 16, 24, 1, 1, 0, 1)},
+      {"mobile.ir2-dw3x3s2", 1, shape(b, 24, 16, 24, 3, 2, 1, 24)},
+      {"mobile.ir2-project", 1, shape(b, 24, 8, 16, 1, 1, 0, 1)},
+      {"mobile.ir34-expand", 2, shape(b, 16, 8, 48, 1, 1, 0, 1)},
+      {"mobile.ir3-dw3x3", 1, shape(b, 48, 8, 48, 3, 1, 1, 48)},
+      {"mobile.ir3-project", 1, shape(b, 48, 8, 16, 1, 1, 0, 1)},
+      {"mobile.ir4-dw5x5s2", 1, shape(b, 48, 8, 48, 5, 2, 2, 48)},
+      {"mobile.ir4-project", 1, shape(b, 48, 4, 24, 1, 1, 0, 1)},
+      {"mobile.final1x1", 1, shape(b, 24, 4, 48, 1, 1, 0, 1)},
+      // shuffle-mini: stem + 4 shuffle units + final 1x1.
+      {"shuffle.stem3x3s2", 1, shape(b, 3, 32, 12, 3, 2, 1, 1)},
+      {"shuffle.su1-dw3x3s2", 2, shape(b, 12, 16, 12, 3, 2, 1, 12)},
+      {"shuffle.su1-pw16", 1, shape(b, 12, 16, 12, 1, 1, 0, 1)},
+      {"shuffle.su12-pw8", 4, shape(b, 12, 8, 12, 1, 1, 0, 1)},
+      {"shuffle.su2-dw3x3", 1, shape(b, 12, 8, 12, 3, 1, 1, 12)},
+      {"shuffle.su3-dw3x3s2", 2, shape(b, 24, 8, 24, 3, 2, 1, 24)},
+      {"shuffle.su3-pw8", 1, shape(b, 24, 8, 24, 1, 1, 0, 1)},
+      {"shuffle.su34-pw4", 4, shape(b, 24, 4, 24, 1, 1, 0, 1)},
+      {"shuffle.su4-dw3x3", 1, shape(b, 24, 4, 24, 3, 1, 1, 24)},
+      {"shuffle.final1x1", 1, shape(b, 48, 4, 64, 1, 1, 0, 1)},
+      // squeeze-mini: stem + 3 fire modules + head.
+      {"squeeze.stem3x3s2", 1, shape(b, 3, 32, 16, 3, 2, 1, 1)},
+      {"squeeze.f1-squeeze", 1, shape(b, 16, 8, 4, 1, 1, 0, 1)},
+      {"squeeze.f1-expand1", 1, shape(b, 4, 8, 8, 1, 1, 0, 1)},
+      {"squeeze.f1-expand3", 1, shape(b, 4, 8, 8, 3, 1, 1, 1)},
+      {"squeeze.f2-squeeze", 1, shape(b, 16, 8, 8, 1, 1, 0, 1)},
+      {"squeeze.f2-expand1", 1, shape(b, 8, 8, 16, 1, 1, 0, 1)},
+      {"squeeze.f2-expand3", 1, shape(b, 8, 8, 16, 3, 1, 1, 1)},
+      {"squeeze.f3-squeeze", 1, shape(b, 32, 4, 8, 1, 1, 0, 1)},
+      {"squeeze.f3-expand1", 1, shape(b, 8, 4, 16, 1, 1, 0, 1)},
+      {"squeeze.f3-expand3", 1, shape(b, 8, 4, 16, 3, 1, 1, 1)},
+      {"squeeze.head1x1", 1, shape(b, 32, 4, 12, 1, 1, 0, 1)},
+  };
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale;
+  print_header("micro", "Conv2d fwd+bwd: reference vs tiled kernels", scale);
+  const std::size_t b = 10;  // paper batch size
+  const std::size_t reps = static_cast<std::size_t>(scale.n(5, 30));
+
+  Table table({"Layer", "Ref ms", "Tiled ms", "Ref GF/s", "Tiled GF/s",
+               "Speedup"});
+  std::ofstream jsonl("BENCH_kernels.json", std::ios::app);
+  Rng rng(scale.seed());
+
+  double total_ref = 0.0, total_til = 0.0;
+  for (const ConvCase& c : conv_cases(b)) {
+    const kernels::ConvShape& s = c.s;
+    const std::size_t y_size = s.n * s.out_c * s.out_h() * s.out_w();
+    const std::size_t x_size = s.n * s.in_c * s.in_h * s.in_w;
+    const std::size_t w_size =
+        s.out_c * s.group_in_c() * s.kernel * s.kernel;
+    std::vector<float> x(x_size), w(w_size), bias(s.out_c);
+    std::vector<float> y(y_size), grad_out(y_size);
+    std::vector<float> cols(s.cols_size());
+    std::vector<float> gw(w_size), gb(s.out_c), gx(x_size);
+    for (float& v : x) v = rng.uniform_f(-1.0f, 1.0f);
+    for (float& v : w) v = rng.uniform_f(-1.0f, 1.0f);
+    for (float& v : bias) v = rng.uniform_f(-1.0f, 1.0f);
+    for (float& v : grad_out) v = rng.uniform_f(-1.0f, 1.0f);
+    kernels::Workspace ws;
+
+    auto step = [&](kernels::KernelKind kind) {
+      kernels::conv2d_forward(kind, s, x.data(), w.data(), bias.data(),
+                              y.data(), cols.data(), ws);
+      std::fill(gx.begin(), gx.end(), 0.0f);
+      kernels::conv2d_backward(kind, s, grad_out.data(), w.data(),
+                               cols.data(), gw.data(), gb.data(), gx.data(),
+                               ws);
+    };
+    auto time_best = [&](kernels::KernelKind kind) {
+      step(kind);  // warm-up (workspace growth, caches)
+      double best = 1e100;
+      for (std::size_t r = 0; r < reps; ++r) {
+        Timer t;
+        step(kind);
+        best = std::min(best, t.elapsed_s());
+      }
+      return best;
+    };
+    const double t_ref = time_best(kernels::KernelKind::kReference);
+    const double t_til = time_best(kernels::KernelKind::kTiled);
+    total_ref += static_cast<double>(c.mult) * t_ref;
+    total_til += static_cast<double>(c.mult) * t_til;
+
+    // Forward GEMM + dW GEMM + dX GEMM, each 2*out_c*patch*n*oh*ow flops.
+    const double flops = 3.0 * 2.0 * static_cast<double>(s.out_c) *
+                         s.patch() * s.n * s.out_h() * s.out_w();
+    const double speedup = t_ref / t_til;
+    char ref_ms[32], til_ms[32], ref_gf[32], til_gf[32], sp[32];
+    std::snprintf(ref_ms, sizeof ref_ms, "%.3f", t_ref * 1e3);
+    std::snprintf(til_ms, sizeof til_ms, "%.3f", t_til * 1e3);
+    std::snprintf(ref_gf, sizeof ref_gf, "%.2f", flops / t_ref / 1e9);
+    std::snprintf(til_gf, sizeof til_gf, "%.2f", flops / t_til / 1e9);
+    std::snprintf(sp, sizeof sp, "%.2fx", speedup);
+    table.add_row({c.label, ref_ms, til_ms, ref_gf, til_gf, sp});
+    jsonl << "{\"bench\":\"micro_conv\",\"shape\":\"" << c.label
+          << "\",\"mult\":" << c.mult << ",\"n\":" << s.n
+          << ",\"in_c\":" << s.in_c
+          << ",\"hw\":" << s.in_h << ",\"out_c\":" << s.out_c
+          << ",\"k\":" << s.kernel << ",\"stride\":" << s.stride
+          << ",\"groups\":" << s.groups << ",\"ref_ms\":" << t_ref * 1e3
+          << ",\"tiled_ms\":" << t_til * 1e3
+          << ",\"ref_gflops\":" << flops / t_ref / 1e9
+          << ",\"tiled_gflops\":" << flops / t_til / 1e9
+          << ",\"speedup\":" << speedup << "}\n";
+  }
+
+  const double total_speedup = total_ref / total_til;
+  char sp[32];
+  std::snprintf(sp, sizeof sp, "%.2fx", total_speedup);
+  char ref_ms[32], til_ms[32];
+  std::snprintf(ref_ms, sizeof ref_ms, "%.3f", total_ref * 1e3);
+  std::snprintf(til_ms, sizeof til_ms, "%.3f", total_til * 1e3);
+  table.add_row({"TOTAL", ref_ms, til_ms, "-", "-", sp});
+  jsonl << "{\"bench\":\"micro_conv\",\"shape\":\"TOTAL\",\"ref_ms\":"
+        << total_ref * 1e3 << ",\"tiled_ms\":" << total_til * 1e3
+        << ",\"speedup\":" << total_speedup << "}\n";
+
+  finish(table, "micro_conv");
+  std::printf(
+      "\n[jsonl] BENCH_kernels.json (appended)\n"
+      "TOTAL weights each shape by its layer multiplicity (43 conv layers "
+      "across the three models).\n"
+      "Acceptance target: TOTAL speedup >= 3x (batched im2col + one GEMM "
+      "per group per mini-batch vs per-sample reference).\n");
+  return total_speedup >= 3.0 ? 0 : 1;
+}

@@ -1,0 +1,122 @@
+// Microbenchmark: reference vs tiled GEMM kernels on the matrix shapes the
+// paper CNNs actually produce (im2col'd convolution layers of the
+// mobile-/shuffle-/squeeze-mini models at B=10, plus the classifier head).
+//
+// Prints GFLOP/s per (variant, shape) for both kernel kinds and the tiled
+// speedup, and appends one JSONL record per row to BENCH_kernels.json.
+// Honours HS_SCALE / HS_SEED like the experiment benches.
+#include <algorithm>
+#include <fstream>
+#include <functional>
+#include <vector>
+
+#include "bench_common.h"
+#include "kernels/kernels.h"
+
+using namespace hetero;
+using namespace hetero::bench;
+
+namespace {
+
+struct GemmCase {
+  const char* label;  // which paper layer this shape comes from
+  char variant;       // 'n' = nn, 't' = nt, 'a' = tn
+  std::size_t m, k, n;
+};
+
+// m/k/n as the conv layers see them: forward nn is (group out_c, patch,
+// B*oh*ow); dW nt is (group out_c, B*oh*ow, patch); dX tn is
+// (group out_c, patch, B*oh*ow). B = 10 (paper batch), 32x32 inputs.
+const GemmCase kCases[] = {
+    {"mobile.stem.fwd", 'n', 8, 27, 2560},
+    {"mobile.expand1x1.fwd", 'n', 24, 8, 2560},
+    {"mobile.project1x1.fwd", 'n', 16, 24, 640},
+    {"shuffle.branch1x1.fwd", 'n', 24, 24, 640},
+    {"squeeze.fire-expand3.fwd", 'n', 16, 72, 640},
+    {"mobile.stem.dW", 't', 8, 2560, 27},
+    {"mobile.expand1x1.dW", 't', 24, 2560, 8},
+    {"squeeze.fire-expand3.dW", 't', 16, 640, 72},
+    {"mobile.stem.dX", 'a', 8, 27, 2560},
+    {"squeeze.fire-expand3.dX", 'a', 16, 72, 640},
+    {"head.linear.dW", 'a', 10, 48, 64},
+};
+
+double time_best_s(std::size_t reps, const std::function<void()>& fn) {
+  double best = 1e100;
+  for (std::size_t r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    best = std::min(best, t.elapsed_s());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  const Scale scale;
+  print_header("micro", "GEMM kernels: reference vs tiled", scale);
+  const std::size_t reps = static_cast<std::size_t>(scale.n(5, 40));
+  const std::size_t inner = 8;  // kernel calls per timed rep
+
+  Table table({"Shape", "Variant", "Ref GF/s", "Tiled GF/s", "Speedup"});
+  std::ofstream jsonl("BENCH_kernels.json", std::ios::app);
+  Rng rng(scale.seed());
+
+  for (const GemmCase& c : kCases) {
+    const std::size_t a_size = c.m * c.k;
+    const std::size_t b_size = c.variant == 'n'   ? c.k * c.n
+                               : c.variant == 't' ? c.n * c.k
+                                                  : c.m * c.n;
+    const std::size_t c_size = c.variant == 'a' ? c.k * c.n : c.m * c.n;
+    std::vector<float> a(a_size), b(b_size), out(c_size);
+    for (float& v : a) v = rng.uniform_f(-1.0f, 1.0f);
+    for (float& v : b) v = rng.uniform_f(-1.0f, 1.0f);
+
+    auto run = [&](kernels::KernelKind kind) {
+      for (std::size_t i = 0; i < inner; ++i) {
+        switch (c.variant) {
+          case 'n':
+            kernels::gemm_nn(kind, a.data(), b.data(), out.data(), c.m, c.k,
+                             c.n, false);
+            break;
+          case 't':
+            kernels::gemm_nt(kind, a.data(), b.data(), out.data(), c.m, c.k,
+                             c.n, false);
+            break;
+          default:
+            kernels::gemm_tn(kind, a.data(), b.data(), out.data(), c.m, c.k,
+                             c.n, false);
+        }
+      }
+    };
+    run(kernels::KernelKind::kTiled);  // warm caches once
+    const double t_ref =
+        time_best_s(reps, [&] { run(kernels::KernelKind::kReference); });
+    const double t_til =
+        time_best_s(reps, [&] { run(kernels::KernelKind::kTiled); });
+
+    const double flops = 2.0 * static_cast<double>(c.m) * c.k * c.n * inner;
+    const double gf_ref = flops / t_ref / 1e9;
+    const double gf_til = flops / t_til / 1e9;
+    const double speedup = t_ref / t_til;
+
+    const char* variant = c.variant == 'n'   ? "nn"
+                          : c.variant == 't' ? "nt"
+                                             : "tn";
+    char ref_s[32], til_s[32], sp_s[32];
+    std::snprintf(ref_s, sizeof ref_s, "%.2f", gf_ref);
+    std::snprintf(til_s, sizeof til_s, "%.2f", gf_til);
+    std::snprintf(sp_s, sizeof sp_s, "%.2fx", speedup);
+    table.add_row({c.label, variant, ref_s, til_s, sp_s});
+    jsonl << "{\"bench\":\"micro_gemm\",\"shape\":\"" << c.label
+          << "\",\"variant\":\"" << variant << "\",\"m\":" << c.m
+          << ",\"k\":" << c.k << ",\"n\":" << c.n
+          << ",\"ref_gflops\":" << gf_ref << ",\"tiled_gflops\":" << gf_til
+          << ",\"speedup\":" << speedup << "}\n";
+  }
+
+  finish(table, "micro_gemm");
+  std::printf("\n[jsonl] BENCH_kernels.json (appended)\n");
+  return 0;
+}

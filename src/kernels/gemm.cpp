@@ -1,0 +1,266 @@
+// GEMM kernels. The reference variants are the seed repository's scalar
+// loops; the tiled variants block for cache and tile registers while
+// reducing over k in increasing order with the same accumulation precision,
+// which makes every tiled GEMM bit-identical to its reference twin for
+// finite inputs (the parity suite asserts exact equality).
+#include "kernels/kernels.h"
+
+#include <algorithm>
+
+#include "kernels/isa.h"
+
+namespace hetero::kernels {
+
+namespace {
+
+// Cache-block sizes (floats). The j block keeps one B panel plus the active
+// C rows streaming through L1/L2; the k block bounds the panel height.
+constexpr std::size_t kJBlock = 1024;
+constexpr std::size_t kKBlock = 256;
+
+// ------------------------------------------------------------- reference --
+
+void gemm_nn_reference(const float* a, const float* b, float* c,
+                       std::size_t m, std::size_t k, std::size_t n) {
+  // i-k-j loop order keeps the inner loop contiguous over B and C rows.
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float aik = a[i * k + kk];
+      if (aik == 0.0f) continue;
+      const float* brow = b + kk * n;
+      float* crow = c + i * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
+    }
+  }
+}
+
+void gemm_nt_reference(const float* a, const float* b, float* c,
+                       std::size_t m, std::size_t k, std::size_t n,
+                       bool accumulate) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    for (std::size_t j = 0; j < n; ++j) {
+      const float* brow = b + j * k;
+      double s = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      float* dst = c + i * n + j;
+      if (accumulate) {
+        *dst += static_cast<float>(s);
+      } else {
+        *dst = static_cast<float>(s);
+      }
+    }
+  }
+}
+
+void gemm_tn_reference(const float* a, const float* b, float* c,
+                       std::size_t m, std::size_t k, std::size_t n) {
+  for (std::size_t i = 0; i < m; ++i) {
+    const float* arow = a + i * k;
+    const float* brow = b + i * n;
+    for (std::size_t kk = 0; kk < k; ++kk) {
+      const float av = arow[kk];
+      if (av == 0.0f) continue;
+      float* crow = c + kk * n;
+      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// ----------------------------------------------------------------- tiled --
+
+// C += A·B restricted to rows [i, i+rows) and the (k0, j0) block. Four
+// independent C-row accumulators per pass share each B row; every C element
+// still receives its k contributions in increasing order, in f32 — the same
+// per-element arithmetic as the reference i-k-j loop.
+HS_TILED_CLONES
+void gemm_nn_block(const float* HS_RESTRICT a, const float* HS_RESTRICT b,
+                   float* HS_RESTRICT c, std::size_t m, std::size_t k,
+                   std::size_t n, std::size_t k0, std::size_t kb,
+                   std::size_t j0, std::size_t jb) {
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    float* HS_RESTRICT c0 = c + (i + 0) * n + j0;
+    float* HS_RESTRICT c1 = c + (i + 1) * n + j0;
+    float* HS_RESTRICT c2 = c + (i + 2) * n + j0;
+    float* HS_RESTRICT c3 = c + (i + 3) * n + j0;
+    for (std::size_t kk = k0; kk < k0 + kb; ++kk) {
+      const float a0 = a[(i + 0) * k + kk];
+      const float a1 = a[(i + 1) * k + kk];
+      const float a2 = a[(i + 2) * k + kk];
+      const float a3 = a[(i + 3) * k + kk];
+      const float* HS_RESTRICT br = b + kk * n + j0;
+      for (std::size_t j = 0; j < jb; ++j) {
+        c0[j] += a0 * br[j];
+        c1[j] += a1 * br[j];
+        c2[j] += a2 * br[j];
+        c3[j] += a3 * br[j];
+      }
+    }
+  }
+  for (; i < m; ++i) {
+    float* HS_RESTRICT crow = c + i * n + j0;
+    for (std::size_t kk = k0; kk < k0 + kb; ++kk) {
+      const float aik = a[i * k + kk];
+      const float* HS_RESTRICT br = b + kk * n + j0;
+      for (std::size_t j = 0; j < jb; ++j) crow[j] += aik * br[j];
+    }
+  }
+}
+
+void gemm_nn_tiled(const float* a, const float* b, float* c, std::size_t m,
+                   std::size_t k, std::size_t n) {
+  for (std::size_t j0 = 0; j0 < n; j0 += kJBlock) {
+    const std::size_t jb = std::min(kJBlock, n - j0);
+    // k blocks ascend, so each C element reduces over k in increasing order.
+    for (std::size_t k0 = 0; k0 < k; k0 += kKBlock) {
+      const std::size_t kb = std::min(kKBlock, k - k0);
+      gemm_nn_block(a, b, c, m, k, n, k0, kb, j0, jb);
+    }
+  }
+}
+
+// Column-tile width and row-chunk height of the nt kernel. A (kKBlock x
+// kNtJT) transposed B tile lives on the stack (32 KiB) and is shared by a
+// chunk of kNtMI A rows, so the inner loop reads both operands contiguously
+// and the widening f64 adds vectorize across the 8 independent outputs.
+constexpr std::size_t kNtJT = 8;
+constexpr std::size_t kNtMI = 32;
+
+HS_TILED_CLONES
+void gemm_nt_tiled(const float* a, const float* b, float* c, std::size_t m,
+                   std::size_t k, std::size_t n, bool accumulate) {
+  // Dot-product form: each output's f64 accumulator runs over k in
+  // increasing order (k blocks ascend, one accumulator per output held
+  // across blocks) — the reference per-element arithmetic, float product
+  // widened into a double sum.
+  float bt[kKBlock * kNtJT];     // transposed B tile
+  double acc[kNtMI * kNtJT];     // per-(row, column) accumulators
+  std::size_t j = 0;
+  for (; j + kNtJT <= n; j += kNtJT) {
+    for (std::size_t i0 = 0; i0 < m; i0 += kNtMI) {
+      const std::size_t ib = std::min(kNtMI, m - i0);
+      std::fill(acc, acc + ib * kNtJT, 0.0);
+      for (std::size_t k0 = 0; k0 < k; k0 += kKBlock) {
+        const std::size_t kb = std::min(kKBlock, k - k0);
+        for (std::size_t kk = 0; kk < kb; ++kk) {
+          for (std::size_t jj = 0; jj < kNtJT; ++jj) {
+            bt[kk * kNtJT + jj] = b[(j + jj) * k + k0 + kk];
+          }
+        }
+        for (std::size_t ii = 0; ii < ib; ++ii) {
+          const float* HS_RESTRICT arow = a + (i0 + ii) * k + k0;
+          double* HS_RESTRICT srow = acc + ii * kNtJT;
+          for (std::size_t kk = 0; kk < kb; ++kk) {
+            const float av = arow[kk];
+            const float* HS_RESTRICT btr = bt + kk * kNtJT;
+            for (std::size_t jj = 0; jj < kNtJT; ++jj) {
+              srow[jj] += static_cast<double>(av * btr[jj]);
+            }
+          }
+        }
+      }
+      for (std::size_t ii = 0; ii < ib; ++ii) {
+        float* dst = c + (i0 + ii) * n + j;
+        const double* srow = acc + ii * kNtJT;
+        if (accumulate) {
+          for (std::size_t jj = 0; jj < kNtJT; ++jj) {
+            dst[jj] += static_cast<float>(srow[jj]);
+          }
+        } else {
+          for (std::size_t jj = 0; jj < kNtJT; ++jj) {
+            dst[jj] = static_cast<float>(srow[jj]);
+          }
+        }
+      }
+    }
+  }
+  // Remainder columns: plain dot products (reference arithmetic).
+  for (; j < n; ++j) {
+    const float* HS_RESTRICT brow = b + j * k;
+    for (std::size_t i = 0; i < m; ++i) {
+      const float* HS_RESTRICT arow = a + i * k;
+      double s = 0.0;
+      for (std::size_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
+      float* dst = c + i * n + j;
+      if (accumulate) {
+        *dst += static_cast<float>(s);
+      } else {
+        *dst = static_cast<float>(s);
+      }
+    }
+  }
+}
+
+HS_TILED_CLONES
+void gemm_tn_tiled(const float* a, const float* b, float* c, std::size_t m,
+                   std::size_t k, std::size_t n) {
+  // Outer-product form reducing over m. Four C rows per pass share each B
+  // row; every C element accumulates in increasing i, in f32 — the
+  // reference arithmetic.
+  for (std::size_t j0 = 0; j0 < n; j0 += kJBlock) {
+    const std::size_t jb = std::min(kJBlock, n - j0);
+    std::size_t kk = 0;
+    for (; kk + 4 <= k; kk += 4) {
+      float* HS_RESTRICT c0 = c + (kk + 0) * n + j0;
+      float* HS_RESTRICT c1 = c + (kk + 1) * n + j0;
+      float* HS_RESTRICT c2 = c + (kk + 2) * n + j0;
+      float* HS_RESTRICT c3 = c + (kk + 3) * n + j0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const float* arow = a + i * k + kk;
+        const float a0 = arow[0];
+        const float a1 = arow[1];
+        const float a2 = arow[2];
+        const float a3 = arow[3];
+        const float* HS_RESTRICT br = b + i * n + j0;
+        for (std::size_t j = 0; j < jb; ++j) {
+          c0[j] += a0 * br[j];
+          c1[j] += a1 * br[j];
+          c2[j] += a2 * br[j];
+          c3[j] += a3 * br[j];
+        }
+      }
+    }
+    for (; kk < k; ++kk) {
+      float* HS_RESTRICT crow = c + kk * n + j0;
+      for (std::size_t i = 0; i < m; ++i) {
+        const float av = a[i * k + kk];
+        const float* HS_RESTRICT br = b + i * n + j0;
+        for (std::size_t j = 0; j < jb; ++j) crow[j] += av * br[j];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void gemm_nn(KernelKind kind, const float* a, const float* b, float* c,
+             std::size_t m, std::size_t k, std::size_t n, bool accumulate) {
+  if (!accumulate) std::fill(c, c + m * n, 0.0f);
+  if (kind == KernelKind::kReference) {
+    gemm_nn_reference(a, b, c, m, k, n);
+  } else {
+    gemm_nn_tiled(a, b, c, m, k, n);
+  }
+}
+
+void gemm_nt(KernelKind kind, const float* a, const float* b, float* c,
+             std::size_t m, std::size_t k, std::size_t n, bool accumulate) {
+  if (kind == KernelKind::kReference) {
+    gemm_nt_reference(a, b, c, m, k, n, accumulate);
+  } else {
+    gemm_nt_tiled(a, b, c, m, k, n, accumulate);
+  }
+}
+
+void gemm_tn(KernelKind kind, const float* a, const float* b, float* c,
+             std::size_t m, std::size_t k, std::size_t n, bool accumulate) {
+  if (!accumulate) std::fill(c, c + k * n, 0.0f);
+  if (kind == KernelKind::kReference) {
+    gemm_tn_reference(a, b, c, m, k, n);
+  } else {
+    gemm_tn_tiled(a, b, c, m, k, n);
+  }
+}
+
+}  // namespace hetero::kernels

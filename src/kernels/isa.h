@@ -1,0 +1,28 @@
+// Internal ISA helpers shared by the tiled kernel translation units. Not
+// installed with the public kernels.h API.
+#pragma once
+
+#if defined(__GNUC__) || defined(__clang__)
+#define HS_RESTRICT __restrict__
+#else
+#define HS_RESTRICT
+#endif
+
+#ifndef __has_attribute
+#define __has_attribute(x) 0
+#endif
+
+// Tiled kernels carry a runtime-dispatched AVX2 clone (GNU ifunc, picked by
+// cpuid at load time). The clone list deliberately excludes "fma":
+// vectorization only widens across independent output lanes and never
+// reorders a per-element reduction chain, and without contraction the wide
+// path computes bit-identical results to the baseline build — so the
+// determinism contract holds on every CPU. Reference kernels stay on the
+// baseline ISA: they are the seed loops, compiled as the seed compiled them.
+#if defined(__x86_64__) && defined(__ELF__) &&            \
+    __has_attribute(target_clones) &&                     \
+    !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
+#define HS_TILED_CLONES __attribute__((target_clones("default", "avx2")))
+#else
+#define HS_TILED_CLONES
+#endif

@@ -1,0 +1,29 @@
+#include "kernels/workspace.h"
+
+#include <atomic>
+
+namespace hetero::kernels {
+
+namespace {
+std::atomic<std::uint64_t> g_grow_count{0};
+}  // namespace
+
+float* Workspace::get(std::size_t slot, std::size_t count) {
+  if (slot >= slots_.size()) {
+    slots_.resize(slot + 1);
+  }
+  std::vector<float>& buf = slots_[slot];
+  if (buf.size() < count) {
+    buf.resize(count);
+    g_grow_count.fetch_add(1, std::memory_order_relaxed);
+  }
+  return buf.data();
+}
+
+void Workspace::clear() { slots_.clear(); }
+
+std::uint64_t Workspace::grow_count() {
+  return g_grow_count.load(std::memory_order_relaxed);
+}
+
+}  // namespace hetero::kernels

@@ -1,0 +1,45 @@
+// Workspace arena for the compute-kernel layer.
+//
+// A Workspace is a small set of named slots backed by monotonically growing
+// float buffers. Layers own one Workspace each and route every scratch
+// tensor of their forward/backward passes (im2col matrices, gathered
+// gradient slabs, GEMM temporaries) through it, so a steady-state training
+// step — same shapes as the previous step — performs no heap allocation in
+// the conv/linear paths. The parallel client runtime (src/runtime) clones
+// one model replica per worker thread, so a Workspace is only ever used by
+// one thread at a time and needs no locking.
+//
+// grow_count() is a process-wide counter of slot (re)allocations; the
+// kernel parity tests assert it stays flat across warmed-up training steps.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hetero::kernels {
+
+class Workspace {
+ public:
+  Workspace() = default;
+  // A workspace is scratch: copies of a layer start cold.
+  Workspace(const Workspace&) {}
+  Workspace& operator=(const Workspace&) { return *this; }
+
+  /// Returns a buffer of at least `count` floats for `slot`, growing the
+  /// backing store when needed. Contents persist between calls that do not
+  /// grow the slot (forward passes retain im2col matrices for backward this
+  /// way); callers must not rely on the initial values.
+  float* get(std::size_t slot, std::size_t count);
+
+  /// Releases every slot's backing store.
+  void clear();
+
+  /// Process-wide number of slot allocations/growths since start-up.
+  static std::uint64_t grow_count();
+
+ private:
+  std::vector<std::vector<float>> slots_;
+};
+
+}  // namespace hetero::kernels

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "kernels/kernels.h"
+
 namespace hetero {
 
 BatchNorm2d::BatchNorm2d(std::size_t channels, float momentum, float eps)
@@ -39,11 +41,7 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
     if (train) {
       double sum = 0.0, sq = 0.0;
       for (std::size_t s = 0; s < n; ++s) {
-        const float* src = x.data() + ((s * c_) + c) * hw;
-        for (std::size_t i = 0; i < hw; ++i) {
-          sum += src[i];
-          sq += static_cast<double>(src[i]) * src[i];
-        }
+        kernels::plane_moments(x.data() + ((s * c_) + c) * hw, hw, sum, sq);
       }
       mean_c = static_cast<float>(sum / count);
       var_c = static_cast<float>(std::max(0.0, sq / count - sum / count * sum / count));
@@ -57,14 +55,11 @@ Tensor BatchNorm2d::forward(const Tensor& x, bool train) {
     if (train) inv_std_[c] = inv;
     const float g = gamma_[c], b = beta_[c];
     for (std::size_t s = 0; s < n; ++s) {
-      const float* src = x.data() + ((s * c_) + c) * hw;
-      float* dst = y.data() + ((s * c_) + c) * hw;
-      float* xh = train ? cached_xhat_.data() + ((s * c_) + c) * hw : nullptr;
-      for (std::size_t i = 0; i < hw; ++i) {
-        const float xhat = (src[i] - mean_c) * inv;
-        if (xh) xh[i] = xhat;
-        dst[i] = g * xhat + b;
-      }
+      const std::size_t plane = ((s * c_) + c) * hw;
+      kernels::bn_normalize_plane(
+          x.data() + plane, y.data() + plane,
+          train ? cached_xhat_.data() + plane : nullptr, hw, mean_c, inv, g,
+          b);
     }
   }
   return y;
@@ -86,26 +81,23 @@ Tensor BatchNorm2d::backward(const Tensor& grad_out) {
     // coupled input gradient.
     double sum_dy = 0.0, sum_dy_xhat = 0.0;
     for (std::size_t s = 0; s < n; ++s) {
-      const float* dy = grad_out.data() + ((s * c_) + c) * hw;
-      const float* xh = cached_xhat_.data() + ((s * c_) + c) * hw;
-      for (std::size_t i = 0; i < hw; ++i) {
-        sum_dy += dy[i];
-        sum_dy_xhat += static_cast<double>(dy[i]) * xh[i];
-      }
+      const std::size_t plane = ((s * c_) + c) * hw;
+      kernels::bn_reduce_plane(grad_out.data() + plane,
+                               cached_xhat_.data() + plane, hw, sum_dy,
+                               sum_dy_xhat);
     }
     ggamma_[c] += static_cast<float>(sum_dy_xhat);
     gbeta_[c] += static_cast<float>(sum_dy);
-    const float g = gamma_[c];
-    const float inv = inv_std_[c];
+    // g * inv is folded once; the per-element product order is unchanged
+    // (the seed expression evaluates (g * inv) * rest left-to-right).
+    const float g_inv = gamma_[c] * inv_std_[c];
     const float k1 = static_cast<float>(sum_dy / m);
     const float k2 = static_cast<float>(sum_dy_xhat / m);
     for (std::size_t s = 0; s < n; ++s) {
-      const float* dy = grad_out.data() + ((s * c_) + c) * hw;
-      const float* xh = cached_xhat_.data() + ((s * c_) + c) * hw;
-      float* dx = grad_in.data() + ((s * c_) + c) * hw;
-      for (std::size_t i = 0; i < hw; ++i) {
-        dx[i] = g * inv * (dy[i] - k1 - xh[i] * k2);
-      }
+      const std::size_t plane = ((s * c_) + c) * hw;
+      kernels::bn_apply_plane(grad_out.data() + plane,
+                              cached_xhat_.data() + plane,
+                              grad_in.data() + plane, hw, g_inv, k1, k2);
     }
   }
   return grad_in;

@@ -1,5 +1,6 @@
 #include "nn/blocks.h"
 
+#include "kernels/kernels.h"
 #include "util/rng.h"
 
 namespace hetero {
@@ -25,9 +26,8 @@ Tensor SEBlock::forward(const Tensor& x, bool train) {
   const std::size_t hw = hgt * wid;
   for (std::size_t sm = 0; sm < n; ++sm) {
     for (std::size_t ch = 0; ch < c_; ++ch) {
-      const float g = gate.at(sm, ch);
-      float* plane = y.data() + ((sm * c_) + ch) * hw;
-      for (std::size_t i = 0; i < hw; ++i) plane[i] *= g;
+      kernels::scale_plane(y.data() + ((sm * c_) + ch) * hw, hw,
+                           gate.at(sm, ch));
     }
   }
   return y;
@@ -45,16 +45,10 @@ Tensor SEBlock::backward(const Tensor& grad_out) {
   Tensor grad_gate({n, c_});
   for (std::size_t sm = 0; sm < n; ++sm) {
     for (std::size_t ch = 0; ch < c_; ++ch) {
-      const float g = cached_gate_.at(sm, ch);
-      const float* dy = grad_out.data() + ((sm * c_) + ch) * hw;
-      const float* xv = cached_x_.data() + ((sm * c_) + ch) * hw;
-      float* dx = grad_x.data() + ((sm * c_) + ch) * hw;
-      double acc = 0.0;
-      for (std::size_t i = 0; i < hw; ++i) {
-        acc += static_cast<double>(dy[i]) * xv[i];
-        dx[i] = dy[i] * g;
-      }
-      grad_gate.at(sm, ch) = static_cast<float>(acc);
+      const std::size_t plane = ((sm * c_) + ch) * hw;
+      grad_gate.at(sm, ch) = static_cast<float>(kernels::se_backward_plane(
+          grad_out.data() + plane, cached_x_.data() + plane,
+          grad_x.data() + plane, hw, cached_gate_.at(sm, ch)));
     }
   }
   // Back through the excitation MLP into the pooled features, then into x.

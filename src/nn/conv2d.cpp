@@ -5,24 +5,19 @@
 #include "util/rng.h"
 
 namespace hetero {
-namespace {
-
-/// Copies channels [c0, c0+nc) of sample n from a (N,C,H,W) tensor into a
-/// (nc,H,W) tensor.
-Tensor channel_slice(const Tensor& x, std::size_t n, std::size_t c0,
-                     std::size_t nc) {
-  const std::size_t h = x.dim(2), w = x.dim(3);
-  Tensor out({nc, h, w});
-  const float* src = x.data() + ((n * x.dim(1)) + c0) * h * w;
-  std::copy(src, src + nc * h * w, out.data());
-  return out;
-}
-
-}  // namespace
 
 Conv2d::Conv2d(std::size_t in_c, std::size_t out_c, std::size_t kernel,
                std::size_t stride, std::size_t pad, std::size_t groups,
                Rng& rng, bool bias)
+    : Conv2d(Uninitialized{}, in_c, out_c, kernel, stride, pad, groups, bias) {
+  const std::size_t fan_in = (in_c / groups) * kernel * kernel;
+  w_ = Tensor::randn({out_c, in_c / groups, kernel, kernel}, rng,
+                     std::sqrt(2.0f / static_cast<float>(fan_in)));
+}
+
+Conv2d::Conv2d(Uninitialized, std::size_t in_c, std::size_t out_c,
+               std::size_t kernel, std::size_t stride, std::size_t pad,
+               std::size_t groups, bool bias)
     : in_c_(in_c),
       out_c_(out_c),
       kernel_(kernel),
@@ -30,15 +25,13 @@ Conv2d::Conv2d(std::size_t in_c, std::size_t out_c, std::size_t kernel,
       pad_(pad),
       groups_(groups),
       has_bias_(bias),
+      w_({out_c, in_c / groups, kernel, kernel}),
       b_({out_c}),
+      gw_({out_c, in_c / groups, kernel, kernel}),
       gb_({out_c}) {
   HS_CHECK(groups > 0 && in_c % groups == 0 && out_c % groups == 0,
            "Conv2d: channels must be divisible by groups");
   HS_CHECK(kernel > 0 && stride > 0, "Conv2d: kernel/stride must be positive");
-  const std::size_t fan_in = (in_c / groups) * kernel * kernel;
-  w_ = Tensor::randn({out_c, in_c / groups, kernel, kernel}, rng,
-                     std::sqrt(2.0f / static_cast<float>(fan_in)));
-  gw_ = Tensor({out_c, in_c / groups, kernel, kernel});
 }
 
 std::unique_ptr<Conv2d> Conv2d::make(std::size_t in_c, std::size_t out_c,
@@ -48,111 +41,67 @@ std::unique_ptr<Conv2d> Conv2d::make(std::size_t in_c, std::size_t out_c,
                                   false);
 }
 
-Conv2dGeometry Conv2d::group_geometry(std::size_t in_h,
-                                      std::size_t in_w) const {
-  Conv2dGeometry g;
-  g.in_c = in_c_ / groups_;
-  g.in_h = in_h;
-  g.in_w = in_w;
-  g.kernel = kernel_;
-  g.stride = stride_;
-  g.pad = pad_;
-  return g;
+kernels::ConvShape Conv2d::shape(std::size_t n, std::size_t in_h,
+                                 std::size_t in_w) const {
+  kernels::ConvShape s;
+  s.n = n;
+  s.in_c = in_c_;
+  s.in_h = in_h;
+  s.in_w = in_w;
+  s.out_c = out_c_;
+  s.kernel = kernel_;
+  s.stride = stride_;
+  s.pad = pad_;
+  s.groups = groups_;
+  return s;
 }
 
 Tensor Conv2d::forward(const Tensor& x, bool train) {
   HS_CHECK(x.rank() == 4 && x.dim(1) == in_c_,
            "Conv2d: input must be (N, in_c, H, W)");
   const std::size_t n = x.dim(0), h = x.dim(2), w = x.dim(3);
-  const Conv2dGeometry g = group_geometry(h, w);
-  const std::size_t oh = g.out_h(), ow = g.out_w();
-  const std::size_t gic = in_c_ / groups_;
-  const std::size_t goc = out_c_ / groups_;
-  const std::size_t patch = gic * kernel_ * kernel_;
+  HS_CHECK(h + 2 * pad_ >= kernel_ && w + 2 * pad_ >= kernel_,
+           "Conv2d: kernel larger than padded input");
+  const kernels::ConvShape s = shape(n, h, w);
 
-  Tensor y({n, out_c_, oh, ow});
+  Tensor y({n, out_c_, s.out_h(), s.out_w()});
+  const kernels::KernelKind kind = kernels::active_kernel();
+  float* cols = nullptr;
   if (train) {
-    cached_cols_.assign(n * groups_, Tensor());
+    cols = ws_.get(0, s.cols_size());
+    cached_kind_ = kind;
+    has_cached_ = true;
     cached_n_ = n;
     cached_h_ = h;
     cached_w_ = w;
   }
-
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t grp = 0; grp < groups_; ++grp) {
-      Tensor cols = im2col(channel_slice(x, s, grp * gic, gic), g);
-      // Weight slab for this group, viewed as (goc, patch).
-      Tensor wg({goc, patch});
-      std::copy(w_.data() + grp * goc * patch,
-                w_.data() + (grp + 1) * goc * patch, wg.data());
-      Tensor out = matmul(wg, cols);  // (goc, oh*ow)
-      float* dst = y.data() + ((s * out_c_) + grp * goc) * oh * ow;
-      std::copy(out.data(), out.data() + goc * oh * ow, dst);
-      if (train) cached_cols_[s * groups_ + grp] = std::move(cols);
-    }
-    if (has_bias_) {
-      for (std::size_t c = 0; c < out_c_; ++c) {
-        float* dst = y.data() + ((s * out_c_) + c) * oh * ow;
-        for (std::size_t i = 0; i < oh * ow; ++i) dst[i] += b_[c];
-      }
-    }
-  }
+  kernels::conv2d_forward(kind, s, x.data(), w_.data(),
+                          has_bias_ ? b_.data() : nullptr, y.data(), cols,
+                          ws_);
   return y;
 }
 
 Tensor Conv2d::backward(const Tensor& grad_out) {
-  HS_CHECK(!cached_cols_.empty(), "Conv2d::backward: no cached forward");
+  HS_CHECK(has_cached_, "Conv2d::backward: no cached forward");
   const std::size_t n = cached_n_, h = cached_h_, w = cached_w_;
-  const Conv2dGeometry g = group_geometry(h, w);
-  const std::size_t oh = g.out_h(), ow = g.out_w();
+  const kernels::ConvShape s = shape(n, h, w);
   HS_CHECK(grad_out.rank() == 4 && grad_out.dim(0) == n &&
-               grad_out.dim(1) == out_c_ && grad_out.dim(2) == oh &&
-               grad_out.dim(3) == ow,
+               grad_out.dim(1) == out_c_ && grad_out.dim(2) == s.out_h() &&
+               grad_out.dim(3) == s.out_w(),
            "Conv2d::backward: grad shape mismatch");
-  const std::size_t gic = in_c_ / groups_;
-  const std::size_t goc = out_c_ / groups_;
-  const std::size_t patch = gic * kernel_ * kernel_;
 
-  Tensor grad_in({n, in_c_, h, w});
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t grp = 0; grp < groups_; ++grp) {
-      // Gradient slab (goc, oh*ow) for this sample/group.
-      Tensor go({goc, oh * ow});
-      std::copy(grad_out.data() + ((s * out_c_) + grp * goc) * oh * ow,
-                grad_out.data() + ((s * out_c_) + (grp + 1) * goc) * oh * ow,
-                go.data());
-      const Tensor& cols = cached_cols_[s * groups_ + grp];
-      // dW_g += go * cols^T   -> (goc, patch)
-      Tensor dwg = matmul_transpose_b(go, cols);
-      float* gw = gw_.data() + grp * goc * patch;
-      for (std::size_t i = 0; i < goc * patch; ++i) gw[i] += dwg[i];
-      // dCols = W_g^T * go    -> (patch, oh*ow), then fold back.
-      Tensor wg({goc, patch});
-      std::copy(w_.data() + grp * goc * patch,
-                w_.data() + (grp + 1) * goc * patch, wg.data());
-      Tensor dcols = matmul_transpose_a(wg, go);
-      Tensor dimg = col2im(dcols, g);  // (gic, h, w)
-      float* dst = grad_in.data() + ((s * in_c_) + grp * gic) * h * w;
-      for (std::size_t i = 0; i < gic * h * w; ++i) dst[i] += dimg[i];
-    }
-    if (has_bias_) {
-      for (std::size_t c = 0; c < out_c_; ++c) {
-        const float* src = grad_out.data() + ((s * out_c_) + c) * oh * ow;
-        double acc = 0.0;
-        for (std::size_t i = 0; i < oh * ow; ++i) acc += src[i];
-        gb_[c] += static_cast<float>(acc);
-      }
-    }
-  }
+  Tensor grad_in({n, in_c_, h, w});  // zero-initialized; kernel folds into it
+  const float* cols = ws_.get(0, s.cols_size());
+  kernels::conv2d_backward(cached_kind_, s, grad_out.data(), w_.data(), cols,
+                           gw_.data(), has_bias_ ? gb_.data() : nullptr,
+                           grad_in.data(), ws_);
   return grad_in;
 }
 
 std::unique_ptr<Layer> Conv2d::clone() const {
-  // Fresh instance with the same geometry; the He init is immediately
-  // overwritten with this layer's weights.
-  Rng init(0);
-  auto copy = std::make_unique<Conv2d>(in_c_, out_c_, kernel_, stride_, pad_,
-                                       groups_, init, has_bias_);
+  auto copy = std::unique_ptr<Conv2d>(new Conv2d(
+      Uninitialized{}, in_c_, out_c_, kernel_, stride_, pad_, groups_,
+      has_bias_));
   copy->w_ = w_;
   copy->b_ = b_;
   return copy;

@@ -23,9 +23,11 @@ Linear::Linear(std::size_t in_features, std::size_t out_features, Rng& rng,
 Tensor Linear::forward(const Tensor& x, bool train) {
   HS_CHECK(x.rank() == 2 && x.dim(1) == in_, "Linear: input shape mismatch");
   if (train) cached_x_ = x;
-  Tensor y = matmul_transpose_b(x, w_);  // (N, out)
+  const std::size_t n = x.dim(0);
+  Tensor y({n, out_});  // y = x W^T
+  kernels::gemm_nt(kernels::active_kernel(), x.data(), w_.data(), y.data(), n,
+                   in_, out_, /*accumulate=*/false);
   if (has_bias_) {
-    const std::size_t n = y.dim(0);
     for (std::size_t i = 0; i < n; ++i) {
       float* row = y.data() + i * out_;
       for (std::size_t j = 0; j < out_; ++j) row[j] += b_[j];
@@ -38,16 +40,25 @@ Tensor Linear::backward(const Tensor& grad_out) {
   HS_CHECK(grad_out.rank() == 2 && grad_out.dim(1) == out_,
            "Linear::backward: grad shape mismatch");
   HS_CHECK(!cached_x_.empty(), "Linear::backward: no cached forward");
-  // gw += grad_out^T x ; gb += column sums ; grad_in = grad_out W.
-  gw_ += matmul_transpose_a(grad_out, cached_x_);
+  const std::size_t n = grad_out.dim(0);
+  const kernels::KernelKind kind = kernels::active_kernel();
+  // gw += grad_out^T x, via a workspace slab so the reduction is computed
+  // fresh (seed rounding) and then added on in one f32 pass per element.
+  float* dwg = ws_.get(0, out_ * in_);
+  kernels::gemm_tn(kind, grad_out.data(), cached_x_.data(), dwg, n, out_, in_,
+                   /*accumulate=*/false);
+  float* gw = gw_.data();
+  for (std::size_t i = 0; i < out_ * in_; ++i) gw[i] += dwg[i];
   if (has_bias_) {
-    const std::size_t n = grad_out.dim(0);
     for (std::size_t i = 0; i < n; ++i) {
       const float* row = grad_out.data() + i * out_;
       for (std::size_t j = 0; j < out_; ++j) gb_[j] += row[j];
     }
   }
-  return matmul(grad_out, w_);
+  Tensor grad_in({n, in_});  // grad_in = grad_out W
+  kernels::gemm_nn(kind, grad_out.data(), w_.data(), grad_in.data(), n, out_,
+                   in_, /*accumulate=*/false);
+  return grad_in;
 }
 
 Linear::Linear(const Linear& other)

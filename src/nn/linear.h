@@ -1,6 +1,7 @@
 // Fully-connected layer: y = x W^T + b, x of shape (N, in), W (out, in).
 #pragma once
 
+#include "kernels/kernels.h"
 #include "nn/layer.h"
 
 namespace hetero {
@@ -35,6 +36,7 @@ class Linear : public Layer {
   Tensor w_, b_;        // (out, in), (out)
   Tensor gw_, gb_;      // gradients
   Tensor cached_x_;     // (N, in) from the last training forward
+  kernels::Workspace ws_;  // scratch for the weight-gradient GEMM
 };
 
 }  // namespace hetero

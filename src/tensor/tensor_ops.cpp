@@ -3,26 +3,36 @@
 #include <algorithm>
 #include <cmath>
 
+#include "kernels/kernels.h"
+
 namespace hetero {
+
+namespace {
+
+/// A single-image (batch 1, groups 1) kernel-layer shape for a geometry.
+kernels::ConvShape conv_shape(const Conv2dGeometry& g) {
+  kernels::ConvShape s;
+  s.n = 1;
+  s.in_c = g.in_c;
+  s.in_h = g.in_h;
+  s.in_w = g.in_w;
+  s.out_c = g.in_c;
+  s.kernel = g.kernel;
+  s.stride = g.stride;
+  s.pad = g.pad;
+  s.groups = 1;
+  return s;
+}
+
+}  // namespace
 
 Tensor matmul(const Tensor& a, const Tensor& b) {
   HS_CHECK(a.rank() == 2 && b.rank() == 2, "matmul: rank-2 inputs required");
   HS_CHECK(a.dim(1) == b.dim(0), "matmul: inner dimensions differ");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  // i-k-j loop order keeps the inner loop contiguous over B and C rows.
-  for (std::size_t i = 0; i < m; ++i) {
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float aik = pa[i * k + kk];
-      if (aik == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += aik * brow[j];
-    }
-  }
+  kernels::gemm_nn(kernels::active_kernel(), a.data(), b.data(), c.data(), m,
+                   k, n, /*accumulate=*/false);
   return c;
 }
 
@@ -32,18 +42,8 @@ Tensor matmul_transpose_b(const Tensor& a, const Tensor& b) {
   HS_CHECK(a.dim(1) == b.dim(1), "matmul_transpose_b: inner dims differ");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
   Tensor c({m, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (std::size_t j = 0; j < n; ++j) {
-      const float* brow = pb + j * k;
-      double s = 0.0;
-      for (std::size_t kk = 0; kk < k; ++kk) s += arow[kk] * brow[kk];
-      pc[i * n + j] = static_cast<float>(s);
-    }
-  }
+  kernels::gemm_nt(kernels::active_kernel(), a.data(), b.data(), c.data(), m,
+                   k, n, /*accumulate=*/false);
   return c;
 }
 
@@ -53,19 +53,8 @@ Tensor matmul_transpose_a(const Tensor& a, const Tensor& b) {
   HS_CHECK(a.dim(0) == b.dim(0), "matmul_transpose_a: inner dims differ");
   const std::size_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
   Tensor c({k, n});
-  const float* pa = a.data();
-  const float* pb = b.data();
-  float* pc = c.data();
-  for (std::size_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    const float* brow = pb + i * n;
-    for (std::size_t kk = 0; kk < k; ++kk) {
-      const float av = arow[kk];
-      if (av == 0.0f) continue;
-      float* crow = pc + kk * n;
-      for (std::size_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
-  }
+  kernels::gemm_tn(kernels::active_kernel(), a.data(), b.data(), c.data(), m,
+                   k, n, /*accumulate=*/false);
   return c;
 }
 
@@ -77,34 +66,10 @@ Tensor im2col(const Tensor& img, const Conv2dGeometry& g) {
            "im2col: kernel larger than padded input");
   const std::size_t oh = g.out_h(), ow = g.out_w();
   Tensor cols({g.in_c * g.kernel * g.kernel, oh * ow});
-  const float* src = img.data();
-  float* dst = cols.data();
-  std::size_t row = 0;
-  for (std::size_t c = 0; c < g.in_c; ++c) {
-    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
-      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
-        float* out_row = dst + row * oh * ow;
-        for (std::size_t oy = 0; oy < oh; ++oy) {
-          // signed coordinates: padding can place the window off-image.
-          const std::ptrdiff_t iy =
-              static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
-              static_cast<std::ptrdiff_t>(g.pad);
-          for (std::size_t ox = 0; ox < ow; ++ox) {
-            const std::ptrdiff_t ix =
-                static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
-                static_cast<std::ptrdiff_t>(g.pad);
-            float v = 0.0f;
-            if (iy >= 0 && iy < static_cast<std::ptrdiff_t>(g.in_h) &&
-                ix >= 0 && ix < static_cast<std::ptrdiff_t>(g.in_w)) {
-              v = src[(c * g.in_h + static_cast<std::size_t>(iy)) * g.in_w +
-                      static_cast<std::size_t>(ix)];
-            }
-            out_row[oy * ow + ox] = v;
-          }
-        }
-      }
-    }
-  }
+  // The unfold is a pure copy, so both kernel kinds share one
+  // implementation (kernels/conv.cpp); values are exact either way.
+  kernels::im2col_strided(img.data(), conv_shape(g), 0, cols.data(), oh * ow,
+                          0);
   return cols;
 }
 
@@ -114,30 +79,8 @@ Tensor col2im(const Tensor& cols, const Conv2dGeometry& g) {
                cols.dim(1) == oh * ow,
            "col2im: column matrix shape mismatch");
   Tensor img({g.in_c, g.in_h, g.in_w});
-  const float* src = cols.data();
-  float* dst = img.data();
-  std::size_t row = 0;
-  for (std::size_t c = 0; c < g.in_c; ++c) {
-    for (std::size_t ky = 0; ky < g.kernel; ++ky) {
-      for (std::size_t kx = 0; kx < g.kernel; ++kx, ++row) {
-        const float* in_row = src + row * oh * ow;
-        for (std::size_t oy = 0; oy < oh; ++oy) {
-          const std::ptrdiff_t iy =
-              static_cast<std::ptrdiff_t>(oy * g.stride + ky) -
-              static_cast<std::ptrdiff_t>(g.pad);
-          if (iy < 0 || iy >= static_cast<std::ptrdiff_t>(g.in_h)) continue;
-          for (std::size_t ox = 0; ox < ow; ++ox) {
-            const std::ptrdiff_t ix =
-                static_cast<std::ptrdiff_t>(ox * g.stride + kx) -
-                static_cast<std::ptrdiff_t>(g.pad);
-            if (ix < 0 || ix >= static_cast<std::ptrdiff_t>(g.in_w)) continue;
-            dst[(c * g.in_h + static_cast<std::size_t>(iy)) * g.in_w +
-                static_cast<std::size_t>(ix)] += in_row[oy * ow + ox];
-          }
-        }
-      }
-    }
-  }
+  kernels::col2im_strided_add(cols.data(), conv_shape(g), 0, oh * ow, 0,
+                              img.data());
   return img;
 }
 

@@ -6,7 +6,9 @@
 # Uses a dedicated build directory (build-tsan) so the regular build stays
 # untouched. The runtime tests exercise the ThreadPool and the parallel
 # ClientExecutor paths, which is where any data race in the client fan-out
-# would surface.
+# would surface; the kernel tests run tiled-kernel training steps across
+# thread counts on top of them (isa.h compiles the ifunc clones out under
+# TSan, so the baseline code paths are what gets checked).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -16,10 +18,11 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHETERO_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j "$(nproc)" --target test_runtime
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target test_runtime test_kernels
 
 # halt_on_error makes a race fail the run instead of just logging it.
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
-  ctest --test-dir "${BUILD_DIR}" -R '^test_runtime$' --output-on-failure "$@"
+  ctest --test-dir "${BUILD_DIR}" -R '^(test_runtime|test_kernels)$' \
+  --output-on-failure "$@"
 
 echo "TSan check passed."
