@@ -44,6 +44,37 @@ Tensor weighted_average_states(const std::vector<Tensor>& states,
   return avg;
 }
 
+std::uint64_t update_payload_bytes(const ClientUpdate& update) {
+  if (update.payload_bytes != 0) return update.payload_bytes;
+  return static_cast<std::uint64_t>(
+      (update.state.size() + update.aux.size()) * sizeof(float));
+}
+
+bool validate_update(const ClientUpdate& update) {
+  if (!std::isfinite(update.weight) || update.weight < 0.0) return false;
+  if (!std::isfinite(update.train_loss)) return false;
+  if (!std::isfinite(update.aux_scalar)) return false;
+  for (const float v : update.state.flat()) {
+    if (!std::isfinite(v)) return false;
+  }
+  for (const float v : update.aux.flat()) {
+    if (!std::isfinite(v)) return false;
+  }
+  return true;
+}
+
+std::size_t drop_invalid_updates(std::vector<ClientUpdate>& updates) {
+  const std::size_t before = updates.size();
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    if (!validate_update(updates[i])) continue;
+    if (keep != i) updates[keep] = std::move(updates[i]);
+    ++keep;
+  }
+  updates.resize(keep);
+  return before - keep;
+}
+
 RoundStats summarize_updates(const std::vector<ClientUpdate>& updates,
                              std::size_t global_state_size) {
   HS_CHECK(!updates.empty(), "summarize_updates: no client updates");
@@ -57,8 +88,7 @@ RoundStats summarize_updates(const std::vector<ClientUpdate>& updates,
     stats.weight_sum += u.weight;
     stats.min_train_loss = std::min(stats.min_train_loss, u.train_loss);
     stats.max_train_loss = std::max(stats.max_train_loss, u.train_loss);
-    stats.bytes_up += static_cast<std::uint64_t>(
-        (u.state.size() + u.aux.size()) * sizeof(float));
+    stats.bytes_up += update_payload_bytes(u);
   }
   HS_CHECK(stats.weight_sum > 0.0, "summarize_updates: zero total weight");
   stats.mean_train_loss = loss_sum / stats.weight_sum;
@@ -95,7 +125,24 @@ RoundStats SplitFederatedAlgorithm::do_run_round(
     updates.back().train_seconds = seconds_since(c0);
     ctx.finish_client(updates.back(), i);
   }
-  return aggregate(model, global, updates);
+  // Quarantine organically non-finite updates (diverged training) before
+  // the server phase — the same guard the ClientExecutor applies. When a
+  // quarantine happens on this reference path the update's client_end
+  // event has already been delivered above, so only the aggregate-side
+  // exclusion (and the fault.* extras) differ from a clean round.
+  const std::size_t quarantined = drop_invalid_updates(updates);
+  if (updates.empty()) {
+    // Graceful abort: no usable update this round, global model untouched.
+    RoundStats stats;
+    stats.extras["fault.quarantined"] = static_cast<double>(quarantined);
+    stats.extras["fault.aborted"] = 1.0;
+    return stats;
+  }
+  RoundStats stats = aggregate(model, global, updates);
+  if (quarantined > 0) {
+    stats.extras["fault.quarantined"] = static_cast<double>(quarantined);
+  }
+  return stats;
 }
 
 // ------------------------------------------------------------------ FedAvg

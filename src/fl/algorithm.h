@@ -117,7 +117,27 @@ struct ClientUpdate {
   double aux_scalar = 0.0;  ///< algorithm-specific scalar payload
   unsigned flags = 0;       ///< algorithm-specific bit flags
   double train_seconds = 0.0;  ///< wall time spent in local_update
+  /// Uplink bytes this update actually cost on the wire. 0 means "derive
+  /// from the tensors" ((state + aux) * 4 bytes); compressing algorithms
+  /// set the real compressed size so byte accounting survives the
+  /// local_update/aggregate split (aux may carry client-side-only state
+  /// like error-feedback residuals that never travel).
+  std::uint64_t payload_bytes = 0;
 };
+
+/// Uplink byte cost of one update: payload_bytes when set, else the dense
+/// tensor sizes. Shared by summarize_updates and make_observation.
+std::uint64_t update_payload_bytes(const ClientUpdate& update);
+
+/// Partial-aggregation guard (DESIGN.md §10): true when every numeric field
+/// and tensor coordinate of the update is finite and the weight is
+/// non-negative. Aggregates must never see an update that fails this —
+/// the executor (and the serial reference round) quarantines it first.
+bool validate_update(const ClientUpdate& update);
+
+/// Removes updates failing validate_update (stable, preserves `selected`
+/// order); returns how many were quarantined.
+std::size_t drop_invalid_updates(std::vector<ClientUpdate>& updates);
 
 /// Fills the generic RoundStats fields from a round's client updates:
 /// sample-weighted mean loss, unweighted min/max loss, client/weight
@@ -150,6 +170,14 @@ class SplitFederatedAlgorithm : public FederatedAlgorithm {
   /// Serial server phase: folds the round's updates (ordered like the
   /// round's `selected` list) into the global model. `global` is the
   /// round-start state local_update ran against.
+  ///
+  /// Partial-aggregation semantics (DESIGN.md §10): `updates` may be a
+  /// strict subset of the round's selected clients — dropped, timed-out,
+  /// failed, and quarantined clients are filtered out by the driver before
+  /// this call, in `selected` order. Implementations must renormalize over
+  /// the survivors (weight totals, equal-weight divisors) and never assume
+  /// updates.size() equals the selection size; the driver guarantees
+  /// `updates` is non-empty and every update passes validate_update().
   virtual RoundStats aggregate(Model& model, const Tensor& global,
                                std::vector<ClientUpdate>& updates) = 0;
 

@@ -1,22 +1,12 @@
 #include "fl/compression.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <numeric>
 
 #include "util/rng.h"
 
 namespace hetero {
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
 
 SparseUpdate top_k_sparsify(const Tensor& dense, std::size_t k) {
   SparseUpdate out;
@@ -27,10 +17,17 @@ SparseUpdate top_k_sparsify(const Tensor& dense, std::size_t k) {
   // Partial selection of the k largest-magnitude coordinates.
   std::vector<std::uint32_t> order(dense.size());
   std::iota(order.begin(), order.end(), 0u);
+  // Ties at the k-boundary are broken by index: without the tie-break the
+  // selected index set among equal magnitudes is whatever the stdlib's
+  // nth_element partitioning leaves, i.e. implementation-defined — the
+  // same update could compress differently across platforms.
   std::nth_element(order.begin(),
                    order.begin() + static_cast<std::ptrdiff_t>(k - 1),
                    order.end(), [&](std::uint32_t a, std::uint32_t b) {
-                     return std::abs(dense[a]) > std::abs(dense[b]);
+                     const float fa = std::abs(dense[a]);
+                     const float fb = std::abs(dense[b]);
+                     if (fa != fb) return fa > fb;
+                     return a < b;
                    });
   order.resize(k);
   std::sort(order.begin(), order.end());  // deterministic layout
@@ -84,102 +81,94 @@ void CompressedFedAvg::init(Model& model, std::size_t num_clients) {
   residuals_.assign(num_clients, Tensor());
 }
 
-RoundStats CompressedFedAvg::do_run_round(
-    Model& model, const std::vector<std::size_t>& selected,
-    const std::vector<Dataset>& client_data, Rng& rng, RoundContext& ctx) {
-  HS_CHECK(!selected.empty(), "CompressedFedAvg: no clients selected");
+ClientUpdate CompressedFedAvg::local_update(Model& model, const Tensor& global,
+                                            std::size_t client_id,
+                                            const Dataset& data,
+                                            Rng& client_rng) const {
   HS_CHECK(!residuals_.empty(), "CompressedFedAvg: init() not called");
-  const Tensor global = model.state();
+  HS_CHECK(client_id < residuals_.size(),
+           "CompressedFedAvg: client id out of range");
   const std::size_t dim = global.size();
   const std::size_t k = std::max<std::size_t>(
       1, static_cast<std::size_t>(static_cast<double>(dim) *
                                   options_.top_k_fraction));
+  model.set_state(global);
+  const float loss = local_train(model, data, cfg_, client_rng);
+  Tensor delta = model.state() - global;
 
-  Tensor update_sum({dim});
-  RoundStats stats;
-  stats.num_clients = selected.size();
-  double loss_sum = 0.0, weight_sum = 0.0, byte_sum = 0.0;
-  double loss_min = 0.0, loss_max = 0.0;
-  for (std::size_t i = 0; i < selected.size(); ++i) {
-    const std::size_t id = selected[i];
-    const Dataset& data = client_data.at(id);
-    model.set_state(global);
-    Rng client_rng = rng.fork(id);
-    const Clock::time_point c0 = Clock::now();
-    const float loss = local_train(model, data, cfg_, client_rng);
-    const double client_seconds = seconds_since(c0);
-    Tensor delta = model.state() - global;
-
-    // Error feedback: add the residual this client still owes from earlier
-    // compressions before deciding what to transmit.
-    HS_CHECK(id < residuals_.size(),
-             "CompressedFedAvg: client id out of range");
-    if (options_.error_feedback && !residuals_[id].empty()) {
-      delta += residuals_[id];
-    }
-
-    // Compress: top-k, then optional value quantization.
-    Tensor transmitted;
-    std::size_t bytes;
-    if (options_.top_k_fraction < 1.0f) {
-      SparseUpdate sparse = top_k_sparsify(delta, k);
-      if (options_.quantize_bits > 0 && !sparse.values.empty()) {
-        Tensor vals({sparse.values.size()}, sparse.values);
-        vals = quantize_dequantize(vals, options_.quantize_bits);
-        std::copy(vals.data(), vals.data() + vals.size(),
-                  sparse.values.data());
-        // Quantized payload: bits per value + 4 bytes per index.
-        bytes = sparse.indices.size() *
-                (sizeof(std::uint32_t) +
-                 static_cast<std::size_t>(options_.quantize_bits + 7) / 8);
-      } else {
-        bytes = sparse.byte_cost();
-      }
-      transmitted = densify(sparse);
-    } else {
-      transmitted = options_.quantize_bits > 0
-                        ? quantize_dequantize(delta, options_.quantize_bits)
-                        : delta;
-      bytes = options_.quantize_bits > 0
-                  ? dim * static_cast<std::size_t>(options_.quantize_bits + 7) /
-                        8
-                  : dim * sizeof(float);
-    }
-
-    if (options_.error_feedback) {
-      residuals_[id] = delta - transmitted;
-    }
-    update_sum += transmitted;
-    byte_sum += static_cast<double>(bytes);
-    loss_sum += loss * static_cast<double>(data.size());
-    weight_sum += static_cast<double>(data.size());
-    const double l = static_cast<double>(loss);
-    loss_min = (i == 0) ? l : std::min(loss_min, l);
-    loss_max = (i == 0) ? l : std::max(loss_max, l);
-
-    ClientObservation obs;
-    obs.client_id = id;
-    obs.order = i;
-    obs.weight = static_cast<double>(data.size());
-    obs.train_loss = l;
-    obs.update_bytes = bytes;  // compressed, not dense
-    obs.train_seconds = client_seconds;
-    ctx.finish_client(obs);
-    stats.bytes_up += static_cast<std::uint64_t>(bytes);
+  // Error feedback: add the residual this client still owes from earlier
+  // compressions before deciding what to transmit. Reading the shared
+  // residual is safe here: a client appears at most once per round and
+  // writes happen only in the serial aggregate.
+  if (options_.error_feedback && !residuals_[client_id].empty()) {
+    delta += residuals_[client_id];
   }
 
-  update_sum *= 1.0f / static_cast<float>(selected.size());
+  // Compress: top-k, then optional value quantization.
+  Tensor transmitted;
+  std::size_t bytes;
+  if (options_.top_k_fraction < 1.0f) {
+    SparseUpdate sparse = top_k_sparsify(delta, k);
+    if (options_.quantize_bits > 0 && !sparse.values.empty()) {
+      Tensor vals({sparse.values.size()}, sparse.values);
+      vals = quantize_dequantize(vals, options_.quantize_bits);
+      std::copy(vals.data(), vals.data() + vals.size(),
+                sparse.values.data());
+      // Quantized payload: bits per value + 4 bytes per index.
+      bytes = sparse.indices.size() *
+              (sizeof(std::uint32_t) +
+               static_cast<std::size_t>(options_.quantize_bits + 7) / 8);
+    } else {
+      bytes = sparse.byte_cost();
+    }
+    transmitted = densify(sparse);
+  } else {
+    transmitted = options_.quantize_bits > 0
+                      ? quantize_dequantize(delta, options_.quantize_bits)
+                      : delta;
+    bytes = options_.quantize_bits > 0
+                ? dim * static_cast<std::size_t>(options_.quantize_bits + 7) /
+                      8
+                : dim * sizeof(float);
+  }
+
+  ClientUpdate u;
+  u.client_id = client_id;
+  u.weight = static_cast<double>(data.size());
+  u.train_loss = static_cast<double>(loss);
+  if (options_.error_feedback) {
+    // Next round's residual, stored by aggregate(); never transmitted, so
+    // payload_bytes below excludes it.
+    u.aux = delta - transmitted;
+  }
+  u.state = std::move(transmitted);
+  u.payload_bytes = static_cast<std::uint64_t>(bytes);
+  return u;
+}
+
+RoundStats CompressedFedAvg::aggregate(Model& model, const Tensor& global,
+                                       std::vector<ClientUpdate>& updates) {
+  HS_CHECK(!updates.empty(), "CompressedFedAvg: no client updates");
+  HS_CHECK(!residuals_.empty(), "CompressedFedAvg: init() not called");
+  const std::size_t dim = global.size();
+  RoundStats stats = summarize_updates(updates, model.state_size());
+
+  Tensor update_sum({dim});
+  double byte_sum = 0.0;
+  for (ClientUpdate& u : updates) {
+    update_sum += u.state;
+    byte_sum += static_cast<double>(u.payload_bytes);
+    if (options_.error_feedback) {
+      residuals_[u.client_id] = std::move(u.aux);
+    }
+  }
+
+  update_sum *= 1.0f / static_cast<float>(updates.size());
   Tensor new_state = global + update_sum;
   model.set_state(new_state);
   last_dense_bytes_ = dim * sizeof(float);
   last_compressed_bytes_ = static_cast<std::size_t>(
-      byte_sum / static_cast<double>(selected.size()));
-  stats.mean_train_loss = loss_sum / weight_sum;
-  stats.min_train_loss = loss_min;
-  stats.max_train_loss = loss_max;
-  stats.weight_sum = weight_sum;
-  stats.bytes_down = static_cast<std::uint64_t>(selected.size()) *
-                     static_cast<std::uint64_t>(dim) * sizeof(float);
+      byte_sum / static_cast<double>(updates.size()));
   stats.extras["comp.dense_bytes"] =
       static_cast<double>(last_dense_bytes_);
   stats.extras["comp.compressed_bytes"] =

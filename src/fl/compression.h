@@ -54,28 +54,36 @@ struct CompressionOptions {
   bool error_feedback = true;
 };
 
-class CompressedFedAvg : public FederatedAlgorithm {
+/// Split form (honours HS_THREADS through the ClientExecutor): the pure
+/// client phase trains, folds in this client's error-feedback residual
+/// (read-only — a client appears at most once per round, and residual
+/// writes happen only in the serial aggregate, the SCAFFOLD pattern for
+/// per-client persistent state), compresses, and returns the densified
+/// transmitted update in ClientUpdate::state with the new residual in aux
+/// and the true compressed wire cost in payload_bytes. The serial
+/// aggregate equal-weight averages the transmitted updates in `selected`
+/// order and stores the residuals, so results are bit-identical for any
+/// thread count. Client observations report the actual compressed byte
+/// cost, and the round's compression summary lands in RoundStats::extras
+/// ("comp.dense_bytes", "comp.compressed_bytes", "comp.ratio"). Under
+/// partial aggregation an excluded client's residual stays untouched — it
+/// never transmitted, so it still owes the same error.
+class CompressedFedAvg : public SplitFederatedAlgorithm {
  public:
   CompressedFedAvg(LocalTrainConfig cfg, CompressionOptions options);
 
   void init(Model& model, std::size_t num_clients) override;
+  ClientUpdate local_update(Model& model, const Tensor& global,
+                            std::size_t client_id, const Dataset& data,
+                            Rng& client_rng) const override;
+  RoundStats aggregate(Model& model, const Tensor& global,
+                       std::vector<ClientUpdate>& updates) override;
   std::string name() const override { return "CompressedFedAvg"; }
 
   /// Bytes a dense float32 update would have cost last round (per client).
   std::size_t last_dense_bytes() const { return last_dense_bytes_; }
   /// Mean compressed bytes actually "sent" per client last round.
   std::size_t last_compressed_bytes() const { return last_compressed_bytes_; }
-
- protected:
-  /// Serial by construction: per-client error-feedback residuals are
-  /// read-modify-write shared state, so as_split() stays nullptr. Client
-  /// observations report the actual compressed byte cost, and the round's
-  /// compression summary lands in RoundStats::extras ("comp.dense_bytes",
-  /// "comp.compressed_bytes", "comp.ratio").
-  RoundStats do_run_round(Model& model,
-                          const std::vector<std::size_t>& selected,
-                          const std::vector<Dataset>& client_data, Rng& rng,
-                          RoundContext& ctx) override;
 
  private:
   LocalTrainConfig cfg_;

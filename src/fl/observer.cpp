@@ -18,7 +18,7 @@ ClientObservation make_observation(const ClientUpdate& update,
   o.weight = update.weight;
   o.train_loss = update.train_loss;
   o.flags = update.flags;
-  o.update_bytes = (update.state.size() + update.aux.size()) * sizeof(float);
+  o.update_bytes = static_cast<std::size_t>(update_payload_bytes(update));
   o.train_seconds = update.train_seconds;
   return o;
 }
@@ -94,6 +94,9 @@ void TracingObserver::on_client_end(std::size_t round,
   b.add("loss", client.train_loss);
   b.add("flags", static_cast<std::uint64_t>(client.flags));
   b.add("bytes", static_cast<std::uint64_t>(client.update_bytes));
+  // Emitted only when a fault fired so zero-fault traces are byte-identical
+  // to traces from builds without the fault layer.
+  if (client.fault != 0) b.add("fault", static_cast<std::uint64_t>(client.fault));
   if (tracer_.include_timings()) b.add("seconds", client.train_seconds);
   tracer_.write(b);
 }
@@ -137,6 +140,7 @@ void MetricsObserver::on_client_end(std::size_t /*round*/,
                                     const ClientObservation& client) {
   registry_.histogram("fl.client_loss").observe(client.train_loss);
   registry_.histogram("fl.client_seconds").observe(client.train_seconds);
+  if (client.fault != 0) registry_.counter("fl.client_faults").add(1);
 }
 
 void MetricsObserver::on_round_end(std::size_t /*round*/,

@@ -45,10 +45,17 @@ struct ClientObservation {
   unsigned flags = 0;           ///< algorithm-specific bits (e.g. switches)
   std::size_t update_bytes = 0; ///< uplink payload estimate (state + aux)
   double train_seconds = 0.0;   ///< wall time; NOT deterministic
+  /// Fault disposition of this client (a FaultKind value; see
+  /// runtime/faults.h). 0 = clean update; non-zero marks a straggler or a
+  /// client whose update was excluded from aggregation. TracingObserver
+  /// only emits the field when non-zero, so zero-fault traces stay
+  /// byte-identical to builds without the fault layer.
+  unsigned fault = 0;
 };
 
-/// Builds the scalar view of a ClientUpdate (update_bytes counts the state
-/// and aux tensors at 4 bytes/parameter).
+/// Builds the scalar view of a ClientUpdate (update_bytes honours
+/// ClientUpdate::payload_bytes, else counts the state and aux tensors at
+/// 4 bytes/parameter).
 ClientObservation make_observation(const ClientUpdate& update,
                                    std::size_t order);
 
@@ -141,7 +148,8 @@ class TracingObserver : public RoundObserver {
 };
 
 /// Feeds an obs::MetricsRegistry:
-///   counters   fl.rounds, fl.clients, fl.bytes_up, fl.bytes_down
+///   counters   fl.rounds, fl.clients, fl.bytes_up, fl.bytes_down,
+///              fl.client_faults (clients with a non-zero fault kind)
 ///   histograms fl.client_loss, fl.client_seconds, fl.round_loss,
 ///              fl.round_seconds
 ///   gauges     fl.last_round_loss, fl.eval_average, fl.eval_variance,

@@ -1,19 +1,8 @@
 #include "fl/privacy.h"
 
-#include <chrono>
-
 #include "util/rng.h"
 
 namespace hetero {
-namespace {
-
-using Clock = std::chrono::steady_clock;
-
-double seconds_since(Clock::time_point start) {
-  return std::chrono::duration<double>(Clock::now() - start).count();
-}
-
-}  // namespace
 
 float clip_to_norm(Tensor& update, float clip_norm) {
   HS_CHECK(clip_norm > 0.0f, "clip_to_norm: clip_norm must be positive");
@@ -37,54 +26,41 @@ void DpFedAvg::init(Model& model, std::size_t num_clients) {
   noise_rng_ = Rng(options_.noise_seed);
 }
 
-RoundStats DpFedAvg::do_run_round(Model& model,
-                                  const std::vector<std::size_t>& selected,
-                                  const std::vector<Dataset>& client_data,
-                                  Rng& rng, RoundContext& ctx) {
-  HS_CHECK(!selected.empty(), "DpFedAvg: no clients selected");
-  const Tensor global = model.state();
+ClientUpdate DpFedAvg::local_update(Model& model, const Tensor& global,
+                                    std::size_t client_id, const Dataset& data,
+                                    Rng& client_rng) const {
+  model.set_state(global);
+  const float loss = local_train(model, data, cfg_, client_rng);
+  Tensor delta = model.state() - global;
+  const bool was_clipped = clip_to_norm(delta, options_.clip_norm) < 1.0f;
+  ClientUpdate u;
+  u.client_id = client_id;
+  u.state = std::move(delta);  // the clipped delta, not the raw state
+  // The weight only feeds loss reporting; aggregation is equal-weight (a
+  // sample-size-weighted mean would leak dataset sizes).
+  u.weight = static_cast<double>(data.size());
+  u.train_loss = static_cast<double>(loss);
+  u.flags = was_clipped ? 1u : 0u;
+  return u;
+}
 
+RoundStats DpFedAvg::aggregate(Model& model, const Tensor& global,
+                               std::vector<ClientUpdate>& updates) {
+  HS_CHECK(!updates.empty(), "DpFedAvg: no client updates");
+  RoundStats stats = summarize_updates(updates, model.state_size());
   Tensor update_sum({global.size()});
-  RoundStats stats;
-  stats.num_clients = selected.size();
-  double loss_sum = 0.0, weight_sum = 0.0;
-  double loss_min = 0.0, loss_max = 0.0;
   std::size_t clipped = 0;
-  for (std::size_t i = 0; i < selected.size(); ++i) {
-    const std::size_t id = selected[i];
-    const Dataset& data = client_data.at(id);
-    model.set_state(global);
-    Rng client_rng = rng.fork(id);
-    const Clock::time_point c0 = Clock::now();
-    const float loss = local_train(model, data, cfg_, client_rng);
-    const double client_seconds = seconds_since(c0);
-    Tensor delta = model.state() - global;
-    const bool was_clipped = clip_to_norm(delta, options_.clip_norm) < 1.0f;
-    if (was_clipped) ++clipped;
-    // DP aggregation weights clients equally (sample-size weighting would
-    // leak dataset sizes).
-    update_sum += delta;
-    loss_sum += loss * static_cast<double>(data.size());
-    weight_sum += static_cast<double>(data.size());
-    const double l = static_cast<double>(loss);
-    loss_min = (i == 0) ? l : std::min(loss_min, l);
-    loss_max = (i == 0) ? l : std::max(loss_max, l);
-
-    ClientObservation obs;
-    obs.client_id = id;
-    obs.order = i;
-    obs.weight = static_cast<double>(data.size());
-    obs.train_loss = l;
-    obs.flags = was_clipped ? 1u : 0u;
-    obs.update_bytes = delta.size() * sizeof(float);
-    obs.train_seconds = client_seconds;
-    ctx.finish_client(obs);
-    stats.bytes_up += static_cast<std::uint64_t>(delta.size() * sizeof(float));
+  for (const ClientUpdate& u : updates) {
+    update_sum += u.state;
+    if (u.flags & 1u) ++clipped;
   }
-  const float inv_k = 1.0f / static_cast<float>(selected.size());
+  const float inv_k = 1.0f / static_cast<float>(updates.size());
   update_sum *= inv_k;
 
-  // Gaussian mechanism on the averaged update.
+  // Gaussian mechanism on the averaged update. Under partial aggregation
+  // K is the surviving client count, so the per-coordinate sensitivity
+  // bound clip/K (and with it sigma) adapts to the clients actually
+  // averaged.
   last_sigma_ = static_cast<double>(options_.noise_multiplier) *
                 options_.clip_norm * inv_k;
   if (last_sigma_ > 0.0) {
@@ -94,16 +70,10 @@ RoundStats DpFedAvg::do_run_round(Model& model,
     }
   }
   last_clip_fraction_ =
-      static_cast<double>(clipped) / static_cast<double>(selected.size());
+      static_cast<double>(clipped) / static_cast<double>(updates.size());
 
   Tensor new_state = global + update_sum;
   model.set_state(new_state);
-  stats.mean_train_loss = loss_sum / weight_sum;
-  stats.min_train_loss = loss_min;
-  stats.max_train_loss = loss_max;
-  stats.weight_sum = weight_sum;
-  stats.bytes_down = static_cast<std::uint64_t>(selected.size()) *
-                     static_cast<std::uint64_t>(global.size()) * sizeof(float);
   stats.extras["dp.noise_stddev"] = last_sigma_;
   stats.extras["dp.clip_fraction"] = last_clip_fraction_;
   return stats;

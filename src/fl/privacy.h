@@ -25,28 +25,32 @@ struct DpOptions {
 /// scaling factor applied (1 when already within the bound).
 float clip_to_norm(Tensor& update, float clip_norm);
 
-class DpFedAvg : public FederatedAlgorithm {
+/// Split form (honours HS_THREADS through the ClientExecutor): the pure
+/// client phase trains and L2-clips the state delta — ClientUpdate::state
+/// carries the CLIPPED DELTA, not the post-training state, and flags bit 0
+/// records whether clipping fired. The serial aggregate equal-weight
+/// averages the deltas (sample-size weighting would leak dataset sizes)
+/// and applies the Gaussian mechanism from the server-side noise stream,
+/// which stays strictly serial, so results are bit-identical for any
+/// thread count. Under partial aggregation the mean and the noise scale
+/// sigma = multiplier * clip / K use the surviving client count K.
+/// RoundStats::extras reports "dp.noise_stddev" and "dp.clip_fraction".
+class DpFedAvg : public SplitFederatedAlgorithm {
  public:
   DpFedAvg(LocalTrainConfig cfg, DpOptions options);
 
   void init(Model& model, std::size_t num_clients) override;
+  ClientUpdate local_update(Model& model, const Tensor& global,
+                            std::size_t client_id, const Dataset& data,
+                            Rng& client_rng) const override;
+  RoundStats aggregate(Model& model, const Tensor& global,
+                       std::vector<ClientUpdate>& updates) override;
   std::string name() const override { return "DP-FedAvg"; }
 
   /// Noise stddev applied per coordinate in the last round.
   double last_noise_stddev() const { return last_sigma_; }
   /// Fraction of client updates clipped in the last round.
   double last_clip_fraction() const { return last_clip_fraction_; }
-
- protected:
-  /// Serial by construction: the server-side noise stream is shared state,
-  /// so as_split() stays nullptr. Per-client timing and observations are
-  /// still reported through ctx, and the round's noise scale / clip
-  /// fraction land in RoundStats::extras ("dp.noise_stddev",
-  /// "dp.clip_fraction").
-  RoundStats do_run_round(Model& model,
-                          const std::vector<std::size_t>& selected,
-                          const std::vector<Dataset>& client_data, Rng& rng,
-                          RoundContext& ctx) override;
 
  private:
   LocalTrainConfig cfg_;

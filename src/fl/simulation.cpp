@@ -33,6 +33,7 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
   Rng rng(cfg.seed);
   algorithm.init(model, population.client_train.size());
   ClientExecutor executor(cfg.num_threads);
+  executor.set_faults(cfg.faults);
 
   // Fan telemetry out to the configured observer and, for compatibility,
   // the deprecated on_round callback wrapped as an observer.
@@ -66,6 +67,11 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
     result.runtime.client_seconds_max = std::max(
         result.runtime.client_seconds_max, round_runtime.client_seconds_max);
     result.runtime.serial_fallback |= round_runtime.serial_fallback;
+    result.runtime.clients_dropped += round_runtime.clients_dropped;
+    result.runtime.clients_quarantined += round_runtime.clients_quarantined;
+    result.runtime.clients_straggled += round_runtime.clients_straggled;
+    result.runtime.fault_retries += round_runtime.retries;
+    result.runtime.rounds_aborted += round_runtime.aborted ? 1 : 0;
     result.train_loss_history.push_back(stats.mean_train_loss);
     if (cfg.eval_every > 0 && (round + 1) % cfg.eval_every == 0 &&
         round + 1 < cfg.rounds) {

@@ -9,6 +9,7 @@
 #include "fl/algorithm.h"
 #include "fl/population.h"
 #include "nn/model.h"
+#include "runtime/faults.h"
 
 namespace hetero {
 
@@ -43,6 +44,11 @@ struct SimulationConfig {
   /// CallbackObserver adapter — fires as (round, mean train loss) after
   /// every round, alongside (not instead of) `observer`.
   std::function<void(std::size_t, double)> on_round;
+  /// Deterministic fault injection + partial-aggregation hardening (see
+  /// runtime/faults.h and DESIGN.md §10). Defaults inject nothing and are
+  /// byte-identical to a run without the fault layer. Populated from
+  /// HS_FAULTS by the benches/CLI via parse_fault_spec.
+  FaultOptions faults;
 };
 
 /// Wall-time accounting of one simulation run.
@@ -57,6 +63,12 @@ struct RuntimeStats {
   /// True when the algorithm had no split client phase, so rounds ran its
   /// own serial implementation regardless of num_threads.
   bool serial_fallback = false;
+  /// Fault totals over the whole run (all zero for clean zero-fault runs).
+  std::size_t clients_dropped = 0;      ///< dropout + timeout + failed
+  std::size_t clients_quarantined = 0;  ///< non-finite updates excluded
+  std::size_t clients_straggled = 0;    ///< delayed but aggregated
+  std::size_t fault_retries = 0;        ///< transient-failure retries used
+  std::size_t rounds_aborted = 0;       ///< rounds below the min_clients floor
 };
 
 struct SimulationResult {

@@ -63,6 +63,11 @@ ClientUpdate HeteroSwitch::local_update(Model& model, const Tensor& global,
   bool switch1 = false;
   switch (options_.mode) {
     case HeteroSwitchMode::kSelective: {
+      // An unseeded EMA reads +inf and L_init < +inf holds vacuously; by
+      // default the switches stay off until the EMA has a real value
+      // (HeteroSwitchOptions::switch_on_unseeded_ema restores the legacy
+      // fire-for-everyone round 0).
+      if (!ema_.initialized() && !options_.switch_on_unseeded_ema) break;
       const double l_init = evaluate_loss(model, probe, cfg_.batch_size);
       switch1 = l_init < l_ema;
       break;
@@ -114,7 +119,12 @@ ClientUpdate HeteroSwitch::local_update(Model& model, const Tensor& global,
   ClientUpdate u;
   u.client_id = client_id;
   u.state = model.state();
-  u.weight = static_cast<double>(data.size());
+  // Aggregation weight is the client's FULL sample count even under the
+  // validation criterion: holding out a probe slice changes what the
+  // switches measure, not how much of the population this client speaks
+  // for (weighting by the train split would silently down-weight every
+  // client by validation_fraction relative to kTrainLoss).
+  u.weight = static_cast<double>(full_data.size());
   u.train_loss = static_cast<double>(l_train);
   u.flags = (switch1 ? 1u : 0u) | (switch2 ? 2u : 0u);
   return u;

@@ -51,6 +51,13 @@ struct HeteroSwitchOptions {
   /// Fraction of each client's data held out when criterion is
   /// kValidationSplit (the rest is trained on).
   float validation_fraction = 0.25f;
+  /// Round-0 behavior of kSelective, made explicit: before the EMA has
+  /// seen its first update it has no value to compare against. Default
+  /// (false): both switches stay OFF until the EMA is seeded — round 0 is
+  /// plain FedAvg, no client is flagged as biased by a vacuous comparison.
+  /// true restores the legacy behavior where the empty EMA reads +inf and
+  /// L_init < +inf fires Switch_1 for every client in round 0.
+  bool switch_on_unseeded_ema = false;
 };
 
 class HeteroSwitch : public SplitFederatedAlgorithm {

@@ -1,6 +1,9 @@
 #include "runtime/client_executor.h"
 
 #include <chrono>
+#include <cmath>
+#include <exception>
+#include <limits>
 
 #include "util/rng.h"
 
@@ -11,6 +14,36 @@ using Clock = std::chrono::steady_clock;
 
 double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Virtual backoff before 0-based retry r: retry_backoff_s * 2^r (capped
+/// exponent so absurd retry budgets cannot overflow to inf).
+double backoff_seconds(const FaultOptions& options, std::size_t retry) {
+  const int exponent = static_cast<int>(retry < 60 ? retry : 60);
+  return std::ldexp(options.retry_backoff_s, exponent);
+}
+
+/// Applies a corrupt-update decision: poisons one coordinate of the
+/// update's tensor payload with a non-finite value. Targets the state
+/// tensor when present, else aux (q-FedAvg ships its delta there); with no
+/// tensor payload at all the weight is poisoned so the update still fails
+/// validate_update.
+void poison_update(ClientUpdate& update, const FaultDecision& d) {
+  static constexpr float kPoison[3] = {
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity()};
+  const float bad = kPoison[d.corrupt_kind % 3];
+  Tensor& target = !update.state.empty() ? update.state : update.aux;
+  if (target.empty()) {
+    update.weight = static_cast<double>(bad);
+    return;
+  }
+  target[static_cast<std::size_t>(d.corrupt_pos % target.size())] = bad;
+}
+
+bool usable(FaultKind kind) {
+  return kind == FaultKind::kOk || kind == FaultKind::kStraggler;
 }
 
 }  // namespace
@@ -29,6 +62,11 @@ ClientExecutor::ClientExecutor(std::size_t num_threads) {
 
 ClientExecutor::~ClientExecutor() = default;
 
+void ClientExecutor::set_faults(const FaultOptions& options) {
+  fault_options_ = options;
+  plan_ = options.enabled() ? std::make_unique<FaultPlan>(options) : nullptr;
+}
+
 RoundStats ClientExecutor::run_round(Model& model,
                                      FederatedAlgorithm& algorithm,
                                      const std::vector<std::size_t>& selected,
@@ -40,22 +78,25 @@ RoundStats ClientExecutor::run_round(Model& model,
   RoundContext& c = ctx ? *ctx : local;
   if (c.observer) c.observer->on_round_begin(c.round, selected);
 
+  if (runtime) *runtime = RoundRuntime{};
   RoundStats stats;
   SplitFederatedAlgorithm* split = algorithm.as_split();
   const bool parallel = split != nullptr && pool_ != nullptr;
-  if (parallel) {
-    stats = run_split_parallel(model, *split, selected, client_data, rng, c);
+  if (split) {
+    // Unified split path, serial (inline on the shared model) or parallel
+    // (per-worker replicas) — the only path fault injection supports.
+    stats = run_split(model, *split, selected, client_data, rng, c, runtime);
   } else {
-    // Serial path: the algorithm's own round implementation, which times
-    // every client and reports it through the context — split algorithms
-    // via the serial reference do_run_round, serial-only ones (e.g. a
-    // shared noise stream) via their custom round.
+    // Serial fallback: the algorithm's own round implementation, which
+    // times every client and reports it through the context. The fault
+    // layer cannot intercept a round the executor does not drive.
+    HS_CHECK(plan_ == nullptr,
+             "ClientExecutor: fault injection requires a split algorithm");
     stats = algorithm.run_round(model, selected, client_data, rng, &c);
   }
 
   stats.round_seconds = seconds_since(start);
   if (runtime) {
-    *runtime = RoundRuntime{};
     runtime->parallel = parallel;
     runtime->serial_fallback = split == nullptr;
     runtime->client_seconds_sum = c.client_seconds_sum;
@@ -66,39 +107,182 @@ RoundStats ClientExecutor::run_round(Model& model,
   return stats;
 }
 
-RoundStats ClientExecutor::run_split_parallel(
-    Model& model, SplitFederatedAlgorithm& split,
-    const std::vector<std::size_t>& selected,
-    const std::vector<Dataset>& client_data, Rng& rng, RoundContext& ctx) {
+RoundStats ClientExecutor::run_split(Model& model,
+                                     SplitFederatedAlgorithm& split,
+                                     const std::vector<std::size_t>& selected,
+                                     const std::vector<Dataset>& client_data,
+                                     Rng& rng, RoundContext& ctx,
+                                     RoundRuntime* runtime) {
   HS_CHECK(!selected.empty(), "ClientExecutor: no clients selected");
   const Tensor global = model.state();
-  std::vector<ClientUpdate> updates(selected.size());
+  const std::size_t n = selected.size();
+  std::vector<ClientUpdate> updates(n);
+  std::vector<FaultOutcome> outcomes(n);
 
-  // Fan out. Each worker lazily clones its own replica the first time it
-  // picks up a client; after that only the replica's state is overwritten.
-  // Slot updates[i] is written by exactly one task, and the shared inputs
-  // (model, global, rng, client_data, the algorithm) are only read.
-  pool_->parallel_for(selected.size(), [&](std::size_t i) {
-    const std::size_t w = ThreadPool::worker_index();
-    HS_CHECK(w < replicas_.size(), "ClientExecutor: bad worker index");
-    if (!replicas_[w]) replicas_[w] = model.clone();
+  // One client's full fault-aware execution against model replica `m`.
+  // Slot i of updates/outcomes is written by exactly one task; shared
+  // inputs (global, rng, client_data, the algorithm, the plan) are only
+  // read, and every random draw is keyed on (round, client id), so the
+  // result is bit-identical however clients are scheduled.
+  auto run_client = [&](std::size_t i, Model& m) {
     const std::size_t id = selected[i];
-    Rng client_rng = rng.fork(id);
-    const Clock::time_point c0 = Clock::now();
-    updates[i] = split.local_update(*replicas_[w], global, id,
-                                    client_data.at(id), client_rng);
-    updates[i].train_seconds = seconds_since(c0);
-  });
+    FaultOutcome& out = outcomes[i];
+    out.client_id = id;
+    FaultDecision d;
+    if (plan_) d = plan_->decide(ctx.round, id);
+    if (d.drop) {
+      out.kind = FaultKind::kDropout;
+      return;
+    }
+    if (fault_options_.timeout_s > 0.0 && d.delay_s > fault_options_.timeout_s) {
+      out.kind = FaultKind::kTimeout;
+      out.delay_s = d.delay_s;
+      return;
+    }
+    for (std::size_t attempt = 0;; ++attempt) {
+      if (attempt > 0) {
+        ++out.retries;
+        out.backoff_s += backoff_seconds(fault_options_, attempt - 1);
+      }
+      bool failed = attempt < d.fail_attempts;
+      if (!failed) {
+        Rng client_rng = rng.fork(id);
+        const Clock::time_point c0 = Clock::now();
+        if (plan_) {
+          // Tolerate real exceptions from local training like injected
+          // transient failures: they consume the retry budget. The rerun
+          // is deterministic — the client stream is re-forked from the id.
+          try {
+            updates[i] =
+                split.local_update(m, global, id, client_data.at(id), client_rng);
+          } catch (const std::exception&) {
+            failed = true;
+          }
+        } else {
+          updates[i] =
+              split.local_update(m, global, id, client_data.at(id), client_rng);
+        }
+        if (!failed) {
+          // Simulated elapsed time: real compute plus injected virtual
+          // delay and backoff (wall-clock-only field, never aggregated).
+          updates[i].train_seconds =
+              seconds_since(c0) + d.delay_s + out.backoff_s;
+          out.kind = d.delay_s > 0.0 ? FaultKind::kStraggler : FaultKind::kOk;
+          out.delay_s = d.delay_s;
+          break;
+        }
+      }
+      if (attempt >= fault_options_.max_retries) {
+        out.kind = FaultKind::kFailed;
+        return;
+      }
+    }
+    if (d.corrupt) poison_update(updates[i], d);
+  };
 
-  // Flush buffered client events on the caller's thread, in `selected`
-  // order — never in completion order — so observers see the same stream
-  // the serial path produces.
-  for (std::size_t i = 0; i < updates.size(); ++i) {
-    ctx.finish_client(updates[i], i);
+  if (pool_) {
+    // Fan out. Each worker lazily clones its own replica the first time it
+    // picks up a client; after that only the replica's state is
+    // overwritten (local_update starts with set_state(global)).
+    pool_->parallel_for(n, [&](std::size_t i) {
+      const std::size_t w = ThreadPool::worker_index();
+      HS_CHECK(w < replicas_.size(), "ClientExecutor: bad worker index");
+      if (!replicas_[w]) replicas_[w] = model.clone();
+      run_client(i, *replicas_[w]);
+    });
+  } else {
+    for (std::size_t i = 0; i < n; ++i) run_client(i, model);
   }
 
-  // Serial server phase, folding in `selected` order.
-  return split.aggregate(model, global, updates);
+  // Disposition pass + event flush, on the caller's thread, in `selected`
+  // order — never in completion order — so observers see the same stream
+  // for any thread count. Every selected client gets exactly one
+  // client_end event; excluded clients carry their fault kind with zero
+  // weight (and zeroed loss, so no non-finite value reaches a trace).
+  std::size_t dropped = 0, quarantined = 0, straggled = 0, retries = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    FaultOutcome& out = outcomes[i];
+    retries += out.retries;
+    if (usable(out.kind) && !validate_update(updates[i])) {
+      out.kind = FaultKind::kQuarantined;
+    }
+    ClientObservation obs;
+    switch (out.kind) {
+      case FaultKind::kOk:
+      case FaultKind::kStraggler:
+        if (out.kind == FaultKind::kStraggler) ++straggled;
+        obs = make_observation(updates[i], i);
+        break;
+      case FaultKind::kQuarantined:
+        ++quarantined;
+        obs.client_id = selected[i];
+        obs.order = i;
+        obs.flags = updates[i].flags;
+        obs.update_bytes =
+            static_cast<std::size_t>(update_payload_bytes(updates[i]));
+        obs.train_seconds = updates[i].train_seconds;
+        break;
+      case FaultKind::kDropout:
+      case FaultKind::kTimeout:
+      case FaultKind::kFailed:
+        ++dropped;
+        obs.client_id = selected[i];
+        obs.order = i;
+        obs.train_seconds =
+            out.kind == FaultKind::kTimeout ? fault_options_.timeout_s
+                                            : out.backoff_s;
+        break;
+    }
+    obs.fault = static_cast<unsigned>(out.kind);
+    ctx.finish_client(obs);
+  }
+
+  // Partial aggregation over the survivors, still in `selected` order.
+  // With the fault layer off this moves every update unchanged, so the
+  // aggregate sees exactly the vector the pre-fault executor built.
+  std::vector<ClientUpdate> survivors;
+  survivors.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (usable(outcomes[i].kind)) survivors.push_back(std::move(updates[i]));
+  }
+
+  const std::size_t min_clients =
+      fault_options_.min_clients > 0 ? fault_options_.min_clients : 1;
+  const bool aborted = survivors.size() < min_clients;
+  RoundStats stats;
+  if (!aborted) {
+    stats = split.aggregate(model, global, survivors);
+  } else {
+    // Too few usable updates: report the survivors' summary (if any) and
+    // leave the global model untouched. On the serial path the shared
+    // model doubles as the training scratch replica, so "untouched" means
+    // restoring the round-entry snapshot explicitly.
+    if (!survivors.empty()) {
+      stats = summarize_updates(survivors, model.state_size());
+    }
+    model.set_state(global);
+  }
+  // Downlink happened for every selected client before any fault fired.
+  // Identical to the aggregate's own accounting when nothing was excluded.
+  stats.bytes_down = static_cast<std::uint64_t>(n) *
+                     static_cast<std::uint64_t>(model.state_size()) *
+                     sizeof(float);
+  if (plan_ || quarantined > 0 || aborted) {
+    stats.extras["fault.dropped"] = static_cast<double>(dropped);
+    stats.extras["fault.quarantined"] = static_cast<double>(quarantined);
+    stats.extras["fault.stragglers"] = static_cast<double>(straggled);
+    stats.extras["fault.retries"] = static_cast<double>(retries);
+    stats.extras["fault.aborted"] = aborted ? 1.0 : 0.0;
+  }
+  if (runtime) {
+    runtime->clients_dropped = dropped;
+    runtime->clients_quarantined = quarantined;
+    runtime->clients_straggled = straggled;
+    runtime->retries = retries;
+    runtime->aborted = aborted;
+    if (plan_) runtime->fault_outcomes = std::move(outcomes);
+  }
+  return stats;
 }
 
 }  // namespace hetero

@@ -4,31 +4,47 @@
 // pure per-client local_update; the executor runs those on per-worker Model
 // replicas (cloned lazily from the global model, so memory stays
 // O(workers), not O(clients)) and then runs the serial aggregate on the
-// caller's thread. Algorithms without a split form fall back to their own
-// serial round (reported as serial_fallback).
+// caller's thread. With one thread the same unified path runs inline on
+// the shared model — identical code, identical results. Algorithms without
+// a split form fall back to their own serial round (reported as
+// serial_fallback); fault injection requires the split path.
 //
-// Determinism contract (see DESIGN.md): every client's RNG stream is forked
-// from its client id — never from loop order or worker identity — and
-// aggregate folds updates in `selected` order, so the result is
+// Determinism contract (see DESIGN.md §7): every client's RNG stream is
+// forked from its client id — never from loop order or worker identity —
+// and aggregate folds updates in `selected` order, so the result is
 // bit-identical for any thread count, including 1.
+//
+// Fault tolerance (DESIGN.md §10): set_faults() installs a FaultOptions /
+// FaultPlan pair. Per client the executor applies the plan's deterministic
+// decision — dropout, virtual straggler delay checked against the timeout,
+// transient failures retried with exponential virtual backoff, update
+// corruption — then validates every surviving update (validate_update) and
+// quarantines non-finite ones. Aggregation runs over the survivors only
+// (partial aggregation); a round with fewer than min_clients usable
+// updates aborts gracefully, leaving the global model untouched. With
+// default-constructed FaultOptions the execution path, results, and event
+// stream are byte-identical to a build without the fault layer.
 //
 // Telemetry: the executor is the driver of one round, so it emits the
 // round-level observer events — on_round_begin before any client trains and
 // on_round_end (with RoundStats::round_seconds filled) after the aggregate.
-// Client events from the parallel path are buffered with the updates and
+// Client events from the split path are buffered with the updates and
 // flushed in `selected` order on the caller's thread before the aggregate,
-// so the event stream is deterministic for any thread count too.
+// so the event stream is deterministic for any thread count too. Every
+// selected client gets exactly one client_end event; excluded clients
+// carry their FaultKind in ClientObservation::fault with zero weight.
 #pragma once
 
 #include <memory>
 #include <vector>
 
 #include "fl/algorithm.h"
+#include "runtime/faults.h"
 #include "runtime/thread_pool.h"
 
 namespace hetero {
 
-/// Wall-time breakdown of one executed round.
+/// Wall-time and fault breakdown of one executed round.
 struct RoundRuntime {
   double round_seconds = 0.0;       ///< whole round, fan-out + aggregate
   double client_seconds_sum = 0.0;  ///< summed per-client local_update time
@@ -37,6 +53,17 @@ struct RoundRuntime {
   /// True when the algorithm has no split client phase and ran its own
   /// serial round regardless of the requested thread count.
   bool serial_fallback = false;
+
+  /// Fault accounting (all zero when the fault layer is off and every
+  /// update validated).
+  std::size_t clients_dropped = 0;      ///< dropout + timeout + failed
+  std::size_t clients_quarantined = 0;  ///< non-finite updates excluded
+  std::size_t clients_straggled = 0;    ///< usable but delayed
+  std::size_t retries = 0;              ///< transient-failure retries used
+  bool aborted = false;                 ///< survivors < min_clients
+  /// Per selected client, in `selected` order. Only populated while a
+  /// fault plan is installed (avoids per-round allocation otherwise).
+  std::vector<FaultOutcome> fault_outcomes;
 };
 
 class ClientExecutor {
@@ -52,12 +79,18 @@ class ClientExecutor {
   /// Resolved thread count (after the 0 -> hardware_concurrency mapping).
   std::size_t num_threads() const { return num_threads_; }
 
+  /// Installs the fault layer for subsequent rounds. A plan is only
+  /// created when options.enabled(); min_clients and update validation
+  /// apply either way. Call before the first round for reproducibility.
+  void set_faults(const FaultOptions& options);
+  const FaultOptions& fault_options() const { return fault_options_; }
+
   /// Runs one communication round, mutating the global model exactly like
-  /// algorithm.run_round would. Per-client timing is reported through
-  /// `runtime` when non-null (every path, split or not). When `ctx` is
-  /// non-null its observer receives the full event stream of the round
-  /// (round_begin, one client_end per client in `selected` order,
-  /// round_end).
+  /// algorithm.run_round would. Per-client timing and fault outcomes are
+  /// reported through `runtime` when non-null (every path, split or not).
+  /// When `ctx` is non-null its observer receives the full event stream of
+  /// the round (round_begin, one client_end per client in `selected`
+  /// order, round_end).
   RoundStats run_round(Model& model, FederatedAlgorithm& algorithm,
                        const std::vector<std::size_t>& selected,
                        const std::vector<Dataset>& client_data, Rng& rng,
@@ -65,14 +98,16 @@ class ClientExecutor {
                        RoundContext* ctx = nullptr);
 
  private:
-  RoundStats run_split_parallel(Model& model, SplitFederatedAlgorithm& split,
-                                const std::vector<std::size_t>& selected,
-                                const std::vector<Dataset>& client_data,
-                                Rng& rng, RoundContext& ctx);
+  RoundStats run_split(Model& model, SplitFederatedAlgorithm& split,
+                       const std::vector<std::size_t>& selected,
+                       const std::vector<Dataset>& client_data, Rng& rng,
+                       RoundContext& ctx, RoundRuntime* runtime);
 
   std::size_t num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;              // null when num_threads_==1
   std::vector<std::unique_ptr<Model>> replicas_;  // one slot per worker
+  FaultOptions fault_options_;
+  std::unique_ptr<FaultPlan> plan_;  // null while fault injection is off
 };
 
 }  // namespace hetero

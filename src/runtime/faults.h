@@ -1,0 +1,125 @@
+// Deterministic fault injection for the client-execution runtime.
+//
+// Real FL populations drop out, straggle, fail transiently, and ship
+// corrupt updates (Abdelmoniem et al.; Yang et al.). This layer injects
+// those behaviours into the simulator WITHOUT breaking the deterministic-
+// replay contract of DESIGN.md §7: every per-(round, client) decision is
+// drawn from a dedicated fault stream forked as Rng(seed).fork(round,
+// client) — keyed by coordinates, never by loop order, worker identity, or
+// wall clock — so an identical FaultPlan reproduces bit-for-bit for any
+// HS_THREADS value. Straggler delays and retry backoffs are *virtual*
+// seconds: they are compared against timeout_s and reported in telemetry,
+// but never slept on, so timeouts are decided deterministically too.
+//
+// The plan only decides WHAT happens; the ClientExecutor applies it
+// (dropping clients, retrying transient failures with backoff, poisoning
+// updates with non-finite values) and every aggregate path handles the
+// fallout via partial aggregation (DESIGN.md §10).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "util/rng.h"
+
+namespace hetero {
+
+/// Knobs of the fault layer. All probabilities are per (round, client).
+/// Default-constructed options inject nothing (enabled() == false), which
+/// the executor treats as "fault layer off": the zero-fault execution path
+/// is byte-identical to a build without this layer.
+struct FaultOptions {
+  /// Client vanishes for the round before training (device offline).
+  double dropout_prob = 0.0;
+  /// Transient per-attempt failure; retried up to max_retries times with
+  /// exponential virtual backoff before the client counts as failed.
+  double fail_prob = 0.0;
+  std::size_t max_retries = 2;
+  /// Virtual backoff before retry r (0-based): retry_backoff_s * 2^r.
+  double retry_backoff_s = 0.05;
+  /// Straggler: the client's update arrives late by a virtual delay drawn
+  /// uniformly from [0, 2 * straggler_delay_s) (mean straggler_delay_s).
+  double straggler_prob = 0.0;
+  double straggler_delay_s = 1.0;
+  /// Per-client round deadline in virtual seconds; a straggler whose delay
+  /// exceeds it is dropped as timed out. 0 disables the deadline.
+  double timeout_s = 0.0;
+  /// Corrupt update: one coordinate of the returned tensor payload is
+  /// poisoned with NaN/+Inf/-Inf after local training. validate_update()
+  /// quarantines such updates before they can reach the global model.
+  double corrupt_prob = 0.0;
+  /// Partial-aggregation floor: a round with fewer usable updates aborts
+  /// gracefully (global model untouched). Clamped to at least 1.
+  std::size_t min_clients = 1;
+  /// Seed of the fault stream. Deliberately independent of the simulation
+  /// seed so fault scenarios can be re-rolled without perturbing training.
+  std::uint64_t seed = 0xFA17u;
+
+  /// True when any injection probability is positive. min_clients and
+  /// update validation are active regardless (they also guard against
+  /// organically non-finite updates).
+  bool enabled() const {
+    return dropout_prob > 0.0 || fail_prob > 0.0 || straggler_prob > 0.0 ||
+           corrupt_prob > 0.0;
+  }
+};
+
+/// Parses an HS_FAULTS-style spec: comma-separated key=value pairs over
+/// the keys drop, fail, retries, backoff, straggle, delay, timeout,
+/// corrupt, min, seed (e.g. "drop=0.1,corrupt=0.05,min=2"). Unknown keys
+/// or malformed pairs throw std::invalid_argument.
+FaultOptions parse_fault_spec(const std::string& spec);
+
+/// What happened to one client in one round. kOk and kStraggler produced a
+/// usable update; every other kind excluded the client from aggregation.
+enum class FaultKind : unsigned {
+  kOk = 0,
+  kStraggler = 1,    ///< usable, but arrived with injected delay
+  kDropout = 2,      ///< never started (device offline)
+  kTimeout = 3,      ///< straggler delay exceeded timeout_s
+  kFailed = 4,       ///< transient failures exhausted the retry budget
+  kQuarantined = 5,  ///< update carried non-finite values; excluded
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// The plan's verdict for one (round, client) coordinate, before execution.
+struct FaultDecision {
+  bool drop = false;              ///< dropout fires
+  std::size_t fail_attempts = 0;  ///< leading attempts that fail transiently
+  double delay_s = 0.0;           ///< injected virtual straggler delay
+  bool corrupt = false;           ///< poison the update post-training
+  int corrupt_kind = 0;           ///< 0 = NaN, 1 = +Inf, 2 = -Inf
+  std::uint64_t corrupt_pos = 0;  ///< poisoned coordinate (mod payload size)
+};
+
+/// Per-client execution outcome reported through RoundRuntime.
+struct FaultOutcome {
+  std::size_t client_id = 0;
+  FaultKind kind = FaultKind::kOk;
+  std::size_t retries = 0;  ///< retries actually consumed
+  double delay_s = 0.0;     ///< injected straggler delay (virtual seconds)
+  double backoff_s = 0.0;   ///< summed retry backoff (virtual seconds)
+};
+
+/// Deterministic fault schedule over (round, client) coordinates.
+///
+/// decide() is const and thread-safe: it forks a child stream off an
+/// immutable base Rng, so the executor may call it concurrently from any
+/// worker. The draw order inside decide() is FIXED regardless of which
+/// fault types are enabled — turning one knob never re-randomizes the
+/// decisions of another, which keeps fault ablations comparable.
+class FaultPlan {
+ public:
+  explicit FaultPlan(const FaultOptions& options);
+
+  FaultDecision decide(std::size_t round, std::size_t client) const;
+  const FaultOptions& options() const { return options_; }
+
+ private:
+  FaultOptions options_;
+  Rng base_;
+};
+
+}  // namespace hetero

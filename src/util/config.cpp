@@ -50,6 +50,7 @@ BenchConfig BenchConfig::from_env() {
       std::max<std::int64_t>(0, env_int("HS_THREADS", 0)));
   cfg.trace_path = env_string("HS_TRACE").value_or("");
   cfg.trace_timings = env_int("HS_TRACE_TIMINGS", 1) != 0;
+  cfg.fault_spec = env_string("HS_FAULTS").value_or("");
   return cfg;
 }
 

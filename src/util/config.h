@@ -11,6 +11,10 @@
 //   HS_TRACE   : JSONL trace output path (unset = tracing off)
 //   HS_TRACE_TIMINGS : 0 drops wall-clock fields from the trace, making it
 //                      byte-identical across thread counts (default 1)
+//   HS_FAULTS  : fault-injection spec, e.g. "drop=0.1,corrupt=0.05,min=2"
+//                (unset = no faults). Kept as an opaque string here — the
+//                util layer cannot depend on runtime/faults.h; use sites
+//                parse it with parse_fault_spec().
 #pragma once
 
 #include <cstdint>
@@ -40,6 +44,9 @@ struct BenchConfig {
   std::string trace_path;
   /// Include wall-clock fields in traces (HS_TRACE_TIMINGS, default on).
   bool trace_timings = true;
+  /// Fault-injection spec (HS_FAULTS); empty = faults disabled. Parse with
+  /// parse_fault_spec() from runtime/faults.h at the use site.
+  std::string fault_spec;
 
   /// Picks rounds: explicit HS_ROUNDS wins, otherwise smoke/paper default.
   std::int64_t pick_rounds(std::int64_t smoke, std::int64_t paper) const;

@@ -30,7 +30,8 @@ double RunningStats::sample_variance() const {
 
 double RunningStats::stddev() const { return std::sqrt(variance()); }
 
-Ema::Ema(double alpha) : alpha_(alpha) {
+Ema::Ema(double alpha, double empty_value)
+    : alpha_(alpha), empty_value_(empty_value) {
   assert(alpha > 0.0 && alpha <= 1.0);
 }
 
@@ -43,9 +44,7 @@ void Ema::update(double x) {
   }
 }
 
-double Ema::value() const {
-  return initialized_ ? value_ : std::numeric_limits<double>::infinity();
-}
+double Ema::value() const { return initialized_ ? value_ : empty_value_; }
 
 void Ema::reset() {
   initialized_ = false;

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstddef>
+#include <limits>
 #include <vector>
 
 namespace hetero {
@@ -36,11 +37,16 @@ class RunningStats {
 ///
 /// This is exactly the paper's eq. (1) for the aggregated-loss EMA L_EMA,
 /// with smoothing factor alpha (paper uses alpha = 0.9). Before the first
-/// update the EMA is "empty": value() returns `empty_value` (defaults to
-/// +infinity so that no client is flagged as biased in round 0).
+/// update the EMA is "empty": value() returns `empty_value` (default
+/// +infinity). Callers comparing "loss < value()" must handle the empty
+/// case explicitly — against +infinity the comparison is vacuously true
+/// for every finite loss, which is rarely the intended round-0 behavior
+/// (HeteroSwitch keeps its switches off until the EMA is seeded; see
+/// HeteroSwitchOptions::switch_on_unseeded_ema).
 class Ema {
  public:
-  explicit Ema(double alpha = 0.9);
+  explicit Ema(double alpha = 0.9,
+               double empty_value = std::numeric_limits<double>::infinity());
 
   void update(double x);
   bool initialized() const { return initialized_; }
@@ -50,6 +56,7 @@ class Ema {
 
  private:
   double alpha_;
+  double empty_value_;
   double value_ = 0.0;
   bool initialized_ = false;
 };

@@ -258,11 +258,9 @@ LocalTrainConfig fast_cfg() {
 }
 
 TEST(HeteroSwitch, NoSwitchInFirstRound) {
-  // Round 0: L_EMA is +inf... wait, L_init < inf is always true. Per the
-  // paper, an uninitialized EMA means *no* bias evidence yet; our Ema
-  // returns +inf so Switch_1 fires. Verify the actual semantics: the EMA is
-  // infinite, so every finite L_init triggers Switch_1. This matches
-  // Algorithm 1 literally (comparison against the EMA of previous rounds).
+  // Round 0: the EMA is unseeded, so there is no bias evidence yet. The
+  // default keeps both switches off (round 0 is plain FedAvg) instead of
+  // letting L_init < +inf fire Switch_1 for every client vacuously.
   auto model = tiny_model(60);
   std::vector<Dataset> clients = {easy_data(8, 61)};
   HeteroSwitch algo(fast_cfg(), HeteroSwitchOptions{});
@@ -270,8 +268,24 @@ TEST(HeteroSwitch, NoSwitchInFirstRound) {
   EXPECT_TRUE(std::isinf(algo.ema_loss()));
   Rng rng(62);
   algo.run_round(*model, {0}, clients, rng);
-  EXPECT_EQ(algo.switch1_activations(), 1u);  // L_init < inf
+  EXPECT_EQ(algo.switch1_activations(), 0u);  // unseeded EMA: no signal
+  EXPECT_EQ(algo.switch2_activations(), 0u);
   EXPECT_FALSE(std::isinf(algo.ema_loss()));  // EMA initialized
+}
+
+TEST(HeteroSwitch, UnseededEmaOptionRestoresLegacyFirstRound) {
+  // switch_on_unseeded_ema = true restores the literal Algorithm 1
+  // comparison, where the empty EMA reads +inf and Switch_1 fires for
+  // every client in round 0.
+  auto model = tiny_model(60);
+  std::vector<Dataset> clients = {easy_data(8, 61)};
+  HeteroSwitchOptions opts;
+  opts.switch_on_unseeded_ema = true;
+  HeteroSwitch algo(fast_cfg(), opts);
+  algo.init(*model, 1);
+  Rng rng(62);
+  algo.run_round(*model, {0}, clients, rng);
+  EXPECT_EQ(algo.switch1_activations(), 1u);  // L_init < +inf
 }
 
 TEST(HeteroSwitch, SwitchRespondsToLowLoss) {

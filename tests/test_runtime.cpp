@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <sstream>
 #include <stdexcept>
@@ -79,6 +80,56 @@ void expect_same_metrics(const DeviceMetrics& a, const DeviceMetrics& b) {
   EXPECT_EQ(a.variance, b.variance);
   EXPECT_EQ(a.worst_case, b.worst_case);
 }
+
+// Minimal serial-only algorithm (as_split() == nullptr): sample-weighted
+// FedAvg with its own serial client loop. Every library algorithm is split
+// now, so this stub keeps the executor's serial-fallback path under test.
+class SerialOnlyFedAvg : public FederatedAlgorithm {
+ public:
+  explicit SerialOnlyFedAvg(LocalTrainConfig cfg) : cfg_(cfg) {}
+  std::string name() const override { return "SerialOnlyFedAvg"; }
+
+ protected:
+  RoundStats do_run_round(Model& model,
+                          const std::vector<std::size_t>& selected,
+                          const std::vector<Dataset>& client_data, Rng& rng,
+                          RoundContext& ctx) override {
+    const Tensor global = model.state();
+    std::vector<ClientUpdate> updates;
+    updates.reserve(selected.size());
+    for (std::size_t i = 0; i < selected.size(); ++i) {
+      const std::size_t id = selected[i];
+      const Dataset& data = client_data.at(id);
+      model.set_state(global);
+      Rng client_rng = rng.fork(id);
+      const auto t0 = std::chrono::steady_clock::now();
+      const float loss = local_train(model, data, cfg_, client_rng);
+      ClientUpdate u;
+      u.client_id = id;
+      u.state = model.state();
+      u.weight = static_cast<double>(data.size());
+      u.train_loss = static_cast<double>(loss);
+      u.train_seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+              .count();
+      ctx.finish_client(u, i);
+      updates.push_back(std::move(u));
+    }
+    RoundStats stats = summarize_updates(updates, model.state_size());
+    std::vector<Tensor> states;
+    std::vector<double> weights;
+    for (ClientUpdate& u : updates) {
+      states.push_back(std::move(u.state));
+      weights.push_back(u.weight);
+    }
+    Tensor avg = weighted_average_states(states, weights);
+    model.set_state(avg);
+    return stats;
+  }
+
+ private:
+  LocalTrainConfig cfg_;
+};
 
 // -------------------------------------------------------------- ThreadPool --
 
@@ -248,14 +299,43 @@ TEST(Determinism, ScaffoldBitIdenticalAcrossThreadCounts) {
 }
 
 TEST(Determinism, SerialOnlyAlgorithmFallsBackAndStaysDeterministic) {
-  // DpFedAvg keeps a serial server-side noise stream (as_split() == null);
-  // the executor must run it unchanged regardless of the thread budget.
+  // A serial-only algorithm (as_split() == null) must run unchanged
+  // regardless of the thread budget.
+  SerialOnlyFedAvg s1(fast_cfg());
+  SerialOnlyFedAvg s4(fast_cfg());
+  EXPECT_EQ(s1.as_split(), nullptr);
+  const SimulationResult r1 = run_sim(s1, 1, 66);
+  const SimulationResult r4 = run_sim(s4, 4, 66);
+  for (std::size_t t = 0; t < r1.train_loss_history.size(); ++t) {
+    EXPECT_EQ(r1.train_loss_history[t], r4.train_loss_history[t]);
+  }
+  expect_same_metrics(r1.final_metrics, r4.final_metrics);
+}
+
+TEST(Determinism, DpFedAvgBitIdenticalAcrossThreadCounts) {
+  // DP-FedAvg is split now: clients clip in parallel while the server noise
+  // stream stays serial, so results must replay for any thread count.
   DpOptions opts;
   DpFedAvg d1(fast_cfg(), opts);
   DpFedAvg d4(fast_cfg(), opts);
-  EXPECT_EQ(d1.as_split(), nullptr);
+  EXPECT_NE(d1.as_split(), nullptr);
   const SimulationResult r1 = run_sim(d1, 1, 66);
   const SimulationResult r4 = run_sim(d4, 4, 66);
+  for (std::size_t t = 0; t < r1.train_loss_history.size(); ++t) {
+    EXPECT_EQ(r1.train_loss_history[t], r4.train_loss_history[t]);
+  }
+  expect_same_metrics(r1.final_metrics, r4.final_metrics);
+}
+
+TEST(Determinism, CompressedFedAvgBitIdenticalAcrossThreadCounts) {
+  // The error-feedback residuals are read in the client phase and written
+  // in the serial aggregate; replay must be exact across thread counts.
+  CompressionOptions opts;
+  CompressedFedAvg c1(fast_cfg(), opts);
+  CompressedFedAvg c4(fast_cfg(), opts);
+  EXPECT_NE(c1.as_split(), nullptr);
+  const SimulationResult r1 = run_sim(c1, 1, 67);
+  const SimulationResult r4 = run_sim(c4, 4, 67);
   for (std::size_t t = 0; t < r1.train_loss_history.size(); ++t) {
     EXPECT_EQ(r1.train_loss_history[t], r4.train_loss_history[t]);
   }
@@ -472,8 +552,7 @@ TEST(Observer, EvalFiresAtCheckpointsAndFinal) {
 TEST(Observer, SerialFallbackIsFlaggedAndTimed) {
   // Serial-only algorithms (no split phase) must still report per-client
   // wall time and raise the serial_fallback flag.
-  DpOptions dp_opts;
-  DpFedAvg dp(fast_cfg(), dp_opts);
+  SerialOnlyFedAvg stub(fast_cfg());
   RecordingObserver rec;
   {
     auto model = tiny_model(96);
@@ -484,7 +563,7 @@ TEST(Observer, SerialFallbackIsFlaggedAndTimed) {
     sim.seed = 96;
     sim.num_threads = 4;
     sim.observer = &rec;
-    const SimulationResult r = run_simulation(*model, dp, pop, sim);
+    const SimulationResult r = run_simulation(*model, stub, pop, sim);
     EXPECT_TRUE(r.runtime.serial_fallback);
     EXPECT_GT(r.runtime.client_seconds_sum, 0.0);
     EXPECT_GT(r.runtime.client_seconds_max, 0.0);
@@ -493,6 +572,22 @@ TEST(Observer, SerialFallbackIsFlaggedAndTimed) {
   // 2 rounds x (begin + 3 clients + end) + final eval.
   EXPECT_EQ(rec.log.size(), 2u * 5u + 1u);
 
+  // DP-FedAvg and CompressedFedAvg ride the split path now: the executor
+  // must run them parallel without raising the flag.
+  DpOptions dp_opts;
+  DpFedAvg dp(fast_cfg(), dp_opts);
+  {
+    auto model = tiny_model(97);
+    FlPopulation pop = synthetic_population(6, 500);
+    SimulationConfig sim;
+    sim.rounds = 1;
+    sim.clients_per_round = 3;
+    sim.seed = 97;
+    sim.num_threads = 4;
+    const SimulationResult r = run_simulation(*model, dp, pop, sim);
+    EXPECT_FALSE(r.runtime.serial_fallback);
+    EXPECT_GT(r.runtime.client_seconds_sum, 0.0);
+  }
   CompressionOptions comp_opts;
   CompressedFedAvg comp(fast_cfg(), comp_opts);
   {
@@ -504,7 +599,7 @@ TEST(Observer, SerialFallbackIsFlaggedAndTimed) {
     sim.seed = 97;
     sim.num_threads = 4;
     const SimulationResult r = run_simulation(*model, comp, pop, sim);
-    EXPECT_TRUE(r.runtime.serial_fallback);
+    EXPECT_FALSE(r.runtime.serial_fallback);
     EXPECT_GT(r.runtime.client_seconds_sum, 0.0);
   }
 

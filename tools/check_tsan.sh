@@ -8,7 +8,9 @@
 # ClientExecutor paths, which is where any data race in the client fan-out
 # would surface; the kernel tests run tiled-kernel training steps across
 # thread counts on top of them (isa.h compiles the ifunc clones out under
-# TSan, so the baseline code paths are what gets checked).
+# TSan, so the baseline code paths are what gets checked). The fault tests
+# add concurrent FaultPlan::decide calls and the fault-aware disposition
+# pass to the raced surface.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -18,11 +20,11 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHETERO_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j "$(nproc)" --target test_runtime test_kernels
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target test_runtime test_kernels test_faults
 
 # halt_on_error makes a race fail the run instead of just logging it.
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
-  ctest --test-dir "${BUILD_DIR}" -R '^(test_runtime|test_kernels)$' \
+  ctest --test-dir "${BUILD_DIR}" -R '^(test_runtime|test_kernels|test_faults)$' \
   --output-on-failure "$@"
 
 echo "TSan check passed."

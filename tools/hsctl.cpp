@@ -28,6 +28,7 @@
 #include "hetero/heteroswitch.h"
 #include "image/ppm.h"
 #include "nn/model_zoo.h"
+#include "runtime/faults.h"
 #include "scene/scene_gen.h"
 #include "util/rng.h"
 #include "util/table.h"
@@ -237,8 +238,13 @@ int cmd_fl(const Args& args) {
     std::printf(
         "hsctl fl [--method M] [--rounds T] [--clients N] [--per-round K] "
         "[--seed S]\n"
+        "         [--faults SPEC] [--min-clients N]\n"
         "Methods: fedavg heteroswitch qfedavg fedprox scaffold fedavgm "
-        "dpfedavg compressed\n");
+        "dpfedavg compressed\n"
+        "Faults:  SPEC is key=value pairs, e.g. "
+        "drop=0.1,straggle=0.2,corrupt=0.05\n"
+        "         (keys: drop fail retries backoff straggle delay timeout "
+        "corrupt min seed)\n");
     return 0;
   }
   const std::string method = args.get("method", "heteroswitch");
@@ -246,6 +252,9 @@ int cmd_fl(const Args& args) {
   const auto n_clients = static_cast<std::size_t>(args.get_int("clients", 30));
   const auto k = static_cast<std::size_t>(args.get_int("per-round", 8));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  FaultOptions faults = parse_fault_spec(args.get("faults", ""));
+  faults.min_clients = static_cast<std::size_t>(
+      args.get_int("min-clients", static_cast<long>(faults.min_clients)));
 
   SceneGenerator scenes(64);
   Rng root(seed);
@@ -303,11 +312,20 @@ int cmd_fl(const Args& args) {
   sim.rounds = rounds;
   sim.clients_per_round = k;
   sim.seed = seed + 3;
+  sim.faults = faults;
   ProgressObserver progress;
   sim.observer = &progress;
   const SimulationResult r = run_simulation(*model, *algo, pop, sim);
 
   std::printf("\n%s after %zu rounds:\n", algo->name().c_str(), rounds);
+  if (faults.enabled()) {
+    std::printf(
+        "faults: dropped %zu  quarantined %zu  straggled %zu  retries %zu  "
+        "aborted rounds %zu\n",
+        r.runtime.clients_dropped, r.runtime.clients_quarantined,
+        r.runtime.clients_straggled, r.runtime.fault_retries,
+        r.runtime.rounds_aborted);
+  }
   Table table({"Device", "Accuracy"});
   for (std::size_t d = 0; d < pop.device_names.size(); ++d) {
     table.add_row({pop.device_names[d],

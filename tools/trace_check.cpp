@@ -8,11 +8,15 @@
 //   * "seq" starts at 0 for every run and increases by exactly 1;
 //   * event payloads carry their required fields with the right JSON types
 //     (round_begin: round/k/clients; client_end: round/client/order/weight/
-//     loss/flags/bytes; round_end: round/loss/loss_min/loss_max/clients/
-//     weight/bytes_up/bytes_down; eval: round/average/variance/worst_case/
-//     devices/per_device; run_begin: label);
+//     loss/flags/bytes and an optional "fault" kind; round_end: round/loss/
+//     loss_min/loss_max/clients/weight/bytes_up/bytes_down; eval: round/
+//     average/variance/worst_case/devices/per_device; run_begin: label);
 //   * every round's client_end count and order fields match the
-//     round_begin's k (0..k-1, in order);
+//     round_begin's k (0..k-1, in order) — excluded clients still get an
+//     event, carrying their fault kind;
+//   * round_end's "clients" equals k minus the excluded clients announced
+//     by the optional "fault.dropped" / "fault.quarantined" extras (both
+//     default 0, so fault-free traces keep clients == k);
 //   * loss_min <= loss <= loss_max on round_end.
 // Then prints a summary with per-round and per-client latency percentiles
 // (when the trace carries timing fields; HS_TRACE_TIMINGS=0 omits them).
@@ -159,6 +163,12 @@ int main(int argc, char** argv) {
       check.num(obj, "loss");
       check.num(obj, "flags");
       check.num(obj, "bytes");
+      // Optional fault disposition (FaultKind; only emitted when non-zero).
+      double fault = 0.0;
+      if (check.opt_num(obj, "fault", &fault) &&
+          (fault < 1.0 || fault > 5.0)) {
+        check.fail("client_end fault kind out of range");
+      }
       const double order = check.num(obj, "order");
       if (order != clients_seen) {
         check.fail("client_end order " + std::to_string(order) +
@@ -174,8 +184,13 @@ int main(int argc, char** argv) {
       if (check.num(obj, "round") != round_id) {
         check.fail("round_end round mismatch");
       }
-      if (check.num(obj, "clients") != round_k) {
-        check.fail("round_end clients != round_begin k");
+      // Excluded clients (dropout/timeout/failed + quarantined) are
+      // announced in the fault extras; absent extras mean none excluded.
+      double f_dropped = 0.0, f_quarantined = 0.0;
+      check.opt_num(obj, "fault.dropped", &f_dropped);
+      check.opt_num(obj, "fault.quarantined", &f_quarantined);
+      if (check.num(obj, "clients") != round_k - f_dropped - f_quarantined) {
+        check.fail("round_end clients != k minus excluded clients");
       }
       if (clients_seen != round_k) {
         check.fail("round saw " + std::to_string(clients_seen) +
