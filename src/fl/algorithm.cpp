@@ -107,6 +107,15 @@ RoundStats FederatedAlgorithm::run_round(
   return do_run_round(model, selected, client_data, rng, ctx ? *ctx : local);
 }
 
+double FederatedAlgorithm::staleness_weight(std::size_t staleness,
+                                            double exponent) const {
+  // s == 0 (and exponent == 0) must return exactly 1.0 — not pow's
+  // approximation of it — so a zero-staleness flush multiplies weights by
+  // the identity and stays bit-identical to sync FedAvg aggregation.
+  if (staleness == 0 || exponent == 0.0) return 1.0;
+  return std::pow(1.0 + static_cast<double>(staleness), -exponent);
+}
+
 // ------------------------------------------------- SplitFederatedAlgorithm
 
 RoundStats SplitFederatedAlgorithm::do_run_round(

@@ -55,6 +55,12 @@ struct RoundStats {
   /// Wall time of the whole round (fan-out + aggregate); filled by the
   /// executor, NOT deterministic.
   double round_seconds = 0.0;
+  /// Virtual time of the round: the simulated makespan (slowest client's
+  /// injected delay + backoff + modeled compute) for sync rounds, or the
+  /// virtual-clock span of the flush window for scheduled runs. Unlike
+  /// round_seconds this is deterministic (DESIGN.md §11); 0 when no
+  /// virtual time passed.
+  double virtual_seconds = 0.0;
   /// Algorithm-specific scalars keyed by a namespaced name (for example
   /// "hs.switch1", "dp.noise_stddev", "scaffold.c_global_norm"). A sorted
   /// map so traces list extras in a stable order. Adding a new scalar
@@ -90,6 +96,15 @@ class FederatedAlgorithm {
   /// serial cross-client state (e.g. a shared noise stream) return nullptr
   /// and always run their own round serially.
   virtual SplitFederatedAlgorithm* as_split() { return nullptr; }
+
+  /// Staleness decay applied by the async/buffered event scheduler to an
+  /// update that arrives `staleness` server versions after its dispatch
+  /// (FedAsync; DESIGN.md §11): the aggregation weight is multiplied by
+  /// f(s) = (1 + s)^-exponent. The default guarantees f(0) == 1 exactly,
+  /// so zero-staleness updates keep their sync FedAvg weight bit-for-bit;
+  /// algorithms may override for other decay families.
+  virtual double staleness_weight(std::size_t staleness,
+                                  double exponent) const;
 
   virtual std::string name() const = 0;
 

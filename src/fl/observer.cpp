@@ -97,6 +97,16 @@ void TracingObserver::on_client_end(std::size_t round,
   // Emitted only when a fault fired so zero-fault traces are byte-identical
   // to traces from builds without the fault layer.
   if (client.fault != 0) b.add("fault", static_cast<std::uint64_t>(client.fault));
+  // Virtual-clock fields (deterministic — emitted regardless of the
+  // timings flag). "vseconds" appears only when the client occupied
+  // virtual time; the scheduler provenance trio only for scheduled runs,
+  // so sync traces stay byte-identical to pre-scheduler builds.
+  if (client.virtual_seconds > 0.0) b.add("vseconds", client.virtual_seconds);
+  if (client.scheduled) {
+    b.add("vt", client.virtual_time);
+    b.add("version", client.version);
+    b.add("staleness", static_cast<std::uint64_t>(client.staleness));
+  }
   if (tracer_.include_timings()) b.add("seconds", client.train_seconds);
   tracer_.write(b);
 }
@@ -111,6 +121,10 @@ void TracingObserver::on_round_end(std::size_t round, const RoundStats& stats) {
   b.add("weight", stats.weight_sum);
   b.add("bytes_up", static_cast<std::uint64_t>(stats.bytes_up));
   b.add("bytes_down", static_cast<std::uint64_t>(stats.bytes_down));
+  // Virtual round makespan — deterministic, so emitted independent of the
+  // timings flag, but only when virtual time actually passed (clean sync
+  // rounds stay byte-identical to pre-scheduler traces).
+  if (stats.virtual_seconds > 0.0) b.add("vseconds", stats.virtual_seconds);
   // std::map iterates keys sorted, keeping the emitted field order stable.
   for (const auto& [key, value] : stats.extras) b.add(key, value);
   if (tracer_.include_timings()) b.add("seconds", stats.round_seconds);
@@ -140,6 +154,13 @@ void MetricsObserver::on_client_end(std::size_t /*round*/,
                                     const ClientObservation& client) {
   registry_.histogram("fl.client_loss").observe(client.train_loss);
   registry_.histogram("fl.client_seconds").observe(client.train_seconds);
+  if (client.virtual_seconds > 0.0) {
+    registry_.histogram("fl.client_vseconds").observe(client.virtual_seconds);
+  }
+  if (client.scheduled) {
+    registry_.histogram("fl.client_staleness")
+        .observe(static_cast<double>(client.staleness));
+  }
   if (client.fault != 0) registry_.counter("fl.client_faults").add(1);
 }
 

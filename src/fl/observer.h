@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -45,12 +46,24 @@ struct ClientObservation {
   unsigned flags = 0;           ///< algorithm-specific bits (e.g. switches)
   std::size_t update_bytes = 0; ///< uplink payload estimate (state + aux)
   double train_seconds = 0.0;   ///< wall time; NOT deterministic
+  /// Virtual seconds this client occupied the simulated timeline: injected
+  /// straggler delay + retry backoff + modeled compute time (timeout_s for
+  /// timed-out clients). Deterministic, unlike train_seconds, so
+  /// TracingObserver emits it even with timings off — but only when
+  /// non-zero, keeping delay-free traces byte-identical to older builds.
+  double virtual_seconds = 0.0;
   /// Fault disposition of this client (a FaultKind value; see
   /// runtime/faults.h). 0 = clean update; non-zero marks a straggler or a
   /// client whose update was excluded from aggregation. TracingObserver
   /// only emits the field when non-zero, so zero-fault traces stay
   /// byte-identical to builds without the fault layer.
   unsigned fault = 0;
+  /// Event-scheduler provenance (DESIGN.md §11); only meaningful when
+  /// `scheduled` is set, and only then do the trace fields appear.
+  bool scheduled = false;
+  double virtual_time = 0.0;    ///< virtual timestamp of the commit
+  std::uint64_t version = 0;    ///< server model version trained against
+  std::size_t staleness = 0;    ///< server versions committed since dispatch
 };
 
 /// Builds the scalar view of a ClientUpdate (update_bytes honours

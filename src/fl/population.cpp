@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "runtime/sched/delay_model.h"
 #include "util/rng.h"
 
 namespace hetero {
@@ -37,6 +38,7 @@ FlPopulation build_population(const std::vector<DeviceProfile>& devices,
   FlPopulation pop;
   pop.device_names.reserve(devices.size());
   for (const auto& d : devices) pop.device_names.push_back(d.name);
+  pop.device_speed_scale = device_speed_scales(devices);
 
   // Device assignment for each client.
   std::vector<double> shares;
@@ -94,6 +96,7 @@ FlPopulation build_flair_population(const std::vector<DeviceProfile>& devices,
   HS_CHECK(num_clients > 0, "build_flair_population: no clients");
   FlPopulation pop;
   for (const auto& d : devices) pop.device_names.push_back(d.name);
+  pop.device_speed_scale = device_speed_scales(devices);
 
   std::vector<double> shares;
   for (const auto& d : devices) shares.push_back(d.market_share);

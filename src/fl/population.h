@@ -23,6 +23,11 @@ struct FlPopulation {
   std::vector<std::size_t> client_device;   ///< device index per client
   std::vector<Dataset> device_test;         ///< held-out set per device type
   std::vector<std::string> device_names;
+  /// Relative compute slowdown per device type, derived from the profile's
+  /// performance tier (tier_speed_scale; H < M < L). Drives the event
+  /// scheduler's DelayModel and, with HS_FAULTS "tiers=1", stretches
+  /// injected straggler delays per hardware class. Empty = homogeneous.
+  std::vector<double> device_speed_scale;
 };
 
 /// How clients are assigned device types.

@@ -2,10 +2,92 @@
 
 #include "fl/eval.h"
 #include "runtime/client_executor.h"
+#include "runtime/sched/scheduler.h"
 #include "util/rng.h"
 #include "util/stats.h"
 
 namespace hetero {
+namespace {
+
+/// Per-client delay/compute scale: device_speed_scale indexed through
+/// client_device. Empty when the population carries no speed tiers.
+std::vector<double> client_speed_scales(const FlPopulation& pop) {
+  if (pop.device_speed_scale.empty()) return {};
+  std::vector<double> scales;
+  scales.reserve(pop.client_device.size());
+  for (std::size_t dev : pop.client_device) {
+    scales.push_back(dev < pop.device_speed_scale.size()
+                         ? pop.device_speed_scale[dev]
+                         : 1.0);
+  }
+  return scales;
+}
+
+/// Runs the async/buffered virtual-clock scheduler (DESIGN.md §11) and
+/// maps its accounting into SimulationResult. `rounds` counts server
+/// flushes; eval checkpoints fire on the same eval_every grid as sync.
+SimulationResult run_scheduled(Model& model, SplitFederatedAlgorithm& split,
+                               const FlPopulation& population,
+                               const SimulationConfig& cfg,
+                               RoundObserver* observer) {
+  EventScheduler sched(cfg.num_threads, cfg.sched);
+
+  FaultOptions faults = cfg.faults;
+  const std::vector<double> scales = client_speed_scales(population);
+  if (faults.device_tier_delays) faults.client_delay_scale = scales;
+  sched.set_faults(faults);
+
+  DelayModel delays;
+  delays.base_compute_s = cfg.sched.base_compute_s;
+  delays.jitter_frac = 0.1;
+  delays.client_scale = scales;
+  delays.client_work.reserve(population.client_train.size());
+  for (const Dataset& d : population.client_train) {
+    delays.client_work.push_back(static_cast<double>(d.size()));
+  }
+  sched.set_delay_model(std::move(delays));
+
+  SimulationResult result;
+  auto on_flush = [&](std::size_t done) {
+    if (cfg.eval_every > 0 && done % cfg.eval_every == 0 &&
+        done < cfg.rounds) {
+      DeviceMetrics checkpoint = evaluate_per_device(model, population);
+      if (observer) observer->on_eval(done, checkpoint);
+      result.checkpoints.emplace_back(done, std::move(checkpoint));
+    }
+  };
+
+  Rng rng(cfg.seed);
+  split.init(model, population.client_train.size());
+  SchedulerRunResult run =
+      sched.run(model, split, cfg.rounds, cfg.clients_per_round,
+                population.client_train, rng, observer, on_flush);
+
+  result.train_loss_history = std::move(run.loss_history);
+  RuntimeStats& rt = result.runtime;
+  rt.threads = sched.num_threads();
+  rt.total_seconds = run.total_seconds;
+  rt.round_seconds = std::move(run.flush_seconds);
+  rt.virtual_seconds = run.virtual_seconds;
+  rt.round_virtual_seconds = std::move(run.flush_virtual_seconds);
+  rt.client_seconds_sum = run.client_seconds_sum;
+  rt.client_seconds_max = run.client_seconds_max;
+  rt.clients_dropped = run.clients_dropped;
+  rt.clients_quarantined = run.clients_quarantined;
+  rt.clients_straggled = run.clients_straggled;
+  rt.fault_retries = run.fault_retries;
+  rt.rounds_aborted = run.flushes_aborted;
+  rt.clients_dispatched = run.clients_dispatched;
+  rt.updates_committed = run.updates_committed;
+  rt.staleness_max = run.staleness_max;
+  rt.staleness_mean =
+      run.updates_committed > 0
+          ? run.staleness_sum / static_cast<double>(run.updates_committed)
+          : 0.0;
+  return result;
+}
+
+}  // namespace
 
 DeviceMetrics evaluate_per_device(Model& model, const FlPopulation& pop) {
   HS_CHECK(!pop.device_test.empty(), "evaluate_per_device: no test sets");
@@ -30,10 +112,6 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
   HS_CHECK(cfg.clients_per_round > 0 &&
                cfg.clients_per_round <= population.client_train.size(),
            "run_simulation: bad clients_per_round");
-  Rng rng(cfg.seed);
-  algorithm.init(model, population.client_train.size());
-  ClientExecutor executor(cfg.num_threads);
-  executor.set_faults(cfg.faults);
 
   // Fan telemetry out to the configured observer and, for compatibility,
   // the deprecated on_round callback wrapped as an observer.
@@ -45,6 +123,29 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
     fanout.add(legacy.get());
   }
   RoundObserver* observer = fanout.empty() ? nullptr : &fanout;
+
+  if (cfg.sched.scheduled()) {
+    // Async / buffered modes run on the virtual-clock event scheduler.
+    // Sync deliberately does NOT: the loop below is the original path, so
+    // sync output stays byte-identical to pre-scheduler builds.
+    SplitFederatedAlgorithm* split = algorithm.as_split();
+    HS_CHECK(split != nullptr,
+             "run_simulation: scheduled modes require a split algorithm");
+    SimulationResult result =
+        run_scheduled(model, *split, population, cfg, observer);
+    result.final_metrics = evaluate_per_device(model, population);
+    if (observer) observer->on_eval(cfg.rounds, result.final_metrics);
+    return result;
+  }
+
+  Rng rng(cfg.seed);
+  algorithm.init(model, population.client_train.size());
+  ClientExecutor executor(cfg.num_threads);
+  FaultOptions faults = cfg.faults;
+  if (faults.device_tier_delays) {
+    faults.client_delay_scale = client_speed_scales(population);
+  }
+  executor.set_faults(faults);
 
   SimulationResult result;
   result.train_loss_history.reserve(cfg.rounds);
@@ -63,6 +164,9 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
                            round_rng, &round_runtime, &ctx);
     result.runtime.round_seconds.push_back(round_runtime.round_seconds);
     result.runtime.total_seconds += round_runtime.round_seconds;
+    result.runtime.round_virtual_seconds.push_back(
+        round_runtime.virtual_seconds);
+    result.runtime.virtual_seconds += round_runtime.virtual_seconds;
     result.runtime.client_seconds_sum += round_runtime.client_seconds_sum;
     result.runtime.client_seconds_max = std::max(
         result.runtime.client_seconds_max, round_runtime.client_seconds_max);

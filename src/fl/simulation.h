@@ -10,6 +10,7 @@
 #include "fl/population.h"
 #include "nn/model.h"
 #include "runtime/faults.h"
+#include "runtime/sched/sched_options.h"
 
 namespace hetero {
 
@@ -49,13 +50,27 @@ struct SimulationConfig {
   /// byte-identical to a run without the fault layer. Populated from
   /// HS_FAULTS by the benches/CLI via parse_fault_spec.
   FaultOptions faults;
+  /// Virtual-clock event scheduling (DESIGN.md §11). The default (sync)
+  /// keeps the original round loop — byte-identical to pre-scheduler
+  /// builds; async/buffered modes route rounds through the EventScheduler
+  /// (requires a split algorithm). `rounds` then counts server flushes.
+  /// Populated from HS_SCHED by the benches/CLI via parse_sched_spec.
+  SchedulerOptions sched;
 };
 
-/// Wall-time accounting of one simulation run.
+/// Wall- and virtual-time accounting of one simulation run. The two clocks
+/// never mix (DESIGN.md §11): *_seconds fields are nondeterministic wall
+/// time; virtual_* fields are deterministic simulated time (injected
+/// delays, backoffs, modeled compute).
 struct RuntimeStats {
   std::size_t threads = 1;     ///< resolved executor thread count
   double total_seconds = 0.0;  ///< wall time across all rounds
   std::vector<double> round_seconds;  ///< per-round wall time
+  /// Total virtual time: summed round makespans (sync) or the final
+  /// virtual-clock reading (scheduled modes). 0 when no virtual time passed.
+  double virtual_seconds = 0.0;
+  /// Per-round virtual makespan (sync) / per-flush clock span (scheduled).
+  std::vector<double> round_virtual_seconds;
   /// Summed / worst per-client local-training wall time. Populated on
   /// every execution path, including serial-only algorithms.
   double client_seconds_sum = 0.0;
@@ -69,6 +84,11 @@ struct RuntimeStats {
   std::size_t clients_straggled = 0;    ///< delayed but aggregated
   std::size_t fault_retries = 0;        ///< transient-failure retries used
   std::size_t rounds_aborted = 0;       ///< rounds below the min_clients floor
+  /// Scheduled-mode accounting (zero under sync).
+  std::size_t clients_dispatched = 0;  ///< total client dispatches
+  std::size_t updates_committed = 0;   ///< usable updates aggregated
+  std::size_t staleness_max = 0;       ///< worst update staleness seen
+  double staleness_mean = 0.0;         ///< mean over committed updates
 };
 
 struct SimulationResult {

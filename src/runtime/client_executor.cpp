@@ -1,9 +1,8 @@
 #include "runtime/client_executor.h"
 
+#include <algorithm>
 #include <chrono>
-#include <cmath>
 #include <exception>
-#include <limits>
 
 #include "util/rng.h"
 
@@ -16,31 +15,8 @@ double seconds_since(Clock::time_point start) {
   return std::chrono::duration<double>(Clock::now() - start).count();
 }
 
-/// Virtual backoff before 0-based retry r: retry_backoff_s * 2^r (capped
-/// exponent so absurd retry budgets cannot overflow to inf).
-double backoff_seconds(const FaultOptions& options, std::size_t retry) {
-  const int exponent = static_cast<int>(retry < 60 ? retry : 60);
-  return std::ldexp(options.retry_backoff_s, exponent);
-}
-
-/// Applies a corrupt-update decision: poisons one coordinate of the
-/// update's tensor payload with a non-finite value. Targets the state
-/// tensor when present, else aux (q-FedAvg ships its delta there); with no
-/// tensor payload at all the weight is poisoned so the update still fails
-/// validate_update.
-void poison_update(ClientUpdate& update, const FaultDecision& d) {
-  static constexpr float kPoison[3] = {
-      std::numeric_limits<float>::quiet_NaN(),
-      std::numeric_limits<float>::infinity(),
-      -std::numeric_limits<float>::infinity()};
-  const float bad = kPoison[d.corrupt_kind % 3];
-  Tensor& target = !update.state.empty() ? update.state : update.aux;
-  if (target.empty()) {
-    update.weight = static_cast<double>(bad);
-    return;
-  }
-  target[static_cast<std::size_t>(d.corrupt_pos % target.size())] = bad;
-}
+// backoff_seconds and poison_update moved to runtime/faults.cpp so the
+// event scheduler shares the exact same retry/corruption semantics.
 
 bool usable(FaultKind kind) {
   return kind == FaultKind::kOk || kind == FaultKind::kStraggler;
@@ -163,10 +139,10 @@ RoundStats ClientExecutor::run_split(Model& model,
               split.local_update(m, global, id, client_data.at(id), client_rng);
         }
         if (!failed) {
-          // Simulated elapsed time: real compute plus injected virtual
-          // delay and backoff (wall-clock-only field, never aggregated).
-          updates[i].train_seconds =
-              seconds_since(c0) + d.delay_s + out.backoff_s;
+          // Pure wall time; injected delay and backoff are reported
+          // separately as ClientObservation::virtual_seconds so the two
+          // clocks never mix (DESIGN.md §11).
+          updates[i].train_seconds = seconds_since(c0);
           out.kind = d.delay_s > 0.0 ? FaultKind::kStraggler : FaultKind::kOk;
           out.delay_s = d.delay_s;
           break;
@@ -200,6 +176,7 @@ RoundStats ClientExecutor::run_split(Model& model,
   // client_end event; excluded clients carry their fault kind with zero
   // weight (and zeroed loss, so no non-finite value reaches a trace).
   std::size_t dropped = 0, quarantined = 0, straggled = 0, retries = 0;
+  double virtual_makespan = 0.0;
   for (std::size_t i = 0; i < n; ++i) {
     FaultOutcome& out = outcomes[i];
     retries += out.retries;
@@ -212,6 +189,7 @@ RoundStats ClientExecutor::run_split(Model& model,
       case FaultKind::kStraggler:
         if (out.kind == FaultKind::kStraggler) ++straggled;
         obs = make_observation(updates[i], i);
+        obs.virtual_seconds = out.delay_s + out.backoff_s;
         break;
       case FaultKind::kQuarantined:
         ++quarantined;
@@ -221,6 +199,7 @@ RoundStats ClientExecutor::run_split(Model& model,
         obs.update_bytes =
             static_cast<std::size_t>(update_payload_bytes(updates[i]));
         obs.train_seconds = updates[i].train_seconds;
+        obs.virtual_seconds = out.delay_s + out.backoff_s;
         break;
       case FaultKind::kDropout:
       case FaultKind::kTimeout:
@@ -228,12 +207,15 @@ RoundStats ClientExecutor::run_split(Model& model,
         ++dropped;
         obs.client_id = selected[i];
         obs.order = i;
-        obs.train_seconds =
-            out.kind == FaultKind::kTimeout ? fault_options_.timeout_s
-                                            : out.backoff_s;
+        // The server stopped waiting at the deadline (timeout) or after the
+        // last backoff (failed); a dropout never occupied the timeline.
+        obs.virtual_seconds = out.kind == FaultKind::kTimeout
+                                  ? fault_options_.timeout_s
+                                  : out.backoff_s;
         break;
     }
     obs.fault = static_cast<unsigned>(out.kind);
+    virtual_makespan = std::max(virtual_makespan, obs.virtual_seconds);
     ctx.finish_client(obs);
   }
 
@@ -267,6 +249,7 @@ RoundStats ClientExecutor::run_split(Model& model,
   stats.bytes_down = static_cast<std::uint64_t>(n) *
                      static_cast<std::uint64_t>(model.state_size()) *
                      sizeof(float);
+  stats.virtual_seconds = virtual_makespan;
   if (plan_ || quarantined > 0 || aborted) {
     stats.extras["fault.dropped"] = static_cast<double>(dropped);
     stats.extras["fault.quarantined"] = static_cast<double>(quarantined);
@@ -275,6 +258,7 @@ RoundStats ClientExecutor::run_split(Model& model,
     stats.extras["fault.aborted"] = aborted ? 1.0 : 0.0;
   }
   if (runtime) {
+    runtime->virtual_seconds = virtual_makespan;
     runtime->clients_dropped = dropped;
     runtime->clients_quarantined = quarantined;
     runtime->clients_straggled = straggled;

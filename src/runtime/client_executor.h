@@ -47,6 +47,10 @@ namespace hetero {
 /// Wall-time and fault breakdown of one executed round.
 struct RoundRuntime {
   double round_seconds = 0.0;       ///< whole round, fan-out + aggregate
+  /// Virtual makespan of the round: the slowest client's injected delay +
+  /// retry backoff (+ modeled compute under the scheduler). Deterministic,
+  /// unlike round_seconds, which stays pure wall clock (DESIGN.md §11).
+  double virtual_seconds = 0.0;
   double client_seconds_sum = 0.0;  ///< summed per-client local_update time
   double client_seconds_max = 0.0;  ///< slowest single client update
   bool parallel = false;            ///< false when a serial path ran

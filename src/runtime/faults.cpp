@@ -1,7 +1,11 @@
 #include "runtime/faults.h"
 
+#include <cmath>
 #include <cstdlib>
+#include <limits>
 #include <stdexcept>
+
+#include "fl/algorithm.h"
 
 namespace hetero {
 namespace {
@@ -64,12 +68,42 @@ FaultOptions parse_fault_spec(const std::string& spec) {
       opts.min_clients = static_cast<std::size_t>(spec_uint(key, value));
     } else if (key == "seed") {
       opts.seed = spec_uint(key, value);
+    } else if (key == "tiers") {
+      opts.device_tier_delays = spec_uint(key, value) != 0;
     } else {
       throw std::invalid_argument("parse_fault_spec: unknown key \"" + key +
                                   "\"");
     }
   }
   return opts;
+}
+
+void poison_update(ClientUpdate& update, const FaultDecision& d) {
+  static constexpr float kPoison[3] = {
+      std::numeric_limits<float>::quiet_NaN(),
+      std::numeric_limits<float>::infinity(),
+      -std::numeric_limits<float>::infinity()};
+  const float bad = kPoison[d.corrupt_kind % 3];
+  Tensor& target = !update.state.empty() ? update.state : update.aux;
+  if (target.empty()) {
+    update.weight = static_cast<double>(bad);
+    return;
+  }
+  target[static_cast<std::size_t>(d.corrupt_pos % target.size())] = bad;
+}
+
+double backoff_seconds(const FaultOptions& options, std::size_t retry) {
+  const int exponent = static_cast<int>(retry < 60 ? retry : 60);
+  return std::ldexp(options.retry_backoff_s, exponent);
+}
+
+double total_backoff_seconds(const FaultOptions& options,
+                             std::size_t retries) {
+  double total = 0.0;
+  for (std::size_t r = 0; r < retries; ++r) {
+    total += backoff_seconds(options, r);
+  }
+  return total;
 }
 
 const char* fault_kind_name(FaultKind kind) {
@@ -102,6 +136,10 @@ FaultDecision FaultPlan::decide(std::size_t round, std::size_t client) const {
   const double u_corrupt = r.uniform();
   const std::uint64_t corrupt_pos = r.next_u64();
   const std::uint64_t corrupt_kind = r.uniform_int(3);
+  // Appended after the original draws (never reordered), so enabling the
+  // scheduler's compute jitter leaves every pre-existing fault stream —
+  // and the DrawOrderStableAcrossKnobs guarantee — intact.
+  const double u_jitter = r.uniform();
 
   FaultDecision d;
   d.drop = u_drop < options_.dropout_prob;
@@ -111,11 +149,18 @@ FaultDecision FaultPlan::decide(std::size_t round, std::size_t client) const {
     d.fail_attempts = 1 + static_cast<std::size_t>(fail_extra);
   }
   if (u_straggle < options_.straggler_prob) {
-    d.delay_s = u_delay * 2.0 * options_.straggler_delay_s;
+    // Device-tier scaling stretches the delay with the client's hardware
+    // class; with no scale table installed this multiplies by exactly 1
+    // and the decision is bit-identical to the unscaled plan.
+    const double scale = client < options_.client_delay_scale.size()
+                             ? options_.client_delay_scale[client]
+                             : 1.0;
+    d.delay_s = u_delay * 2.0 * options_.straggler_delay_s * scale;
   }
   d.corrupt = u_corrupt < options_.corrupt_prob;
   d.corrupt_kind = static_cast<int>(corrupt_kind);
   d.corrupt_pos = corrupt_pos;
+  d.compute_jitter = 2.0 * u_jitter - 1.0;
   return d;
 }
 

@@ -20,6 +20,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "util/rng.h"
 
@@ -55,6 +56,15 @@ struct FaultOptions {
   /// Seed of the fault stream. Deliberately independent of the simulation
   /// seed so fault scenarios can be re-rolled without perturbing training.
   std::uint64_t seed = 0xFA17u;
+  /// Derive per-client delay scales from device-profile speed tiers
+  /// ("tiers=1" in the spec): run_simulation fills client_delay_scale from
+  /// FlPopulation::device_speed_scale so straggler delays stretch with the
+  /// client's hardware class instead of one global knob.
+  bool device_tier_delays = false;
+  /// Per-client multiplier on injected straggler delays (and the virtual
+  /// compute jitter base). Empty = homogeneous 1.0. Indexed by client id;
+  /// clients beyond the vector scale by 1.0.
+  std::vector<double> client_delay_scale;
 
   /// True when any injection probability is positive. min_clients and
   /// update validation are active regardless (they also guard against
@@ -67,8 +77,9 @@ struct FaultOptions {
 
 /// Parses an HS_FAULTS-style spec: comma-separated key=value pairs over
 /// the keys drop, fail, retries, backoff, straggle, delay, timeout,
-/// corrupt, min, seed (e.g. "drop=0.1,corrupt=0.05,min=2"). Unknown keys
-/// or malformed pairs throw std::invalid_argument.
+/// corrupt, min, seed, tiers (e.g. "drop=0.1,corrupt=0.05,min=2" or
+/// "straggle=0.3,delay=2,tiers=1"). Unknown keys or malformed pairs throw
+/// std::invalid_argument.
 FaultOptions parse_fault_spec(const std::string& spec);
 
 /// What happened to one client in one round. kOk and kStraggler produced a
@@ -92,7 +103,25 @@ struct FaultDecision {
   bool corrupt = false;           ///< poison the update post-training
   int corrupt_kind = 0;           ///< 0 = NaN, 1 = +Inf, 2 = -Inf
   std::uint64_t corrupt_pos = 0;  ///< poisoned coordinate (mod payload size)
+  /// Virtual compute-time jitter in [-1, 1), consumed by the scheduler's
+  /// DelayModel. Drawn last so adding it never shifted the draws above.
+  double compute_jitter = 0.0;
 };
+
+struct ClientUpdate;
+
+/// Applies a corrupt-update decision: poisons one coordinate of the
+/// update's tensor payload (state when present, else aux, else the weight)
+/// with a non-finite value so validate_update rejects it. Shared by the
+/// round executor and the event scheduler.
+void poison_update(ClientUpdate& update, const FaultDecision& d);
+
+/// Virtual backoff before 0-based retry r: retry_backoff_s * 2^r (capped
+/// exponent so absurd retry budgets cannot overflow to inf).
+double backoff_seconds(const FaultOptions& options, std::size_t retry);
+
+/// Summed virtual backoff over the first `retries` retries.
+double total_backoff_seconds(const FaultOptions& options, std::size_t retries);
 
 /// Per-client execution outcome reported through RoundRuntime.
 struct FaultOutcome {

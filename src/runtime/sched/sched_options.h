@@ -1,0 +1,78 @@
+// Configuration of the virtual-clock event scheduler (DESIGN.md §11).
+//
+// Three server aggregation disciplines share one discrete-event core:
+//   kSync     — today's synchronous FedAvg loop. The scheduler is bypassed
+//               entirely (run_simulation keeps its original round loop), so
+//               sync results and traces stay byte-identical to pre-scheduler
+//               builds.
+//   kAsync    — FedAsync-style: the server folds every arriving update as
+//               soon as it commits (buffer == 1), scaled by a staleness
+//               decay on the model-version delta.
+//   kBuffered — FedBuff-style: arrivals accumulate and the server flushes
+//               every `buffer` terminal client outcomes. buffer == k with
+//               wave sampling and zero delays degenerates to sync FedAvg
+//               (asserted in tests/test_sched.cpp).
+//
+// This header is include-light on purpose: fl/simulation.h embeds
+// SchedulerOptions in SimulationConfig.
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace hetero {
+
+enum class SchedMode {
+  kSync = 0,
+  kAsync = 1,
+  kBuffered = 2,
+};
+
+const char* sched_mode_name(SchedMode mode);
+
+/// Knobs of the event scheduler. Defaults select sync mode, which leaves
+/// every existing execution path untouched.
+struct SchedulerOptions {
+  SchedMode mode = SchedMode::kSync;
+  /// Buffered mode: flush after this many terminal client outcomes
+  /// (arrivals, dropouts, timeouts and failures all count — the server
+  /// stops waiting for a client exactly once). 0 means "clients_per_round",
+  /// the sync-shaped default. Async mode always flushes per arrival.
+  std::size_t buffer = 0;
+  /// Server mixing rate: after aggregating a flush into x_agg the server
+  /// state becomes (1 - alpha) * x_prev + alpha * x_agg. 1 (default)
+  /// adopts the aggregate outright, exactly like sync FedAvg.
+  double mix_alpha = 1.0;
+  /// Staleness decay exponent a in f(s) = (1 + s)^-a, where s is the
+  /// number of server versions committed between a client's dispatch and
+  /// its arrival. f(0) == 1 exactly, so fresh updates keep their FedAvg
+  /// weight. 0 disables staleness weighting.
+  double staleness_exponent = 0.5;
+  /// Sampling discipline. false (default): continuous refill — every
+  /// terminal outcome immediately dispatches a replacement client, keeping
+  /// k clients in flight (requires k < N). true: wave sampling — k clients
+  /// are drawn together at the start and after every flush, mirroring the
+  /// sync loop's per-round selection draws exactly.
+  bool wave_sampling = false;
+  /// Virtual compute seconds per local training sample, before the
+  /// per-client device-tier speed scale and jitter. 0 (default) models
+  /// instantaneous compute, so virtual time advances only through injected
+  /// fault delays.
+  double base_compute_s = 0.0;
+
+  bool scheduled() const { return mode != SchedMode::kSync; }
+  /// Flush threshold after resolving defaults against the round size k.
+  std::size_t resolve_buffer(std::size_t clients_per_round) const {
+    if (mode == SchedMode::kAsync) return 1;
+    return buffer > 0 ? buffer : clients_per_round;
+  }
+};
+
+/// Parses an HS_SCHED-style spec. The first comma-separated token may be a
+/// bare mode name (sync, async, buffered); the rest are key=value pairs
+/// over mode, buffer, alpha, exp, compute, wave — e.g. "async,exp=1" or
+/// "buffered,buffer=8,alpha=0.6". Unknown keys or malformed pairs throw
+/// std::invalid_argument.
+SchedulerOptions parse_sched_spec(const std::string& spec);
+
+}  // namespace hetero

@@ -51,6 +51,9 @@ BenchConfig BenchConfig::from_env() {
   cfg.trace_path = env_string("HS_TRACE").value_or("");
   cfg.trace_timings = env_int("HS_TRACE_TIMINGS", 1) != 0;
   cfg.fault_spec = env_string("HS_FAULTS").value_or("");
+  cfg.sched_spec = env_string("HS_SCHED").value_or("");
+  cfg.sched_buffer = static_cast<std::size_t>(
+      std::max<std::int64_t>(0, env_int("HS_BUFFER", 0)));
   return cfg;
 }
 

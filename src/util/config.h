@@ -15,6 +15,10 @@
 //                (unset = no faults). Kept as an opaque string here — the
 //                util layer cannot depend on runtime/faults.h; use sites
 //                parse it with parse_fault_spec().
+//   HS_SCHED   : event-scheduler spec, e.g. "async" or
+//                "buffered,buffer=8,alpha=0.6" (unset = sync). Opaque here
+//                like HS_FAULTS; parse with parse_sched_spec().
+//   HS_BUFFER  : override the scheduler's flush threshold B (0 = default)
 #pragma once
 
 #include <cstdint>
@@ -47,6 +51,12 @@ struct BenchConfig {
   /// Fault-injection spec (HS_FAULTS); empty = faults disabled. Parse with
   /// parse_fault_spec() from runtime/faults.h at the use site.
   std::string fault_spec;
+  /// Event-scheduler spec (HS_SCHED); empty = sync. Parse with
+  /// parse_sched_spec() from runtime/sched/sched_options.h at the use site.
+  std::string sched_spec;
+  /// Flush-threshold override (HS_BUFFER); 0 keeps the spec's / mode's
+  /// default. Applied by the use site after parsing sched_spec.
+  std::size_t sched_buffer = 0;
 
   /// Picks rounds: explicit HS_ROUNDS wins, otherwise smoke/paper default.
   std::int64_t pick_rounds(std::int64_t smoke, std::int64_t paper) const;

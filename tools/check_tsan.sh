@@ -10,7 +10,9 @@
 # thread counts on top of them (isa.h compiles the ifunc clones out under
 # TSan, so the baseline code paths are what gets checked). The fault tests
 # add concurrent FaultPlan::decide calls and the fault-aware disposition
-# pass to the raced surface.
+# pass to the raced surface. The sched tests run the event scheduler's
+# lazy parallel training batches across thread counts, asserting
+# bit-identical async/buffered results while TSan watches the fan-out.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -20,11 +22,11 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHETERO_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j "$(nproc)" --target test_runtime test_kernels test_faults
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target test_runtime test_kernels test_faults test_sched
 
 # halt_on_error makes a race fail the run instead of just logging it.
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
-  ctest --test-dir "${BUILD_DIR}" -R '^(test_runtime|test_kernels|test_faults)$' \
+  ctest --test-dir "${BUILD_DIR}" -R '^(test_runtime|test_kernels|test_faults|test_sched)$' \
   --output-on-failure "$@"
 
 echo "TSan check passed."

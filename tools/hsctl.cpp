@@ -239,12 +239,20 @@ int cmd_fl(const Args& args) {
         "hsctl fl [--method M] [--rounds T] [--clients N] [--per-round K] "
         "[--seed S]\n"
         "         [--faults SPEC] [--min-clients N]\n"
+        "         [--sched sync|async|buffered] [--buffer B] [--alpha A] "
+        "[--staleness-exp E]\n"
         "Methods: fedavg heteroswitch qfedavg fedprox scaffold fedavgm "
         "dpfedavg compressed\n"
         "Faults:  SPEC is key=value pairs, e.g. "
         "drop=0.1,straggle=0.2,corrupt=0.05\n"
         "         (keys: drop fail retries backoff straggle delay timeout "
-        "corrupt min seed)\n");
+        "corrupt min seed tiers)\n"
+        "Sched:   async aggregates per arrival with staleness decay "
+        "(1+s)^-E;\n"
+        "         buffered flushes every B terminal outcomes (0 = K); sync "
+        "is the default\n"
+        "         round loop. --sched also accepts a full spec, e.g. "
+        "\"buffered,buffer=4,compute=0.01\".\n");
     return 0;
   }
   const std::string method = args.get("method", "heteroswitch");
@@ -255,6 +263,12 @@ int cmd_fl(const Args& args) {
   FaultOptions faults = parse_fault_spec(args.get("faults", ""));
   faults.min_clients = static_cast<std::size_t>(
       args.get_int("min-clients", static_cast<long>(faults.min_clients)));
+  SchedulerOptions sched = parse_sched_spec(args.get("sched", ""));
+  sched.buffer = static_cast<std::size_t>(
+      args.get_int("buffer", static_cast<long>(sched.buffer)));
+  sched.mix_alpha = args.get_double("alpha", sched.mix_alpha);
+  sched.staleness_exponent =
+      args.get_double("staleness-exp", sched.staleness_exponent);
 
   SceneGenerator scenes(64);
   Rng root(seed);
@@ -313,11 +327,21 @@ int cmd_fl(const Args& args) {
   sim.clients_per_round = k;
   sim.seed = seed + 3;
   sim.faults = faults;
+  sim.sched = sched;
   ProgressObserver progress;
   sim.observer = &progress;
   const SimulationResult r = run_simulation(*model, *algo, pop, sim);
 
   std::printf("\n%s after %zu rounds:\n", algo->name().c_str(), rounds);
+  if (sched.scheduled()) {
+    std::printf(
+        "sched: %s  buffer %zu  dispatched %zu  committed %zu  "
+        "staleness mean %.2f max %zu  virtual %.3fs  aborted flushes %zu\n",
+        sched_mode_name(sched.mode), sched.resolve_buffer(k),
+        r.runtime.clients_dispatched, r.runtime.updates_committed,
+        r.runtime.staleness_mean, r.runtime.staleness_max,
+        r.runtime.virtual_seconds, r.runtime.rounds_aborted);
+  }
   if (faults.enabled()) {
     std::printf(
         "faults: dropped %zu  quarantined %zu  straggled %zu  retries %zu  "

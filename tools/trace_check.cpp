@@ -17,7 +17,13 @@
 //   * round_end's "clients" equals k minus the excluded clients announced
 //     by the optional "fault.dropped" / "fault.quarantined" extras (both
 //     default 0, so fault-free traces keep clients == k);
-//   * loss_min <= loss <= loss_max on round_end.
+//   * loss_min <= loss <= loss_max on round_end;
+//   * scheduled traces (client_end carries "vt"/"version"/"staleness" from
+//     the virtual-clock event scheduler, DESIGN.md §11) reconcile: commit
+//     virtual times are non-decreasing within a round and never exceed the
+//     round_end's "sched.vt" clock; every client's staleness equals the
+//     pre-flush server version ("sched.version", minus one unless the
+//     flush aborted) minus the version it trained against.
 // Then prints a summary with per-round and per-client latency percentiles
 // (when the trace carries timing fields; HS_TRACE_TIMINGS=0 omits them).
 // Exit code 0 = valid, 1 = violations found, 2 = usage / IO error.
@@ -102,6 +108,11 @@ int main(int argc, char** argv) {
   double round_id = 0.0;
   double round_k = 0.0;
   double clients_seen = 0.0;
+  // Scheduler reconciliation state: (staleness, version) per scheduled
+  // client_end of the current round, and the last commit timestamp.
+  std::vector<std::pair<double, double>> round_staleness;
+  double last_vt = 0.0;
+  bool round_scheduled = false;
 
   std::string line;
   while (std::getline(in, line)) {
@@ -152,6 +163,8 @@ int main(int argc, char** argv) {
       }
       in_round = true;
       clients_seen = 0.0;
+      round_staleness.clear();
+      round_scheduled = false;
     } else if (type == "client_end") {
       ++clients;
       if (!in_round) check.fail("client_end outside a round");
@@ -176,6 +189,26 @@ int main(int argc, char** argv) {
                    " (selected-order flush violated)");
       }
       clients_seen += 1.0;
+      // Deterministic virtual elapsed time (delay + backoff + compute).
+      double vsecs = 0.0;
+      if (check.opt_num(obj, "vseconds", &vsecs) && vsecs < 0.0) {
+        check.fail("client_end negative vseconds");
+      }
+      // Scheduler provenance: the trio travels together, commit times are
+      // non-decreasing in commit order, staleness is checked against the
+      // round_end's version accounting below.
+      double vt = 0.0;
+      if (check.opt_num(obj, "vt", &vt)) {
+        const double version = check.num(obj, "version");
+        const double staleness = check.num(obj, "staleness");
+        if (clients_seen > 1.0 && round_scheduled && vt < last_vt) {
+          check.fail("client_end vt decreased within a round "
+                     "(commit order violated)");
+        }
+        last_vt = vt;
+        round_scheduled = true;
+        round_staleness.emplace_back(staleness, version);
+      }
       double secs = 0.0;
       if (check.opt_num(obj, "seconds", &secs)) client_seconds.observe(secs);
     } else if (type == "round_end") {
@@ -205,6 +238,41 @@ int main(int argc, char** argv) {
       check.num(obj, "weight");
       check.num(obj, "bytes_up");
       check.num(obj, "bytes_down");
+      double vsecs = 0.0;
+      if (check.opt_num(obj, "vseconds", &vsecs) && vsecs < 0.0) {
+        check.fail("round_end negative vseconds");
+      }
+      // Scheduler staleness accounting: sched.version is the POST-flush
+      // server version, so the pre-flush version every staleness was
+      // measured against is one less — unless the flush aborted
+      // (fault.aborted), which bumps nothing.
+      double sched_version = 0.0;
+      if (check.opt_num(obj, "sched.version", &sched_version)) {
+        if (!round_scheduled) {
+          check.fail("round_end sched.version without scheduled client_end "
+                     "events");
+        }
+        double aborted = 0.0;
+        check.opt_num(obj, "fault.aborted", &aborted);
+        const double pre_version =
+            aborted != 0.0 ? sched_version : sched_version - 1.0;
+        for (const auto& [staleness, version] : round_staleness) {
+          if (staleness != pre_version - version) {
+            check.fail("client staleness " + std::to_string(staleness) +
+                       " != pre-flush version " +
+                       std::to_string(pre_version) + " - client version " +
+                       std::to_string(version));
+          }
+        }
+        double sched_vt = 0.0;
+        if (check.opt_num(obj, "sched.vt", &sched_vt) && round_scheduled &&
+            last_vt > sched_vt) {
+          check.fail("client_end vt exceeds round_end sched.vt");
+        }
+      } else if (round_scheduled) {
+        check.fail("scheduled client_end events without round_end "
+                   "sched.version");
+      }
       double secs = 0.0;
       if (check.opt_num(obj, "seconds", &secs)) round_seconds.observe(secs);
       in_round = false;
