@@ -21,6 +21,21 @@ Dataset::Dataset(Tensor xs, Tensor multi_targets)
            "Dataset: multi-target shape mismatch");
 }
 
+void Dataset::release_buffers(Tensor& xs, std::vector<std::size_t>& labels,
+                              Tensor& multi_targets) {
+  // Only overwrite the caller's spares with buffers that actually carry
+  // capacity worth recycling; an empty dataset (first use, or one whose
+  // buffers were already moved out) must not clobber them.
+  if (xs_.size() > 0) xs = std::move(xs_);
+  if (!labels_.empty()) labels = std::move(labels_);
+  if (multi_targets_.size() > 0) multi_targets = std::move(multi_targets_);
+  xs_ = Tensor();
+  labels_.clear();
+  multi_targets_ = Tensor();
+  n_ = 0;
+  multi_ = false;
+}
+
 std::size_t Dataset::channels() const {
   return xs_.rank() == 4 ? xs_.dim(1) : 0;
 }

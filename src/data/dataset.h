@@ -48,6 +48,14 @@ class Dataset {
   /// Copy of the selected samples as a new dataset.
   Dataset subset(const std::vector<std::size_t>& idx) const;
 
+  /// Moves this dataset's storage out into the caller's spare buffers and
+  /// resets the dataset to empty. The lazy population layer uses this to
+  /// recycle one client's buffers for the next materialization (the
+  /// kernels Workspace arena idiom one level up): repeated same-geometry
+  /// materializations reach zero steady-state allocations.
+  void release_buffers(Tensor& xs, std::vector<std::size_t>& labels,
+                       Tensor& multi_targets);
+
   /// Concatenates compatible datasets (same shapes and label mode).
   static Dataset concat(const std::vector<const Dataset*>& parts);
 

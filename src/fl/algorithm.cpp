@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cmath>
+#include <string>
 
 #include "fl/eval.h"
 #include "util/rng.h"
@@ -310,6 +311,15 @@ RoundStats FedAvgM::aggregate(Model& model, const Tensor& global,
   return stats;
 }
 
+void FedAvgM::save_state(AlgorithmCheckpoint& out) const {
+  if (!velocity_.empty()) out.tensors["fedavgm.velocity"] = velocity_;
+}
+
+void FedAvgM::load_state(const AlgorithmCheckpoint& in) {
+  const auto it = in.tensors.find("fedavgm.velocity");
+  if (it != in.tensors.end()) velocity_ = it->second;
+}
+
 // ---------------------------------------------------------------- Scaffold
 
 void Scaffold::init(Model& model, std::size_t num_clients) {
@@ -410,6 +420,33 @@ RoundStats Scaffold::aggregate(Model& model, const Tensor& global,
       static_cast<double>(c_global_.norm());
   stats.extras["scaffold.dc_norm"] = static_cast<double>(dc_sum.norm());
   return stats;
+}
+
+void Scaffold::save_state(AlgorithmCheckpoint& out) const {
+  if (!c_global_.empty()) out.tensors["scaffold.c_global"] = c_global_;
+  out.words["scaffold.num_clients"] = num_clients_;
+  for (std::size_t i = 0; i < c_clients_.size(); ++i) {
+    if (!c_clients_[i].empty()) {
+      out.tensors["scaffold.c." + std::to_string(i)] = c_clients_[i];
+    }
+  }
+}
+
+void Scaffold::load_state(const AlgorithmCheckpoint& in) {
+  // load_state runs after init(), so c_clients_ is already sized for the
+  // population; only the control variates recorded at save time are restored,
+  // the rest stay empty exactly as they were mid-run.
+  const auto cg = in.tensors.find("scaffold.c_global");
+  if (cg != in.tensors.end()) c_global_ = cg->second;
+  const auto nc = in.words.find("scaffold.num_clients");
+  if (nc != in.words.end()) {
+    HS_CHECK(nc->second == num_clients_,
+             "Scaffold::load_state: population size mismatch");
+  }
+  for (std::size_t i = 0; i < c_clients_.size(); ++i) {
+    const auto it = in.tensors.find("scaffold.c." + std::to_string(i));
+    if (it != in.tensors.end()) c_clients_[i] = it->second;
+  }
 }
 
 }  // namespace hetero

@@ -70,6 +70,19 @@ struct RoundStats {
 
 class SplitFederatedAlgorithm;
 
+/// Server-side algorithm state captured at a round boundary for
+/// checkpoint/resume (fl/checkpoint.h). Three typed maps so every kind of
+/// state round-trips bit-exactly: `scalars` for doubles (written as raw
+/// 64-bit patterns — an EMA must not survive a float32 detour), `words`
+/// for exact integer state (counters, RNG engine words), `tensors` for
+/// f32 payloads (momentum, control variates, residuals). Keys are
+/// namespaced per algorithm ("fedavgm.velocity", "hs.ema", ...).
+struct AlgorithmCheckpoint {
+  std::map<std::string, double> scalars;
+  std::map<std::string, std::uint64_t> words;
+  std::map<std::string, Tensor> tensors;
+};
+
 class FederatedAlgorithm {
  public:
   virtual ~FederatedAlgorithm() = default;
@@ -105,6 +118,15 @@ class FederatedAlgorithm {
   /// algorithms may override for other decay families.
   virtual double staleness_weight(std::size_t staleness,
                                   double exponent) const;
+
+  /// Checkpoint hooks: capture / restore every piece of server-side state
+  /// the algorithm mutates across rounds, so a resumed run continues
+  /// bit-for-bit (asserted in tests/test_population.cpp). Stateless
+  /// algorithms (FedAvg, q-FedAvg, FedProx) keep the no-op defaults.
+  /// load_state is always called after init() on a freshly constructed
+  /// algorithm, so implementations may rely on init()-sized containers.
+  virtual void save_state(AlgorithmCheckpoint& out) const { (void)out; }
+  virtual void load_state(const AlgorithmCheckpoint& in) { (void)in; }
 
   virtual std::string name() const = 0;
 
@@ -276,6 +298,8 @@ class Scaffold : public SplitFederatedAlgorithm {
                             Rng& client_rng) const override;
   RoundStats aggregate(Model& model, const Tensor& global,
                        std::vector<ClientUpdate>& updates) override;
+  void save_state(AlgorithmCheckpoint& out) const override;
+  void load_state(const AlgorithmCheckpoint& in) override;
   std::string name() const override { return "Scaffold"; }
 
  private:
@@ -298,6 +322,8 @@ class FedAvgM : public FedAvg {
   void init(Model& model, std::size_t num_clients) override;
   RoundStats aggregate(Model& model, const Tensor& global,
                        std::vector<ClientUpdate>& updates) override;
+  void save_state(AlgorithmCheckpoint& out) const override;
+  void load_state(const AlgorithmCheckpoint& in) override;
   std::string name() const override { return "FedAvgM"; }
 
  private:

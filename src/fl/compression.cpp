@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <numeric>
+#include <string>
 
 #include "util/rng.h"
 
@@ -177,6 +178,22 @@ RoundStats CompressedFedAvg::aggregate(Model& model, const Tensor& global,
       static_cast<double>(last_compressed_bytes_) /
       static_cast<double>(last_dense_bytes_);
   return stats;
+}
+
+void CompressedFedAvg::save_state(AlgorithmCheckpoint& out) const {
+  for (std::size_t i = 0; i < residuals_.size(); ++i) {
+    if (!residuals_[i].empty()) {
+      out.tensors["comp.residual." + std::to_string(i)] = residuals_[i];
+    }
+  }
+}
+
+void CompressedFedAvg::load_state(const AlgorithmCheckpoint& in) {
+  // Runs after init(), so residuals_ is already population-sized and empty.
+  for (std::size_t i = 0; i < residuals_.size(); ++i) {
+    const auto it = in.tensors.find("comp.residual." + std::to_string(i));
+    if (it != in.tensors.end()) residuals_[i] = it->second;
+  }
 }
 
 }  // namespace hetero

@@ -85,6 +85,11 @@ class CompressedFedAvg : public SplitFederatedAlgorithm {
   /// Mean compressed bytes actually "sent" per client last round.
   std::size_t last_compressed_bytes() const { return last_compressed_bytes_; }
 
+  /// Round-level checkpoint hooks: per-client error-feedback residuals are
+  /// the cross-round state (only non-empty residuals are recorded).
+  void save_state(AlgorithmCheckpoint& out) const override;
+  void load_state(const AlgorithmCheckpoint& in) override;
+
  private:
   LocalTrainConfig cfg_;
   CompressionOptions options_;

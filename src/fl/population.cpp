@@ -1,6 +1,7 @@
 #include "fl/population.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "runtime/sched/delay_model.h"
 #include "util/rng.h"
@@ -8,81 +9,230 @@
 namespace hetero {
 namespace {
 
-/// Builds one client's local dataset: samples_per_client scenes with labels
-/// drawn uniformly over classes, captured by the client's device.
-Dataset build_client_dataset(const DeviceProfile& device,
-                             std::size_t num_samples,
-                             const SceneGenerator& scenes,
-                             const CaptureConfig& cfg, Rng& rng) {
-  const std::size_t side =
-      cfg.raw_mode ? cfg.raw_tensor_size : cfg.tensor_size;
-  const std::size_t channels = cfg.raw_mode ? 4 : 3;
-  Tensor xs({num_samples, channels, side, side});
-  std::vector<std::size_t> labels(num_samples);
-  for (std::size_t i = 0; i < num_samples; ++i) {
-    const std::size_t cls = rng.uniform_int(SceneGenerator::kNumClasses);
-    const Image scene = scenes.generate(cls, rng);
-    xs.set_slice0(i, capture_to_tensor(scene, device, cfg, rng));
-    labels[i] = cls;
+// Per-client and per-device stream keys (DESIGN.md §12). Data streams keep
+// the legacy single-tag forks (fork(1000 + i) / fork(2000 + i)) so client
+// contents survive the redesign; the device assignment and the test sets
+// use two-key forks, whose streams are decorrelated from every single-tag
+// stream — at million-client scale `1000 + i` would otherwise collide with
+// a test tag.
+constexpr std::uint64_t kAssignTag = 0xA551;          // (kAssignTag, client)
+constexpr std::uint64_t kSingleDataBase = 1000;       // 1000 + client
+constexpr std::uint64_t kFlairDataBase = 2000;        // 2000 + client
+constexpr std::uint64_t kSingleTestTag = 0x7E5701;    // (kSingleTestTag, dev)
+constexpr std::uint64_t kFlairTestTag = 0x7E5702;     // (kFlairTestTag, dev)
+
+void check_spec(const PopulationSpec& spec) {
+  HS_CHECK(!spec.devices.empty(), "PopulationSpec: no devices");
+  HS_CHECK(spec.num_clients > 0, "PopulationSpec: no clients");
+  if (spec.kind == PopulationSpec::Kind::kSingleLabel) {
+    HS_CHECK(spec.scenes != nullptr, "PopulationSpec: scenes required");
+  } else {
+    HS_CHECK(spec.flair_scenes != nullptr,
+             "PopulationSpec: flair_scenes required");
   }
-  return Dataset(std::move(xs), std::move(labels));
 }
 
 }  // namespace
 
+PopulationSpec PopulationSpec::single_label(std::vector<DeviceProfile> devices,
+                                            const PopulationConfig& cfg,
+                                            const SceneGenerator& scenes) {
+  PopulationSpec spec;
+  spec.kind = Kind::kSingleLabel;
+  spec.devices = std::move(devices);
+  spec.num_clients = cfg.num_clients;
+  spec.samples_per_client = cfg.samples_per_client;
+  spec.test_samples = cfg.test_per_class;
+  spec.assignment = cfg.assignment;
+  spec.capture = cfg.capture;
+  spec.exclude_from_training = cfg.exclude_from_training;
+  spec.scenes = &scenes;
+  return spec;
+}
+
+PopulationSpec PopulationSpec::flair(std::vector<DeviceProfile> devices,
+                                     std::size_t num_clients,
+                                     std::size_t samples_per_client,
+                                     std::size_t test_per_device,
+                                     const CaptureConfig& capture,
+                                     const FlairSceneGenerator& scenes) {
+  PopulationSpec spec;
+  spec.kind = Kind::kFlair;
+  spec.devices = std::move(devices);
+  spec.num_clients = num_clients;
+  spec.samples_per_client = samples_per_client;
+  spec.test_samples = test_per_device;
+  spec.assignment = DeviceAssignment::kMarketShare;
+  spec.capture = capture;
+  spec.flair_scenes = &scenes;
+  return spec;
+}
+
+VirtualPopulation::VirtualPopulation(PopulationSpec spec, const Rng& root)
+    : spec_(std::move(spec)), root_(root) {
+  check_spec(spec_);
+  const std::size_t num_devices = spec_.devices.size();
+  auto excluded = [&](std::size_t dev) {
+    return std::find(spec_.exclude_from_training.begin(),
+                     spec_.exclude_from_training.end(),
+                     dev) != spec_.exclude_from_training.end();
+  };
+
+  // Assignment tables: zeroed shares for excluded devices (market share) and
+  // the ordered non-excluded device list (uniform round-robin). Zeroing is
+  // distributionally identical to the old draw-and-retry loop, but needs
+  // one categorical draw per client instead of a data-dependent count.
+  assign_shares_.reserve(num_devices);
+  double total_share = 0.0;
+  for (std::size_t d = 0; d < num_devices; ++d) {
+    const double share = excluded(d) ? 0.0 : spec_.devices[d].market_share;
+    assign_shares_.push_back(share);
+    total_share += share > 0.0 ? share : 0.0;
+    if (!excluded(d)) allowed_.push_back(d);
+  }
+  HS_CHECK(!allowed_.empty(),
+           "VirtualPopulation: all devices excluded from training");
+  if (spec_.assignment == DeviceAssignment::kMarketShare) {
+    // categorical() treats an all-zero weight vector as uniform, which
+    // would silently re-admit excluded devices.
+    HS_CHECK(total_share > 0.0,
+             "VirtualPopulation: no market share left after exclusions");
+  }
+
+  device_names_.reserve(num_devices);
+  for (const DeviceProfile& d : spec_.devices) device_names_.push_back(d.name);
+  device_speed_scale_ = device_speed_scales(spec_.devices);
+
+  // Per-device test sets: resident (O(#devices)), disjoint streams.
+  device_test_.reserve(num_devices);
+  if (spec_.kind == PopulationSpec::Kind::kSingleLabel) {
+    for (std::size_t d = 0; d < num_devices; ++d) {
+      Rng test_rng = root_.fork(kSingleTestTag, d);
+      device_test_.push_back(build_device_dataset(spec_.devices[d],
+                                                  spec_.test_samples,
+                                                  *spec_.scenes, spec_.capture,
+                                                  test_rng));
+    }
+  } else {
+    // Flat label profile (no user skew) so per-device AP differences
+    // isolate the device effect.
+    const std::vector<double> flat(FlairSceneGenerator::kNumLabels,
+                                   1.0 / FlairSceneGenerator::kNumLabels);
+    for (std::size_t d = 0; d < num_devices; ++d) {
+      Rng test_rng = root_.fork(kFlairTestTag, d);
+      device_test_.push_back(build_flair_user_dataset(
+          spec_.devices[d], flat, spec_.test_samples, *spec_.flair_scenes,
+          spec_.capture, test_rng));
+    }
+  }
+}
+
+std::size_t VirtualPopulation::device_of(std::size_t client) const {
+  HS_CHECK(client < spec_.num_clients, "VirtualPopulation: bad client id");
+  if (spec_.assignment == DeviceAssignment::kUniform) {
+    // Cyclic walk of the non-excluded devices — the same sequence the old
+    // round-robin-with-retries cursor produced.
+    return allowed_[client % allowed_.size()];
+  }
+  Rng assign_rng = root_.fork(kAssignTag, client);
+  return assign_rng.categorical(assign_shares_);
+}
+
+const Dataset& VirtualPopulation::client_dataset(std::size_t client,
+                                                 ClientSlot& slot) const {
+  HS_CHECK(client < spec_.num_clients, "VirtualPopulation: bad client id");
+  const DeviceProfile& device = spec_.devices[device_of(client)];
+  const std::size_t n = spec_.samples_per_client;
+
+  // Recycle the slot's buffers (Workspace arena idiom): reclaim them from
+  // the previously materialized dataset, reallocate only on a geometry
+  // change, and hand them back to a fresh Dataset below.
+  slot.data.release_buffers(slot.xs, slot.labels, slot.targets);
+
+  if (spec_.kind == PopulationSpec::Kind::kSingleLabel) {
+    // Identical draw sequence to the pre-provider build_client_dataset.
+    const CaptureConfig& cap = spec_.capture;
+    const std::size_t side =
+        cap.raw_mode ? cap.raw_tensor_size : cap.tensor_size;
+    const std::size_t channels = cap.raw_mode ? 4 : 3;
+    const std::vector<std::size_t> shape = {n, channels, side, side};
+    if (slot.xs.shape() != shape) slot.xs = Tensor(shape);
+    slot.labels.assign(n, 0);
+    Rng rng = root_.fork(kSingleDataBase + client);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t cls = rng.uniform_int(SceneGenerator::kNumClasses);
+      const Image scene = spec_.scenes->generate(cls, rng);
+      slot.xs.set_slice0(i, capture_to_tensor(scene, device, cap, rng));
+      slot.labels[i] = cls;
+    }
+    slot.data = Dataset(std::move(slot.xs), std::move(slot.labels));
+  } else {
+    // Identical draw sequence to the pre-provider build_flair_population
+    // client loop: preferences then samples from one stream.
+    HS_CHECK(!spec_.capture.raw_mode,
+             "VirtualPopulation: RAW mode not supported for FLAIR");
+    const std::size_t side = spec_.capture.tensor_size;
+    const std::vector<std::size_t> shape = {n, 3, side, side};
+    const std::vector<std::size_t> tshape = {n,
+                                             FlairSceneGenerator::kNumLabels};
+    if (slot.xs.shape() != shape) slot.xs = Tensor(shape);
+    if (slot.targets.shape() != tshape) {
+      slot.targets = Tensor(tshape);
+    } else {
+      slot.targets.zero();
+    }
+    Rng rng = root_.fork(kFlairDataBase + client);
+    const std::vector<double> prefs =
+        spec_.flair_scenes->sample_user_preferences(rng);
+    for (std::size_t i = 0; i < n; ++i) {
+      const auto label_set = spec_.flair_scenes->sample_label_set(prefs, rng);
+      const Image scene = spec_.flair_scenes->generate(label_set, rng);
+      slot.xs.set_slice0(i,
+                         capture_to_tensor(scene, device, spec_.capture, rng));
+      for (std::size_t l : label_set) slot.targets.at(i, l) = 1.0f;
+    }
+    slot.data = Dataset(std::move(slot.xs), std::move(slot.targets));
+  }
+  return slot.data;
+}
+
+FlPopulation VirtualPopulation::materialize_all() const {
+  FlPopulation pop;
+  pop.device_names = device_names_;
+  pop.device_speed_scale = device_speed_scale_;
+  pop.device_test = device_test_;
+  pop.client_device.reserve(spec_.num_clients);
+  pop.client_train.reserve(spec_.num_clients);
+  for (std::size_t i = 0; i < spec_.num_clients; ++i) {
+    pop.client_device.push_back(device_of(i));
+    ClientSlot slot;
+    client_dataset(i, slot);
+    pop.client_train.push_back(std::move(slot.data));
+  }
+  return pop;
+}
+
+MaterializedPopulation::MaterializedPopulation(const PopulationSpec& spec,
+                                               const Rng& root)
+    : owned_(VirtualPopulation(spec, root).materialize_all()), pop_(&owned_) {}
+
+MaterializedPopulation::MaterializedPopulation(FlPopulation population)
+    : owned_(std::move(population)), pop_(&owned_) {}
+
+MaterializedPopulation::MaterializedPopulation(const FlPopulation* borrowed)
+    : pop_(borrowed) {
+  HS_CHECK(borrowed != nullptr, "MaterializedPopulation: null population");
+}
+
+FlPopulation make_population(const PopulationSpec& spec, const Rng& root) {
+  return VirtualPopulation(spec, root).materialize_all();
+}
+
 FlPopulation build_population(const std::vector<DeviceProfile>& devices,
                               const PopulationConfig& cfg,
                               const SceneGenerator& scenes, Rng& rng) {
-  HS_CHECK(!devices.empty(), "build_population: no devices");
-  HS_CHECK(cfg.num_clients > 0, "build_population: no clients");
-  FlPopulation pop;
-  pop.device_names.reserve(devices.size());
-  for (const auto& d : devices) pop.device_names.push_back(d.name);
-  pop.device_speed_scale = device_speed_scales(devices);
-
-  // Device assignment for each client.
-  std::vector<double> shares;
-  for (const auto& d : devices) shares.push_back(d.market_share);
-  auto excluded = [&](std::size_t dev) {
-    return std::find(cfg.exclude_from_training.begin(),
-                     cfg.exclude_from_training.end(),
-                     dev) != cfg.exclude_from_training.end();
-  };
-  pop.client_device.reserve(cfg.num_clients);
-  std::size_t rr = 0;  // round-robin cursor for uniform assignment
-  for (std::size_t i = 0; i < cfg.num_clients; ++i) {
-    std::size_t dev = 0;
-    for (int attempt = 0; attempt < 1000; ++attempt) {
-      if (cfg.assignment == DeviceAssignment::kMarketShare) {
-        dev = rng.categorical(shares);
-      } else {
-        dev = rr++ % devices.size();
-      }
-      if (!excluded(dev)) break;
-    }
-    HS_CHECK(!excluded(dev),
-             "build_population: all devices excluded from training");
-    pop.client_device.push_back(dev);
-  }
-
-  // Client datasets.
-  pop.client_train.reserve(cfg.num_clients);
-  for (std::size_t i = 0; i < cfg.num_clients; ++i) {
-    Rng client_rng = rng.fork(1000 + i);
-    pop.client_train.push_back(
-        build_client_dataset(devices[pop.client_device[i]],
-                             cfg.samples_per_client, scenes, cfg.capture,
-                             client_rng));
-  }
-
-  // Per-device test sets: same scene distribution, disjoint rng stream.
-  pop.device_test.reserve(devices.size());
-  for (std::size_t d = 0; d < devices.size(); ++d) {
-    Rng test_rng = rng.fork(900000 + d);
-    pop.device_test.push_back(build_device_dataset(
-        devices[d], cfg.test_per_class, scenes, cfg.capture, test_rng));
-  }
-  return pop;
+  return make_population(PopulationSpec::single_label(devices, cfg, scenes),
+                         rng);
 }
 
 FlPopulation build_flair_population(const std::vector<DeviceProfile>& devices,
@@ -92,34 +242,10 @@ FlPopulation build_flair_population(const std::vector<DeviceProfile>& devices,
                                     const CaptureConfig& capture,
                                     const FlairSceneGenerator& scenes,
                                     Rng& rng) {
-  HS_CHECK(!devices.empty(), "build_flair_population: no devices");
-  HS_CHECK(num_clients > 0, "build_flair_population: no clients");
-  FlPopulation pop;
-  for (const auto& d : devices) pop.device_names.push_back(d.name);
-  pop.device_speed_scale = device_speed_scales(devices);
-
-  std::vector<double> shares;
-  for (const auto& d : devices) shares.push_back(d.market_share);
-
-  for (std::size_t i = 0; i < num_clients; ++i) {
-    const std::size_t dev = rng.categorical(shares);
-    pop.client_device.push_back(dev);
-    Rng client_rng = rng.fork(2000 + i);
-    const auto prefs = scenes.sample_user_preferences(client_rng);
-    pop.client_train.push_back(build_flair_user_dataset(
-        devices[dev], prefs, samples_per_client, scenes, capture, client_rng));
-  }
-
-  // Device test sets use a flat label profile (no user skew) so per-device
-  // AP differences isolate the device effect.
-  const std::vector<double> flat(FlairSceneGenerator::kNumLabels,
-                                 1.0 / FlairSceneGenerator::kNumLabels);
-  for (std::size_t d = 0; d < devices.size(); ++d) {
-    Rng test_rng = rng.fork(910000 + d);
-    pop.device_test.push_back(build_flair_user_dataset(
-        devices[d], flat, test_per_device, scenes, capture, test_rng));
-  }
-  return pop;
+  return make_population(
+      PopulationSpec::flair(devices, num_clients, samples_per_client,
+                            test_per_device, capture, scenes),
+      rng);
 }
 
 }  // namespace hetero

@@ -79,4 +79,33 @@ RoundStats DpFedAvg::aggregate(Model& model, const Tensor& global,
   return stats;
 }
 
+void DpFedAvg::save_state(AlgorithmCheckpoint& out) const {
+  const RngState s = noise_rng_.save_state();
+  out.words["dp.rng.s0"] = s.s[0];
+  out.words["dp.rng.s1"] = s.s[1];
+  out.words["dp.rng.s2"] = s.s[2];
+  out.words["dp.rng.s3"] = s.s[3];
+  out.words["dp.rng.cached_has"] = s.has_cached_normal ? 1 : 0;
+  out.scalars["dp.rng.cached"] = s.cached_normal;
+  out.scalars["dp.last_sigma"] = last_sigma_;
+  out.scalars["dp.last_clip_fraction"] = last_clip_fraction_;
+}
+
+void DpFedAvg::load_state(const AlgorithmCheckpoint& in) {
+  const auto s0 = in.words.find("dp.rng.s0");
+  if (s0 == in.words.end()) return;
+  RngState s;
+  s.s[0] = s0->second;
+  s.s[1] = in.words.at("dp.rng.s1");
+  s.s[2] = in.words.at("dp.rng.s2");
+  s.s[3] = in.words.at("dp.rng.s3");
+  s.has_cached_normal = in.words.at("dp.rng.cached_has") != 0;
+  s.cached_normal = in.scalars.at("dp.rng.cached");
+  noise_rng_.restore_state(s);
+  const auto sig = in.scalars.find("dp.last_sigma");
+  if (sig != in.scalars.end()) last_sigma_ = sig->second;
+  const auto cf = in.scalars.find("dp.last_clip_fraction");
+  if (cf != in.scalars.end()) last_clip_fraction_ = cf->second;
+}
+
 }  // namespace hetero

@@ -52,6 +52,11 @@ class DpFedAvg : public SplitFederatedAlgorithm {
   /// Fraction of client updates clipped in the last round.
   double last_clip_fraction() const { return last_clip_fraction_; }
 
+  /// Round-level checkpoint hooks: the server noise stream's cursor is the
+  /// cross-round state — resuming must continue the exact noise sequence.
+  void save_state(AlgorithmCheckpoint& out) const override;
+  void load_state(const AlgorithmCheckpoint& in) override;
+
  private:
   LocalTrainConfig cfg_;
   DpOptions options_;

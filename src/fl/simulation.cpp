@@ -9,42 +9,30 @@
 namespace hetero {
 namespace {
 
-/// Per-client delay/compute scale: device_speed_scale indexed through
-/// client_device. Empty when the population carries no speed tiers.
-std::vector<double> client_speed_scales(const FlPopulation& pop) {
-  if (pop.device_speed_scale.empty()) return {};
-  std::vector<double> scales;
-  scales.reserve(pop.client_device.size());
-  for (std::size_t dev : pop.client_device) {
-    scales.push_back(dev < pop.device_speed_scale.size()
-                         ? pop.device_speed_scale[dev]
-                         : 1.0);
-  }
-  return scales;
-}
-
 /// Runs the async/buffered virtual-clock scheduler (DESIGN.md §11) and
 /// maps its accounting into SimulationResult. `rounds` counts server
 /// flushes; eval checkpoints fire on the same eval_every grid as sync.
 SimulationResult run_scheduled(Model& model, SplitFederatedAlgorithm& split,
-                               const FlPopulation& population,
+                               const ClientProvider& population,
                                const SimulationConfig& cfg,
                                RoundObserver* observer) {
   EventScheduler sched(cfg.num_threads, cfg.sched);
 
   FaultOptions faults = cfg.faults;
-  const std::vector<double> scales = client_speed_scales(population);
-  if (faults.device_tier_delays) faults.client_delay_scale = scales;
+  if (faults.device_tier_delays) {
+    // Lazy per-client scale: identical values to the old O(N) table
+    // (device_speed_scale indexed through the client's device), but never
+    // materialized, so it works unchanged for million-client providers.
+    faults.delay_scale_fn = [&population](std::size_t client) {
+      return population.speed_scale_of(client);
+    };
+  }
   sched.set_faults(faults);
 
   DelayModel delays;
   delays.base_compute_s = cfg.sched.base_compute_s;
   delays.jitter_frac = 0.1;
-  delays.client_scale = scales;
-  delays.client_work.reserve(population.client_train.size());
-  for (const Dataset& d : population.client_train) {
-    delays.client_work.push_back(static_cast<double>(d.size()));
-  }
+  delays.provider = &population;
   sched.set_delay_model(std::move(delays));
 
   SimulationResult result;
@@ -58,10 +46,10 @@ SimulationResult run_scheduled(Model& model, SplitFederatedAlgorithm& split,
   };
 
   Rng rng(cfg.seed);
-  split.init(model, population.client_train.size());
+  split.init(model, population.num_clients());
   SchedulerRunResult run =
-      sched.run(model, split, cfg.rounds, cfg.clients_per_round,
-                population.client_train, rng, observer, on_flush);
+      sched.run(model, split, cfg.rounds, cfg.clients_per_round, population,
+                rng, observer, on_flush);
 
   result.train_loss_history = std::move(run.loss_history);
   RuntimeStats& rt = result.runtime;
@@ -87,13 +75,12 @@ SimulationResult run_scheduled(Model& model, SplitFederatedAlgorithm& split,
   return result;
 }
 
-}  // namespace
-
-DeviceMetrics evaluate_per_device(Model& model, const FlPopulation& pop) {
-  HS_CHECK(!pop.device_test.empty(), "evaluate_per_device: no test sets");
+DeviceMetrics evaluate_device_tests(Model& model,
+                                    const std::vector<Dataset>& tests) {
+  HS_CHECK(!tests.empty(), "evaluate_per_device: no test sets");
   DeviceMetrics m;
-  m.per_device.reserve(pop.device_test.size());
-  for (const Dataset& test : pop.device_test) {
+  m.per_device.reserve(tests.size());
+  for (const Dataset& test : tests) {
     const double v = test.is_multi_label()
                          ? evaluate_average_precision(model, test)
                          : evaluate_accuracy(model, test);
@@ -105,12 +92,58 @@ DeviceMetrics evaluate_per_device(Model& model, const FlPopulation& pop) {
   return m;
 }
 
+/// Deterministic run counters persisted in a checkpoint; wall-clock fields
+/// are deliberately absent (they are not replayable).
+void save_runtime_counters(const RuntimeStats& rt,
+                           std::map<std::string, double>& out) {
+  out["dropped"] = static_cast<double>(rt.clients_dropped);
+  out["quarantined"] = static_cast<double>(rt.clients_quarantined);
+  out["straggled"] = static_cast<double>(rt.clients_straggled);
+  out["retries"] = static_cast<double>(rt.fault_retries);
+  out["aborted"] = static_cast<double>(rt.rounds_aborted);
+  out["serial_fallback"] = rt.serial_fallback ? 1.0 : 0.0;
+}
+
+void load_runtime_counters(const std::map<std::string, double>& in,
+                           RuntimeStats& rt) {
+  auto get = [&](const char* key) {
+    const auto it = in.find(key);
+    return it != in.end() ? it->second : 0.0;
+  };
+  rt.clients_dropped = static_cast<std::size_t>(get("dropped"));
+  rt.clients_quarantined = static_cast<std::size_t>(get("quarantined"));
+  rt.clients_straggled = static_cast<std::size_t>(get("straggled"));
+  rt.fault_retries = static_cast<std::size_t>(get("retries"));
+  rt.rounds_aborted = static_cast<std::size_t>(get("aborted"));
+  rt.serial_fallback = get("serial_fallback") != 0.0;
+}
+
+}  // namespace
+
+DeviceMetrics evaluate_per_device(Model& model, const FlPopulation& pop) {
+  return evaluate_device_tests(model, pop.device_test);
+}
+
+DeviceMetrics evaluate_per_device(Model& model, const ClientProvider& pop) {
+  return evaluate_device_tests(model, pop.device_test());
+}
+
 SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
                                 const FlPopulation& population,
                                 const SimulationConfig& cfg) {
-  HS_CHECK(!population.client_train.empty(), "run_simulation: no clients");
-  HS_CHECK(cfg.clients_per_round > 0 &&
-               cfg.clients_per_round <= population.client_train.size(),
+  const MaterializedPopulation provider(&population);
+  return run_simulation(model, algorithm, provider, cfg);
+}
+
+SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
+                                const ClientProvider& population,
+                                const SimulationConfig& cfg) {
+  // The provider interface carries N through num_clients(), so the sync
+  // loop, the scheduler, and the fault layer all size off one value here —
+  // the per-path size checks this block replaces lived in each branch.
+  const std::size_t num_clients = population.num_clients();
+  HS_CHECK(num_clients > 0, "run_simulation: no clients");
+  HS_CHECK(cfg.clients_per_round > 0 && cfg.clients_per_round <= num_clients,
            "run_simulation: bad clients_per_round");
 
   // Fan telemetry out to the configured observer and, for compatibility,
@@ -131,6 +164,8 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
     SplitFederatedAlgorithm* split = algorithm.as_split();
     HS_CHECK(split != nullptr,
              "run_simulation: scheduled modes require a split algorithm");
+    HS_CHECK(!cfg.checkpoint.enabled(),
+             "run_simulation: checkpoint/resume supports the sync loop only");
     SimulationResult result =
         run_scheduled(model, *split, population, cfg, observer);
     result.final_metrics = evaluate_per_device(model, population);
@@ -139,29 +174,62 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
   }
 
   Rng rng(cfg.seed);
-  algorithm.init(model, population.client_train.size());
+  algorithm.init(model, num_clients);
   ClientExecutor executor(cfg.num_threads);
   FaultOptions faults = cfg.faults;
   if (faults.device_tier_delays) {
-    faults.client_delay_scale = client_speed_scales(population);
+    faults.delay_scale_fn = [&population](std::size_t client) {
+      return population.speed_scale_of(client);
+    };
   }
   executor.set_faults(faults);
 
   SimulationResult result;
+  std::size_t start_round = 0;
+  if (cfg.checkpoint.enabled() && cfg.checkpoint.resume) {
+    SimulationCheckpoint ck;
+    if (read_checkpoint(checkpoint_path(cfg.checkpoint), ck)) {
+      // Resume only a run with the same identity: the checkpointed streams
+      // and histories are meaningless under a different configuration.
+      HS_CHECK(ck.seed == cfg.seed,
+               "run_simulation: checkpoint seed mismatch");
+      HS_CHECK(ck.num_clients == num_clients,
+               "run_simulation: checkpoint population size mismatch");
+      HS_CHECK(ck.clients_per_round == cfg.clients_per_round,
+               "run_simulation: checkpoint clients_per_round mismatch");
+      HS_CHECK(ck.algorithm == algorithm.name(),
+               "run_simulation: checkpoint algorithm mismatch");
+      HS_CHECK(ck.model_state.size() == model.state_size(),
+               "run_simulation: checkpoint model size mismatch");
+      model.set_state(ck.model_state);
+      algorithm.load_state(ck.algo);  // after init(): state is sized
+      rng.restore_state(ck.rng);
+      start_round = static_cast<std::size_t>(ck.next_round);
+      result.train_loss_history = std::move(ck.loss_history);
+      result.runtime.round_virtual_seconds =
+          std::move(ck.round_virtual_seconds);
+      for (double v : result.runtime.round_virtual_seconds) {
+        result.runtime.virtual_seconds += v;
+      }
+      load_runtime_counters(ck.counters, result.runtime);
+    }
+  }
+
   result.train_loss_history.reserve(cfg.rounds);
   result.runtime.threads = executor.num_threads();
-  result.runtime.round_seconds.reserve(cfg.rounds);
-  for (std::size_t round = 0; round < cfg.rounds; ++round) {
-    const auto selected = rng.sample_without_replacement(
-        population.client_train.size(), cfg.clients_per_round);
+  result.runtime.round_seconds.reserve(
+      cfg.rounds > start_round ? cfg.rounds - start_round : 0);
+  for (std::size_t round = start_round; round < cfg.rounds; ++round) {
+    const auto selected =
+        rng.sample_without_replacement(num_clients, cfg.clients_per_round);
     Rng round_rng = rng.fork(round);
     RoundRuntime round_runtime;
     RoundContext ctx;
     ctx.round = round;
     ctx.observer = observer;
     const RoundStats stats =
-        executor.run_round(model, algorithm, selected, population.client_train,
-                           round_rng, &round_runtime, &ctx);
+        executor.run_round(model, algorithm, selected, population, round_rng,
+                           &round_runtime, &ctx);
     result.runtime.round_seconds.push_back(round_runtime.round_seconds);
     result.runtime.total_seconds += round_runtime.round_seconds;
     result.runtime.round_virtual_seconds.push_back(
@@ -182,6 +250,22 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
       DeviceMetrics checkpoint = evaluate_per_device(model, population);
       if (observer) observer->on_eval(round + 1, checkpoint);
       result.checkpoints.emplace_back(round + 1, std::move(checkpoint));
+    }
+    if (cfg.checkpoint.enabled() &&
+        ((round + 1) % cfg.checkpoint.every == 0 || round + 1 == cfg.rounds)) {
+      SimulationCheckpoint ck;
+      ck.next_round = round + 1;
+      ck.seed = cfg.seed;
+      ck.num_clients = num_clients;
+      ck.clients_per_round = cfg.clients_per_round;
+      ck.algorithm = algorithm.name();
+      ck.rng = rng.save_state();
+      ck.model_state = model.state();
+      ck.loss_history = result.train_loss_history;
+      ck.round_virtual_seconds = result.runtime.round_virtual_seconds;
+      save_runtime_counters(result.runtime, ck.counters);
+      algorithm.save_state(ck.algo);
+      write_checkpoint(checkpoint_path(cfg.checkpoint), ck);
     }
   }
   result.final_metrics = evaluate_per_device(model, population);

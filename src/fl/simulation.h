@@ -7,6 +7,8 @@
 #include <vector>
 
 #include "fl/algorithm.h"
+#include "fl/checkpoint.h"
+#include "fl/client_provider.h"
 #include "fl/population.h"
 #include "nn/model.h"
 #include "runtime/faults.h"
@@ -27,6 +29,7 @@ struct DeviceMetrics {
 /// Evaluates accuracy (or AP for multi-label test sets) on every device
 /// test set of the population.
 DeviceMetrics evaluate_per_device(Model& model, const FlPopulation& pop);
+DeviceMetrics evaluate_per_device(Model& model, const ClientProvider& pop);
 
 struct SimulationConfig {
   std::size_t rounds = 100;            ///< T
@@ -56,6 +59,17 @@ struct SimulationConfig {
   /// (requires a split algorithm). `rounds` then counts server flushes.
   /// Populated from HS_SCHED by the benches/CLI via parse_sched_spec.
   SchedulerOptions sched;
+  /// Round-level checkpoint/resume (DESIGN.md §12; sync loop only —
+  /// scheduled modes reject it). When enabled, the loop writes
+  /// <dir>/checkpoint.bin every `every` completed rounds (plus at the final
+  /// round) and, with resume on, continues a matching run bit-for-bit from
+  /// an existing file: model state, algorithm cross-round state, sampling
+  /// RNG cursor, loss/virtual-time histories, and fault counters all round-
+  /// trip exactly. Wall-clock fields (round_seconds, total_seconds) and
+  /// eval_every checkpoints cover only the rounds this process executed.
+  /// Populated from HS_CHECKPOINT by the benches/CLI via
+  /// parse_checkpoint_spec.
+  CheckpointOptions checkpoint;
 };
 
 /// Wall- and virtual-time accounting of one simulation run. The two clocks
@@ -101,7 +115,16 @@ struct SimulationResult {
 
 /// Runs T rounds of the algorithm on the population, mutating the model.
 /// Per round, K clients are sampled uniformly without replacement from the
-/// population (device skew is already baked into client_device).
+/// population (device skew is already baked into the provider's device
+/// assignment). This provider form is primary: a VirtualPopulation runs a
+/// 1M-client federation in O(k) memory per round, and is bit-identical to
+/// the MaterializedPopulation built from the same (spec, root).
+SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
+                                const ClientProvider& population,
+                                const SimulationConfig& cfg);
+
+/// Legacy entry point over an eager FlPopulation; borrows it through a
+/// MaterializedPopulation and behaves identically to pre-provider builds.
 SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
                                 const FlPopulation& population,
                                 const SimulationConfig& cfg);

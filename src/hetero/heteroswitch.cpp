@@ -157,4 +157,26 @@ RoundStats HeteroSwitch::aggregate(Model& model, const Tensor& global,
   return stats;
 }
 
+void HeteroSwitch::save_state(AlgorithmCheckpoint& out) const {
+  out.scalars["hs.ema"] = ema_.raw_value();
+  out.words["hs.ema_init"] = ema_.initialized() ? 1 : 0;
+  out.words["hs.switch1"] = switch1_count_;
+  out.words["hs.switch2"] = switch2_count_;
+  out.words["hs.updates"] = update_count_;
+}
+
+void HeteroSwitch::load_state(const AlgorithmCheckpoint& in) {
+  const auto ema = in.scalars.find("hs.ema");
+  const auto init = in.words.find("hs.ema_init");
+  if (ema != in.scalars.end() && init != in.words.end()) {
+    ema_.restore(ema->second, init->second != 0);
+  }
+  const auto s1 = in.words.find("hs.switch1");
+  if (s1 != in.words.end()) switch1_count_ = s1->second;
+  const auto s2 = in.words.find("hs.switch2");
+  if (s2 != in.words.end()) switch2_count_ = s2->second;
+  const auto up = in.words.find("hs.updates");
+  if (up != in.words.end()) update_count_ = up->second;
+}
+
 }  // namespace hetero

@@ -76,6 +76,11 @@ class HeteroSwitch : public SplitFederatedAlgorithm {
                        std::vector<ClientUpdate>& updates) override;
   std::string name() const override;
 
+  /// Round-level checkpoint hooks: the L_EMA (value + seeded flag) and the
+  /// lifetime switch counters are the only cross-round state.
+  void save_state(AlgorithmCheckpoint& out) const override;
+  void load_state(const AlgorithmCheckpoint& in) override;
+
   /// Current EMA of the aggregated train loss (+inf before round 0).
   double ema_loss() const { return ema_.value(); }
 

@@ -34,6 +34,10 @@ ClientExecutor::ClientExecutor(std::size_t num_threads) {
     pool_ = std::make_unique<ThreadPool>(num_threads_);
     replicas_.resize(num_threads_);
   }
+  // Materialization arenas: one per worker (or one for the serial path).
+  // They persist across rounds so a lazy provider's steady-state allocation
+  // rate is flat — buffers are recycled via Dataset::release_buffers.
+  slots_.resize(num_threads_ > 1 ? num_threads_ : 1);
 }
 
 ClientExecutor::~ClientExecutor() = default;
@@ -49,6 +53,16 @@ RoundStats ClientExecutor::run_round(Model& model,
                                      const std::vector<Dataset>& client_data,
                                      Rng& rng, RoundRuntime* runtime,
                                      RoundContext* ctx) {
+  const VectorDatasetProvider provider(client_data);
+  return run_round(model, algorithm, selected, provider, rng, runtime, ctx);
+}
+
+RoundStats ClientExecutor::run_round(Model& model,
+                                     FederatedAlgorithm& algorithm,
+                                     const std::vector<std::size_t>& selected,
+                                     const ClientProvider& provider,
+                                     Rng& rng, RoundRuntime* runtime,
+                                     RoundContext* ctx) {
   const Clock::time_point start = Clock::now();
   RoundContext local;
   RoundContext& c = ctx ? *ctx : local;
@@ -61,14 +75,20 @@ RoundStats ClientExecutor::run_round(Model& model,
   if (split) {
     // Unified split path, serial (inline on the shared model) or parallel
     // (per-worker replicas) — the only path fault injection supports.
-    stats = run_split(model, *split, selected, client_data, rng, c, runtime);
+    stats = run_split(model, *split, selected, provider, rng, c, runtime);
   } else {
     // Serial fallback: the algorithm's own round implementation, which
     // times every client and reports it through the context. The fault
-    // layer cannot intercept a round the executor does not drive.
+    // layer cannot intercept a round the executor does not drive. Its
+    // signature indexes a resident dataset vector, so providers without
+    // one (virtual populations) are rejected rather than materialized.
     HS_CHECK(plan_ == nullptr,
              "ClientExecutor: fault injection requires a split algorithm");
-    stats = algorithm.run_round(model, selected, client_data, rng, &c);
+    const std::vector<Dataset>* data = provider.dataset_vector();
+    HS_CHECK(data != nullptr,
+             "ClientExecutor: this algorithm has no split client phase; "
+             "virtual populations require a split algorithm");
+    stats = algorithm.run_round(model, selected, *data, rng, &c);
   }
 
   stats.round_seconds = seconds_since(start);
@@ -86,7 +106,7 @@ RoundStats ClientExecutor::run_round(Model& model,
 RoundStats ClientExecutor::run_split(Model& model,
                                      SplitFederatedAlgorithm& split,
                                      const std::vector<std::size_t>& selected,
-                                     const std::vector<Dataset>& client_data,
+                                     const ClientProvider& provider,
                                      Rng& rng, RoundContext& ctx,
                                      RoundRuntime* runtime) {
   HS_CHECK(!selected.empty(), "ClientExecutor: no clients selected");
@@ -95,12 +115,13 @@ RoundStats ClientExecutor::run_split(Model& model,
   std::vector<ClientUpdate> updates(n);
   std::vector<FaultOutcome> outcomes(n);
 
-  // One client's full fault-aware execution against model replica `m`.
-  // Slot i of updates/outcomes is written by exactly one task; shared
-  // inputs (global, rng, client_data, the algorithm, the plan) are only
-  // read, and every random draw is keyed on (round, client id), so the
-  // result is bit-identical however clients are scheduled.
-  auto run_client = [&](std::size_t i, Model& m) {
+  // One client's full fault-aware execution against model replica `m` and
+  // materialization arena `slot`. Slot i of updates/outcomes is written by
+  // exactly one task; shared inputs (global, rng, the provider, the
+  // algorithm, the plan) are only read, and every random draw is keyed on
+  // (round, client id), so the result is bit-identical however clients are
+  // scheduled.
+  auto run_client = [&](std::size_t i, Model& m, ClientSlot& slot) {
     const std::size_t id = selected[i];
     FaultOutcome& out = outcomes[i];
     out.client_id = id;
@@ -115,6 +136,10 @@ RoundStats ClientExecutor::run_split(Model& model,
       out.delay_s = d.delay_s;
       return;
     }
+    // Materialize after the drop/timeout early-outs (an excluded client
+    // must not pay generation cost) and before the retry loop (retries
+    // rerun training, not data generation).
+    const Dataset& data = provider.client_dataset(id, slot);
     for (std::size_t attempt = 0;; ++attempt) {
       if (attempt > 0) {
         ++out.retries;
@@ -129,14 +154,12 @@ RoundStats ClientExecutor::run_split(Model& model,
           // transient failures: they consume the retry budget. The rerun
           // is deterministic — the client stream is re-forked from the id.
           try {
-            updates[i] =
-                split.local_update(m, global, id, client_data.at(id), client_rng);
+            updates[i] = split.local_update(m, global, id, data, client_rng);
           } catch (const std::exception&) {
             failed = true;
           }
         } else {
-          updates[i] =
-              split.local_update(m, global, id, client_data.at(id), client_rng);
+          updates[i] = split.local_update(m, global, id, data, client_rng);
         }
         if (!failed) {
           // Pure wall time; injected delay and backoff are reported
@@ -159,15 +182,17 @@ RoundStats ClientExecutor::run_split(Model& model,
   if (pool_) {
     // Fan out. Each worker lazily clones its own replica the first time it
     // picks up a client; after that only the replica's state is
-    // overwritten (local_update starts with set_state(global)).
+    // overwritten (local_update starts with set_state(global)). The
+    // worker's ClientSlot is equally private to it for the whole round.
     pool_->parallel_for(n, [&](std::size_t i) {
       const std::size_t w = ThreadPool::worker_index();
-      HS_CHECK(w < replicas_.size(), "ClientExecutor: bad worker index");
+      HS_CHECK(w < replicas_.size() && w < slots_.size(),
+               "ClientExecutor: bad worker index");
       if (!replicas_[w]) replicas_[w] = model.clone();
-      run_client(i, *replicas_[w]);
+      run_client(i, *replicas_[w], slots_[w]);
     });
   } else {
-    for (std::size_t i = 0; i < n; ++i) run_client(i, model);
+    for (std::size_t i = 0; i < n; ++i) run_client(i, model, slots_[0]);
   }
 
   // Disposition pass + event flush, on the caller's thread, in `selected`

@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "fl/algorithm.h"
+#include "fl/client_provider.h"
 #include "runtime/faults.h"
 #include "runtime/thread_pool.h"
 
@@ -95,6 +96,20 @@ class ClientExecutor {
   /// When `ctx` is non-null its observer receives the full event stream of
   /// the round (round_begin, one client_end per client in `selected`
   /// order, round_end).
+  ///
+  /// The provider form is primary: datasets are materialized through the
+  /// per-worker ClientSlot pool, so lazy providers cost O(workers) memory
+  /// per round. Algorithms without a split phase run their own serial
+  /// round, which indexes a resident dataset vector — the executor rejects
+  /// providers that cannot supply one (dataset_vector() == nullptr).
+  RoundStats run_round(Model& model, FederatedAlgorithm& algorithm,
+                       const std::vector<std::size_t>& selected,
+                       const ClientProvider& provider, Rng& rng,
+                       RoundRuntime* runtime = nullptr,
+                       RoundContext* ctx = nullptr);
+
+  /// Legacy entry point over a bare dataset vector; wraps it in a
+  /// VectorDatasetProvider and behaves identically to pre-provider builds.
   RoundStats run_round(Model& model, FederatedAlgorithm& algorithm,
                        const std::vector<std::size_t>& selected,
                        const std::vector<Dataset>& client_data, Rng& rng,
@@ -104,12 +119,13 @@ class ClientExecutor {
  private:
   RoundStats run_split(Model& model, SplitFederatedAlgorithm& split,
                        const std::vector<std::size_t>& selected,
-                       const std::vector<Dataset>& client_data, Rng& rng,
+                       const ClientProvider& provider, Rng& rng,
                        RoundContext& ctx, RoundRuntime* runtime);
 
   std::size_t num_threads_ = 1;
   std::unique_ptr<ThreadPool> pool_;              // null when num_threads_==1
   std::vector<std::unique_ptr<Model>> replicas_;  // one slot per worker
+  std::vector<ClientSlot> slots_;  // one materialization arena per worker
   FaultOptions fault_options_;
   std::unique_ptr<FaultPlan> plan_;  // null while fault injection is off
 };

@@ -151,10 +151,15 @@ FaultDecision FaultPlan::decide(std::size_t round, std::size_t client) const {
   if (u_straggle < options_.straggler_prob) {
     // Device-tier scaling stretches the delay with the client's hardware
     // class; with no scale table installed this multiplies by exactly 1
-    // and the decision is bit-identical to the unscaled plan.
-    const double scale = client < options_.client_delay_scale.size()
-                             ? options_.client_delay_scale[client]
-                             : 1.0;
+    // and the decision is bit-identical to the unscaled plan. The lazy
+    // callback form takes precedence so virtual populations never need an
+    // O(N) scale table.
+    const double scale =
+        options_.delay_scale_fn
+            ? options_.delay_scale_fn(client)
+            : (client < options_.client_delay_scale.size()
+                   ? options_.client_delay_scale[client]
+                   : 1.0);
     d.delay_s = u_delay * 2.0 * options_.straggler_delay_s * scale;
   }
   d.corrupt = u_corrupt < options_.corrupt_prob;

@@ -19,6 +19,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -65,6 +66,12 @@ struct FaultOptions {
   /// compute jitter base). Empty = homogeneous 1.0. Indexed by client id;
   /// clients beyond the vector scale by 1.0.
   std::vector<double> client_delay_scale;
+  /// Lazy alternative to client_delay_scale for virtual populations, where
+  /// an O(N) table would defeat the point of never materializing N clients:
+  /// when set, FaultPlan::decide consults this instead of the vector. MUST
+  /// be pure and thread-safe (decide() runs concurrently from workers);
+  /// ClientProvider::speed_scale_of satisfies both.
+  std::function<double(std::size_t)> delay_scale_fn;
 
   /// True when any injection probability is positive. min_clients and
   /// update validation are active regardless (they also guard against

@@ -17,6 +17,7 @@
 namespace hetero {
 
 struct DeviceProfile;
+class ClientProvider;
 
 /// Relative compute slowdown of one device tier: H < M (= 1) < L. A small
 /// deterministic vendor nudge keeps same-tier devices from being exact
@@ -42,6 +43,10 @@ struct DelayModel {
   std::vector<double> client_scale;
   /// Per-client work units (local dataset sizes); empty = 1.0.
   std::vector<double> client_work;
+  /// Lazy alternative to the two vectors above for virtual populations:
+  /// when set, scale and work come from speed_scale_of / work_of instead of
+  /// O(N) tables. Non-owning; must outlive the scheduler run.
+  const ClientProvider* provider = nullptr;
 
   double compute_seconds(std::size_t client, double jitter_u) const;
 };

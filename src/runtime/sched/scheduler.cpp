@@ -55,6 +55,9 @@ EventScheduler::EventScheduler(std::size_t num_threads,
     pool_ = std::make_unique<ThreadPool>(num_threads_);
     replicas_.resize(num_threads_);
   }
+  // Materialization arenas persist across training batches and flushes so
+  // lazy providers recycle buffers instead of reallocating per client.
+  slots_.resize(num_threads_ > 1 ? num_threads_ : 1);
 }
 
 EventScheduler::~EventScheduler() = default;
@@ -112,11 +115,12 @@ void EventScheduler::dispatch_client(std::size_t client, std::size_t coord,
 
 void EventScheduler::train_pending(Model& model,
                                    const SplitFederatedAlgorithm& algorithm,
-                                   const std::vector<Dataset>& client_data) {
+                                   const ClientProvider& provider) {
   // Lazy batch training: gather every in-flight dispatch that will need an
   // update and has not trained yet. Training inputs (base snapshot, RNG
-  // stream, dataset) were all fixed at dispatch, so the batch composition
-  // — which depends only on event order — cannot affect any result.
+  // stream, dataset recipe) were all fixed at dispatch, so the batch
+  // composition — which depends only on event order — cannot affect any
+  // result.
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < dispatches_.size(); ++i) {
     const Dispatch& d = dispatches_[i];
@@ -125,22 +129,21 @@ void EventScheduler::train_pending(Model& model,
   if (pending.empty()) return;
 
   const bool tolerate = fault_options_.enabled();
-  auto train_one = [&](Dispatch& d, Model& m) {
+  auto train_one = [&](Dispatch& d, Model& m, ClientSlot& slot) {
     Rng crng = d.client_rng;
+    const Dataset& data = provider.client_dataset(d.client_id, slot);
     const Clock::time_point t0 = Clock::now();
     if (tolerate) {
       // Mirror the round executor: with fault injection on, organic
       // exceptions from local training are tolerated and surface as a
       // permanent failure at commit (the timeline is already fixed).
       try {
-        d.update = algorithm.local_update(m, *d.base, d.client_id,
-                                          client_data.at(d.client_id), crng);
+        d.update = algorithm.local_update(m, *d.base, d.client_id, data, crng);
       } catch (const std::exception&) {
         d.train_failed = true;
       }
     } else {
-      d.update = algorithm.local_update(m, *d.base, d.client_id,
-                                        client_data.at(d.client_id), crng);
+      d.update = algorithm.local_update(m, *d.base, d.client_id, data, crng);
     }
     d.update.train_seconds = seconds_since(t0);
     if (!d.train_failed && d.decision.corrupt) {
@@ -152,9 +155,10 @@ void EventScheduler::train_pending(Model& model,
   if (pool_) {
     pool_->parallel_for(pending.size(), [&](std::size_t j) {
       const std::size_t w = ThreadPool::worker_index();
-      HS_CHECK(w < replicas_.size(), "EventScheduler: bad worker index");
+      HS_CHECK(w < replicas_.size() && w < slots_.size(),
+               "EventScheduler: bad worker index");
       if (!replicas_[w]) replicas_[w] = model.clone();
-      train_one(dispatches_[pending[j]], *replicas_[w]);
+      train_one(dispatches_[pending[j]], *replicas_[w], slots_[w]);
     });
   } else {
     // Serial path trains on a dedicated scratch replica, never the server
@@ -162,7 +166,7 @@ void EventScheduler::train_pending(Model& model,
     // clients hold snapshots; an aborted flush must leave it untouched).
     if (!scratch_) scratch_ = model.clone();
     for (std::size_t j = 0; j < pending.size(); ++j) {
-      train_one(dispatches_[pending[j]], *scratch_);
+      train_one(dispatches_[pending[j]], *scratch_, slots_[0]);
     }
   }
 }
@@ -172,7 +176,17 @@ SchedulerRunResult EventScheduler::run(
     std::size_t clients_per_round, const std::vector<Dataset>& client_data,
     Rng& rng, RoundObserver* observer,
     const std::function<void(std::size_t)>& on_flush) {
-  const std::size_t N = client_data.size();
+  const VectorDatasetProvider provider(client_data);
+  return run(model, algorithm, flushes, clients_per_round, provider, rng,
+             observer, on_flush);
+}
+
+SchedulerRunResult EventScheduler::run(
+    Model& model, SplitFederatedAlgorithm& algorithm, std::size_t flushes,
+    std::size_t clients_per_round, const ClientProvider& provider,
+    Rng& rng, RoundObserver* observer,
+    const std::function<void(std::size_t)>& on_flush) {
+  const std::size_t N = provider.num_clients();
   const std::size_t k = clients_per_round;
   HS_CHECK(N > 0, "EventScheduler: no clients");
   HS_CHECK(k > 0 && k <= N, "EventScheduler: bad clients_per_round");
@@ -425,7 +439,7 @@ SchedulerRunResult EventScheduler::run(
     clock_ = std::max(clock_, ev.time);
     Dispatch& d = dispatches_[ev.dispatch];
     if (trainable_kind(d.kind) && !d.trained) {
-      train_pending(model, algorithm, client_data);
+      train_pending(model, algorithm, provider);
     }
     commit(d);
     if (!options_.wave_sampling) dispatch_replacement();

@@ -33,6 +33,7 @@
 #include <vector>
 
 #include "fl/algorithm.h"
+#include "fl/client_provider.h"
 #include "runtime/faults.h"
 #include "runtime/sched/delay_model.h"
 #include "runtime/sched/event_queue.h"
@@ -87,7 +88,17 @@ class EventScheduler {
   /// loop consumes it under wave sampling. `observer` (may be null) sees
   /// round_begin / client_end (commit order) / round_end per flush window;
   /// `on_flush` (may be empty) fires after flush f with the 1-based flush
-  /// count, for eval checkpoints.
+  /// count, for eval checkpoints. Client datasets are materialized through
+  /// per-worker ClientSlot arenas, so lazy providers keep the working set
+  /// O(in-flight), never O(N).
+  SchedulerRunResult run(Model& model, SplitFederatedAlgorithm& algorithm,
+                         std::size_t flushes, std::size_t clients_per_round,
+                         const ClientProvider& provider, Rng& rng,
+                         RoundObserver* observer,
+                         const std::function<void(std::size_t)>& on_flush);
+
+  /// Legacy entry point over a bare dataset vector; wraps it in a
+  /// VectorDatasetProvider and behaves identically to pre-provider builds.
   SchedulerRunResult run(Model& model, SplitFederatedAlgorithm& algorithm,
                          std::size_t flushes, std::size_t clients_per_round,
                          const std::vector<Dataset>& client_data, Rng& rng,
@@ -100,7 +111,7 @@ class EventScheduler {
   void dispatch_client(std::size_t client, std::size_t coord, Rng client_rng,
                        double now);
   void train_pending(Model& model, const SplitFederatedAlgorithm& algorithm,
-                     const std::vector<Dataset>& client_data);
+                     const ClientProvider& provider);
 
   std::size_t num_threads_ = 1;
   SchedulerOptions options_;
@@ -111,6 +122,7 @@ class EventScheduler {
   std::unique_ptr<ThreadPool> pool_;              // null when num_threads_==1
   std::vector<std::unique_ptr<Model>> replicas_;  // one slot per worker
   std::unique_ptr<Model> scratch_;                // serial training replica
+  std::vector<ClientSlot> slots_;  // one materialization arena per worker
 
   // Run state (reset by run()).
   EventQueue queue_;

@@ -106,6 +106,28 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
                                                          std::size_t k) {
   assert(k <= n);
+  // Sparse path for huge populations: rejection sampling with a linear
+  // dedup scan over the k picks drawn so far, O(k^2) time but O(k) memory —
+  // the dense path below allocates an O(n) index vector, which at N = 1M
+  // clients per round would dwarf the actual working set. The branch
+  // condition depends only on (n, k), never on drawn values, so a given
+  // (state, n, k) always takes the same path and replay stays bit-exact.
+  if (n >= 10000 && k <= n / 8) {
+    std::vector<std::size_t> out;
+    out.reserve(k);
+    while (out.size() < k) {
+      const std::size_t c = static_cast<std::size_t>(uniform_int(n));
+      bool seen = false;
+      for (std::size_t prev : out) {
+        if (prev == c) {
+          seen = true;
+          break;
+        }
+      }
+      if (!seen) out.push_back(c);
+    }
+    return out;
+  }
   // Partial Fisher-Yates: only the first k slots are needed.
   std::vector<std::size_t> idx(n);
   for (std::size_t i = 0; i < n; ++i) idx[i] = i;
@@ -115,6 +137,20 @@ std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
   }
   idx.resize(k);
   return idx;
+}
+
+RngState Rng::save_state() const {
+  RngState state;
+  for (int i = 0; i < 4; ++i) state.s[i] = s_[i];
+  state.has_cached_normal = has_cached_normal_;
+  state.cached_normal = cached_normal_;
+  return state;
+}
+
+void Rng::restore_state(const RngState& state) {
+  for (int i = 0; i < 4; ++i) s_[i] = state.s[i];
+  has_cached_normal_ = state.has_cached_normal;
+  cached_normal_ = state.cached_normal;
 }
 
 Rng Rng::fork(std::uint64_t tag) const {

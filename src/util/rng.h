@@ -12,6 +12,15 @@
 
 namespace hetero {
 
+/// A serializable snapshot of one Rng's full state (engine words plus the
+/// Box-Muller cache), used by the round-level checkpoint layer to resume a
+/// run with a bit-identical continuation of every stream.
+struct RngState {
+  std::uint64_t s[4] = {0, 0, 0, 0};
+  bool has_cached_normal = false;
+  double cached_normal = 0.0;
+};
+
 /// Deterministic random number generator (xoshiro256**).
 ///
 /// Not thread-safe; create one per logical stream. Use fork(tag) to derive
@@ -77,6 +86,11 @@ class Rng {
   /// stream depends only on the keys and the parent state, never on how many
   /// draws other clients consumed first.
   Rng fork(std::uint64_t tag_a, std::uint64_t tag_b) const;
+
+  /// Snapshot / restore of the full generator state. restore_state makes
+  /// this Rng continue bit-for-bit from where the snapshotted one stopped.
+  RngState save_state() const;
+  void restore_state(const RngState& state);
 
  private:
   std::uint64_t s_[4];

@@ -54,6 +54,16 @@ class Ema {
   double alpha() const { return alpha_; }
   void reset();
 
+  /// The raw smoothed value regardless of initialization (0.0 while empty);
+  /// with initialized(), exactly the pair restore() needs. Used by the
+  /// round-level checkpoint layer, which must round-trip the EMA bit-exactly.
+  double raw_value() const { return value_; }
+  /// Restores a checkpointed (raw value, initialized) pair.
+  void restore(double value, bool initialized) {
+    value_ = value;
+    initialized_ = initialized;
+  }
+
  private:
   double alpha_;
   double empty_value_;

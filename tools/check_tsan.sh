@@ -12,7 +12,10 @@
 # add concurrent FaultPlan::decide calls and the fault-aware disposition
 # pass to the raced surface. The sched tests run the event scheduler's
 # lazy parallel training batches across thread counts, asserting
-# bit-identical async/buffered results while TSan watches the fan-out.
+# bit-identical async/buffered results while TSan watches the fan-out. The
+# population tests run multi-threaded simulations over VirtualPopulation,
+# where worker threads materialize client datasets concurrently through
+# per-worker slots — the provider's const-purity contract under watch.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -22,11 +25,11 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHETERO_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j "$(nproc)" --target test_runtime test_kernels test_faults test_sched
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target test_runtime test_kernels test_faults test_sched test_population
 
 # halt_on_error makes a race fail the run instead of just logging it.
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
-  ctest --test-dir "${BUILD_DIR}" -R '^(test_runtime|test_kernels|test_faults|test_sched)$' \
+  ctest --test-dir "${BUILD_DIR}" -R '^(test_runtime|test_kernels|test_faults|test_sched|test_population)$' \
   --output-on-failure "$@"
 
 echo "TSan check passed."

@@ -12,9 +12,11 @@
 //
 // Common options: --seed N. See `hsctl <command> --help` for the rest.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -78,6 +80,8 @@ class Args {
 
   bool ok() const { return ok_; }
   bool help() const { return help_; }
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
 
   std::string get(const std::string& key, const std::string& fallback) const {
     const auto it = values_.find(key);
@@ -241,6 +245,8 @@ int cmd_fl(const Args& args) {
         "         [--faults SPEC] [--min-clients N]\n"
         "         [--sched sync|async|buffered] [--buffer B] [--alpha A] "
         "[--staleness-exp E]\n"
+        "         [--population materialized|virtual] [--checkpoint DIR] "
+        "[--ckpt-every N]\n"
         "Methods: fedavg heteroswitch qfedavg fedprox scaffold fedavgm "
         "dpfedavg compressed\n"
         "Faults:  SPEC is key=value pairs, e.g. "
@@ -252,7 +258,16 @@ int cmd_fl(const Args& args) {
         "         buffered flushes every B terminal outcomes (0 = K); sync "
         "is the default\n"
         "         round loop. --sched also accepts a full spec, e.g. "
-        "\"buffered,buffer=4,compute=0.01\".\n");
+        "\"buffered,buffer=4,compute=0.01\".\n"
+        "Population: virtual generates clients lazily (O(k) memory, scales "
+        "to millions);\n"
+        "         materialized is the eager layout. Bit-identical results "
+        "either way.\n"
+        "Checkpoint: write <DIR>/checkpoint.bin every --ckpt-every rounds "
+        "and resume from\n"
+        "         it when present (sync loop only). HS_CHECKPOINT="
+        "\"DIR[,every=N][,resume=0|1]\"\n"
+        "         is the env equivalent when --checkpoint is absent.\n");
     return 0;
   }
   const std::string method = args.get("method", "heteroswitch");
@@ -270,6 +285,16 @@ int cmd_fl(const Args& args) {
   sched.staleness_exponent =
       args.get_double("staleness-exp", sched.staleness_exponent);
 
+  const std::string population_kind = args.get("population", "materialized");
+  CheckpointOptions checkpoint;
+  if (args.has("checkpoint")) {
+    checkpoint.dir = args.get("checkpoint", "");
+    checkpoint.every =
+        static_cast<std::size_t>(args.get_int("ckpt-every", 1));
+  } else if (const char* env = std::getenv("HS_CHECKPOINT")) {
+    checkpoint = parse_checkpoint_spec(env);
+  }
+
   SceneGenerator scenes(64);
   Rng root(seed);
   PopulationConfig pcfg;
@@ -278,10 +303,21 @@ int cmd_fl(const Args& args) {
   pcfg.test_per_class = 5;
   pcfg.capture.tensor_size = 16;
   pcfg.capture.illuminant_sigma_override = -1.0f;
-  Rng pop_rng = root.fork(1);
-  std::printf("building population (%zu clients)...\n", n_clients);
-  const FlPopulation pop = build_population(paper_devices(), pcfg, scenes,
-                                            pop_rng);
+  const PopulationSpec pspec =
+      PopulationSpec::single_label(paper_devices(), pcfg, scenes);
+  const Rng pop_root = root.fork(1);
+  std::unique_ptr<ClientProvider> pop;
+  if (population_kind == "virtual") {
+    std::printf("virtual population (%zu clients, lazy)...\n", n_clients);
+    pop = std::make_unique<VirtualPopulation>(pspec, pop_root);
+  } else if (population_kind == "materialized") {
+    std::printf("building population (%zu clients)...\n", n_clients);
+    pop = std::make_unique<MaterializedPopulation>(pspec, pop_root);
+  } else {
+    std::fprintf(stderr, "unknown population kind: %s\n",
+                 population_kind.c_str());
+    return 1;
+  }
 
   LocalTrainConfig local;
   local.lr = 0.1f;
@@ -328,9 +364,10 @@ int cmd_fl(const Args& args) {
   sim.seed = seed + 3;
   sim.faults = faults;
   sim.sched = sched;
+  sim.checkpoint = checkpoint;
   ProgressObserver progress;
   sim.observer = &progress;
-  const SimulationResult r = run_simulation(*model, *algo, pop, sim);
+  const SimulationResult r = run_simulation(*model, *algo, *pop, sim);
 
   std::printf("\n%s after %zu rounds:\n", algo->name().c_str(), rounds);
   if (sched.scheduled()) {
@@ -351,8 +388,9 @@ int cmd_fl(const Args& args) {
         r.runtime.rounds_aborted);
   }
   Table table({"Device", "Accuracy"});
-  for (std::size_t d = 0; d < pop.device_names.size(); ++d) {
-    table.add_row({pop.device_names[d],
+  const std::vector<std::string>& device_names = pop->device_names();
+  for (std::size_t d = 0; d < device_names.size(); ++d) {
+    table.add_row({device_names[d],
                    Table::pct(r.final_metrics.per_device[d])});
   }
   table.print(std::cout);
