@@ -1,10 +1,13 @@
-// Microbenchmark: reference vs tiled GEMM kernels on the matrix shapes the
-// paper CNNs actually produce (im2col'd convolution layers of the
-// mobile-/shuffle-/squeeze-mini models at B=10, plus the classifier head).
+// Microbenchmark: reference vs tiled vs fast GEMM kernels on the matrix
+// shapes the paper CNNs actually produce (im2col'd convolution layers of
+// the mobile-/shuffle-/squeeze-mini models at B=10, plus the classifier
+// head).
 //
-// Prints GFLOP/s per (variant, shape) for both kernel kinds and the tiled
-// speedup, and appends one JSONL record per row to BENCH_kernels.json.
-// Honours HS_SCALE / HS_SEED like the experiment benches.
+// Prints GFLOP/s per (variant, shape) for all three kernel kinds and the
+// tiled speedup, and appends one JSONL record per row to
+// BENCH_kernels.json (rows carrying a "fast_gflops" field postdate the
+// fast kind; earlier rows in the file lack it). Honours HS_SCALE /
+// HS_SEED like the experiment benches.
 #include <algorithm>
 #include <fstream>
 #include <functional>
@@ -59,7 +62,8 @@ int main() {
   const std::size_t reps = static_cast<std::size_t>(scale.n(5, 40));
   const std::size_t inner = 8;  // kernel calls per timed rep
 
-  Table table({"Shape", "Variant", "Ref GF/s", "Tiled GF/s", "Speedup"});
+  Table table(
+      {"Shape", "Variant", "Ref GF/s", "Tiled GF/s", "Fast GF/s", "Speedup"});
   std::ofstream jsonl("BENCH_kernels.json", std::ios::app);
   Rng rng(scale.seed());
 
@@ -95,25 +99,30 @@ int main() {
         time_best_s(reps, [&] { run(kernels::KernelKind::kReference); });
     const double t_til =
         time_best_s(reps, [&] { run(kernels::KernelKind::kTiled); });
+    const double t_fast =
+        time_best_s(reps, [&] { run(kernels::KernelKind::kFast); });
 
     const double flops = 2.0 * static_cast<double>(c.m) * c.k * c.n * inner;
     const double gf_ref = flops / t_ref / 1e9;
     const double gf_til = flops / t_til / 1e9;
+    const double gf_fast = flops / t_fast / 1e9;
     const double speedup = t_ref / t_til;
 
     const char* variant = c.variant == 'n'   ? "nn"
                           : c.variant == 't' ? "nt"
                                              : "tn";
-    char ref_s[32], til_s[32], sp_s[32];
+    char ref_s[32], til_s[32], fast_s[32], sp_s[32];
     std::snprintf(ref_s, sizeof ref_s, "%.2f", gf_ref);
     std::snprintf(til_s, sizeof til_s, "%.2f", gf_til);
+    std::snprintf(fast_s, sizeof fast_s, "%.2f", gf_fast);
     std::snprintf(sp_s, sizeof sp_s, "%.2fx", speedup);
-    table.add_row({c.label, variant, ref_s, til_s, sp_s});
+    table.add_row({c.label, variant, ref_s, til_s, fast_s, sp_s});
     jsonl << "{\"bench\":\"micro_gemm\",\"shape\":\"" << c.label
           << "\",\"variant\":\"" << variant << "\",\"m\":" << c.m
           << ",\"k\":" << c.k << ",\"n\":" << c.n
           << ",\"ref_gflops\":" << gf_ref << ",\"tiled_gflops\":" << gf_til
-          << ",\"speedup\":" << speedup << "}\n";
+          << ",\"fast_gflops\":" << gf_fast << ",\"speedup\":" << speedup
+          << "}\n";
   }
 
   finish(table, "micro_gemm");

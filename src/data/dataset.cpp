@@ -51,7 +51,8 @@ std::size_t Dataset::num_label_dims() const {
 Tensor Dataset::gather_x(const std::vector<std::size_t>& idx) const {
   HS_CHECK(!idx.empty(), "Dataset::gather_x: empty index list");
   const std::size_t sample = xs_.size() / n_;
-  Tensor out({idx.size(), xs_.dim(1), xs_.dim(2), xs_.dim(3)});
+  // One row copied per index below — the gather fills the tensor in full.
+  Tensor out = Tensor::uninit({idx.size(), xs_.dim(1), xs_.dim(2), xs_.dim(3)});
   for (std::size_t i = 0; i < idx.size(); ++i) {
     HS_CHECK(idx[i] < n_, "Dataset::gather_x: index out of range");
     std::copy(xs_.data() + idx[i] * sample, xs_.data() + (idx[i] + 1) * sample,

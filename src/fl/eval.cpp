@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "kernels/kernels.h"
 #include "nn/loss.h"
 #include "tensor/tensor_ops.h"
 
@@ -10,8 +11,13 @@ namespace hetero {
 namespace {
 
 /// Runs the model over the dataset in eval mode and returns stacked logits.
+/// The EvalScope marks every forward below as inference-only, which is what
+/// lets HS_EVAL=int8 reroute them (server-side eval and HeteroSwitch's
+/// L_init / post-training probes all funnel through here) while training
+/// forwards stay in f32 unconditionally.
 Tensor forward_all(Model& model, const Dataset& data, std::size_t batch_size) {
   HS_CHECK(!data.empty(), "forward_all: empty dataset");
+  const kernels::EvalScope eval_scope;
   Tensor logits;
   std::size_t out_dim = 0;
   std::vector<std::size_t> idx;
@@ -22,7 +28,9 @@ Tensor forward_all(Model& model, const Dataset& data, std::size_t batch_size) {
     Tensor out = model.forward(data.gather_x(idx), /*train=*/false);
     if (logits.empty()) {
       out_dim = out.dim(1);
-      logits = Tensor({data.size(), out_dim});
+      // The batch loop covers [0, data.size()) exactly once, so every row
+      // is written before the tensor is read.
+      logits = Tensor::uninit({data.size(), out_dim});
     }
     for (std::size_t i = 0; i < idx.size(); ++i) {
       std::copy(out.data() + i * out_dim, out.data() + (i + 1) * out_dim,

@@ -1,6 +1,7 @@
 #include "hetero/heteroswitch.h"
 
 #include "fl/eval.h"
+#include "kernels/kernels.h"
 #include "util/rng.h"
 
 namespace hetero {
@@ -68,7 +69,7 @@ ClientUpdate HeteroSwitch::local_update(Model& model, const Tensor& global,
       // (HeteroSwitchOptions::switch_on_unseeded_ema restores the legacy
       // fire-for-everyone round 0).
       if (!ema_.initialized() && !options_.switch_on_unseeded_ema) break;
-      const double l_init = evaluate_loss(model, probe, cfg_.batch_size);
+      const double l_init = evaluate_loss(model, probe, probe_batch());
       switch1 = l_init < l_ema;
       break;
     }
@@ -100,7 +101,7 @@ ClientUpdate HeteroSwitch::local_update(Model& model, const Tensor& global,
   // With the validation criterion the post-training loss is re-measured
   // on the held-out slice instead of reusing the running train loss.
   const double l_post = use_val
-                            ? evaluate_loss(model, probe, cfg_.batch_size)
+                            ? evaluate_loss(model, probe, probe_batch())
                             : static_cast<double>(l_train);
   bool switch2 = false;
   switch (options_.mode) {
@@ -154,6 +155,12 @@ RoundStats HeteroSwitch::aggregate(Model& model, const Tensor& global,
   stats.extras["hs.switch1"] = static_cast<double>(round_switch1);
   stats.extras["hs.switch2"] = static_cast<double>(round_switch2);
   stats.extras["hs.ema_loss"] = ema_.value();
+  if (kernels::eval_mode() == kernels::EvalMode::kInt8) {
+    // Marks traces whose probe losses came through the quantized eval
+    // path. Emitted only when the mode is on so default-mode traces stay
+    // byte-identical to pre-int8 runs.
+    stats.extras["hs.eval_int8"] = 1.0;
+  }
   return stats;
 }
 

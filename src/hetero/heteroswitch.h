@@ -58,6 +58,13 @@ struct HeteroSwitchOptions {
   /// true restores the legacy behavior where the empty EMA reads +inf and
   /// L_init < +inf fires Switch_1 for every client in round 0.
   bool switch_on_unseeded_ema = false;
+  /// Forward batch size for the L_init / post-training probe evals. Eval
+  /// batching is invisible to the measured losses in f32 (per-element
+  /// reduction chains are batch-independent, DESIGN.md §13), so probes
+  /// default to a larger batch than the paper's training B=10 purely to
+  /// amortize per-batch forward overhead. 0 falls back to the training
+  /// batch size.
+  std::size_t probe_batch = 64;
 };
 
 class HeteroSwitch : public SplitFederatedAlgorithm {
@@ -90,6 +97,12 @@ class HeteroSwitch : public SplitFederatedAlgorithm {
   std::size_t client_updates() const { return update_count_; }
 
  private:
+  /// Batch size for the probe evals (options_.probe_batch, falling back to
+  /// the training batch size when 0).
+  std::size_t probe_batch() const {
+    return options_.probe_batch ? options_.probe_batch : cfg_.batch_size;
+  }
+
   LocalTrainConfig cfg_;
   HeteroSwitchOptions options_;
   Ema ema_;

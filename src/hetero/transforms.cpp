@@ -12,28 +12,40 @@ void check_chw(const Tensor& t) {
   HS_CHECK(t.rank() == 3, "transform: tensor must be (C, H, W)");
 }
 
-}  // namespace
-
-void random_white_balance(Tensor& chw, float degree, Rng& rng) {
-  check_chw(chw);
-  HS_CHECK(degree >= 0.0f && degree < 1.0f, "random_white_balance: degree");
-  const std::size_t c = chw.dim(0), hw = chw.dim(1) * chw.dim(2);
+// Raw-buffer bodies shared by the Tensor entry points and the in-place
+// batch path below (which transforms samples inside the NCHW slab instead
+// of copying each one out and back). Identical RNG draw order either way.
+void white_balance_planes(float* data, std::size_t c, std::size_t hw,
+                          float degree, Rng& rng) {
   for (std::size_t ch = 0; ch < c; ++ch) {
     const float gain = rng.uniform_f(1.0f - degree, 1.0f + degree);
-    float* plane = chw.data() + ch * hw;
+    float* plane = data + ch * hw;
     for (std::size_t i = 0; i < hw; ++i) {
       plane[i] = std::clamp(plane[i] * gain, 0.0f, 1.0f);
     }
   }
 }
 
+void gamma_flat(float* data, std::size_t n, float degree, Rng& rng) {
+  const float gamma = rng.uniform_f(1.0f - degree, 1.0f + degree);
+  for (std::size_t i = 0; i < n; ++i) {
+    data[i] = std::pow(std::clamp(data[i], 0.0f, 1.0f), gamma);
+  }
+}
+
+}  // namespace
+
+void random_white_balance(Tensor& chw, float degree, Rng& rng) {
+  check_chw(chw);
+  HS_CHECK(degree >= 0.0f && degree < 1.0f, "random_white_balance: degree");
+  white_balance_planes(chw.data(), chw.dim(0), chw.dim(1) * chw.dim(2),
+                       degree, rng);
+}
+
 void random_gamma(Tensor& chw, float degree, Rng& rng) {
   check_chw(chw);
   HS_CHECK(degree >= 0.0f && degree < 1.0f, "random_gamma: degree");
-  const float gamma = rng.uniform_f(1.0f - degree, 1.0f + degree);
-  for (float& v : chw.flat()) {
-    v = std::pow(std::clamp(v, 0.0f, 1.0f), gamma);
-  }
+  gamma_flat(chw.data(), chw.size(), degree, rng);
 }
 
 void random_affine(Tensor& chw, float degree, Rng& rng) {
@@ -131,11 +143,16 @@ IspTransformConfig tuned_isp_transform() { return {}; }
 void apply_isp_transform_batch(Tensor& nchw, const IspTransformConfig& cfg,
                                Rng& rng) {
   HS_CHECK(nchw.rank() == 4, "apply_isp_transform_batch: tensor must be NCHW");
+  HS_CHECK(cfg.wb_degree >= 0.0f && cfg.wb_degree < 1.0f,
+           "apply_isp_transform_batch: wb degree");
+  HS_CHECK(cfg.gamma_degree >= 0.0f && cfg.gamma_degree < 1.0f,
+           "apply_isp_transform_batch: gamma degree");
+  const std::size_t c = nchw.dim(1);
+  const std::size_t hw = nchw.dim(2) * nchw.dim(3);
   for (std::size_t i = 0; i < nchw.dim(0); ++i) {
-    Tensor sample = nchw.slice0(i);
-    random_white_balance(sample, cfg.wb_degree, rng);
-    random_gamma(sample, cfg.gamma_degree, rng);
-    nchw.set_slice0(i, sample);
+    float* sample = nchw.data() + i * c * hw;
+    white_balance_planes(sample, c, hw, cfg.wb_degree, rng);
+    gamma_flat(sample, c * hw, cfg.gamma_degree, rng);
   }
 }
 

@@ -6,7 +6,7 @@
 //   kReference — (sample, group)-major blocks, each a contiguous
 //                (patch, oh*ow) matrix: the seed cache, one slab per
 //                (sample, group), driving one GEMM per sample per group.
-//   kTiled     — group-major blocks, each a batched (patch, n*oh*ow)
+//   kTiled/kFast — group-major blocks, each a batched (patch, n*oh*ow)
 //                matrix whose column s*oh*ow + i is output pixel i of
 //                sample s: one GEMM per group for the whole mini-batch.
 //                Two layer shapes skip the unfold and retain the input
@@ -21,8 +21,13 @@
 // valid-range precomputation only removes the per-pixel bounds branches,
 // visiting elements in the seed loop order.
 //
+// The fast kind shares every structural path (and the cols layout) with
+// tiled — only the GEMMs it dispatches to differ — so Conv2d's cached-kind
+// contract holds for it unchanged.
+//
 // Forward activations, input gradients and bias gradients are bit-identical
-// across kinds: every fast path preserves the reference per-element chains
+// across the reference and tiled kinds: every structural fast path
+// preserves the reference per-element chains
 // (patch rows reduced in ascending order, col2im's add order, zero-weight
 // rows skipped, padded taps contributing exact zeros). The weight gradient
 // is the one tensor that drifts: the tiled kind reduces it in f32 over the
@@ -35,11 +40,36 @@
 #include <utility>
 #include <vector>
 
+#include "kernels/internal.h"
 #include "kernels/isa.h"
 
 namespace hetero::kernels {
 
+// Blocked transpose of a (rows, ld) matrix into (ld, rows) order, so the
+// weight-gradient GEMM (and the int8 eval path, which shares it through
+// internal.h) can reduce over the batched column index with unit-stride
+// loads.
+HS_TILED_CLONES
+void detail::transpose_to(const float* HS_RESTRICT src, std::size_t rows,
+                          std::size_t ld, float* HS_RESTRICT dst) {
+  constexpr std::size_t kB = 32;
+  for (std::size_t i0 = 0; i0 < ld; i0 += kB) {
+    const std::size_t ib = std::min(kB, ld - i0);
+    for (std::size_t r0 = 0; r0 < rows; r0 += kB) {
+      const std::size_t rb = std::min(kB, rows - r0);
+      for (std::size_t i = i0; i < i0 + ib; ++i) {
+        float* HS_RESTRICT drow = dst + i * rows + r0;
+        for (std::size_t r = 0; r < rb; ++r) {
+          drow[r] = src[(r0 + r) * ld + i];
+        }
+      }
+    }
+  }
+}
+
 namespace {
+
+using detail::transpose_to;
 
 // Workspace slot map: slot 0 is left to the caller (src/nn keeps the
 // retained cols buffer there); forward/backward scratch lives above it.
@@ -81,27 +111,6 @@ bool pointwise(const ConvShape& s) {
 bool depthwise_direct(const ConvShape& s) {
   return s.group_in_c() == 1 && s.group_out_c() == 1 && s.kernel > 1 &&
          s.kernel * s.kernel * s.out_h() * s.out_w() >= s.in_h * s.in_w;
-}
-
-/// Blocked transpose of a (rows, ld) matrix into (ld, rows) order, so the
-/// weight-gradient GEMM can reduce over the batched column index with
-/// unit-stride loads.
-HS_TILED_CLONES
-void transpose_to(const float* HS_RESTRICT src, std::size_t rows,
-                  std::size_t ld, float* HS_RESTRICT dst) {
-  constexpr std::size_t kB = 32;
-  for (std::size_t i0 = 0; i0 < ld; i0 += kB) {
-    const std::size_t ib = std::min(kB, ld - i0);
-    for (std::size_t r0 = 0; r0 < rows; r0 += kB) {
-      const std::size_t rb = std::min(kB, rows - r0);
-      for (std::size_t i = i0; i < i0 + ib; ++i) {
-        float* HS_RESTRICT drow = dst + i * rows + r0;
-        for (std::size_t r = 0; r < rb; ++r) {
-          drow[r] = src[(r0 + r) * ld + i];
-        }
-      }
-    }
-  }
 }
 
 /// One depthwise output plane, accumulated straight from the shifted input
@@ -389,6 +398,30 @@ inline void im2col_impl(const float* img, const ConvShape& s, std::size_t c0,
         const std::ptrdiff_t off_x = static_cast<std::ptrdiff_t>(kx) -
                                      static_cast<std::ptrdiff_t>(s.pad);
         float* out_row = dst + row * ld + col0;
+        if (s.stride == 1 && s.in_w == ow && ry.lo < ry.hi) {
+          // Same row stride on both sides (k = 2*pad + 1), so the valid
+          // rows form one contiguous span in the image and in the patch
+          // row alike: copy them in a single block, then zero the edge
+          // columns the block brought along from neighbouring image rows.
+          // Same values as the per-row path, ~one memcpy instead of oh.
+          const std::size_t iy0 = ry.lo * s.stride + ky - s.pad;
+          const float* src = chan + iy0 * s.in_w +
+                             static_cast<std::ptrdiff_t>(rx.lo) + off_x;
+          float* blk = out_row + ry.lo * ow + rx.lo;
+          const std::size_t len =
+              (ry.hi - ry.lo - 1) * ow + (rx.hi - rx.lo);
+          std::copy(src, src + len, blk);
+          std::fill(out_row, out_row + ry.lo * ow + rx.lo, 0.0f);
+          std::fill(out_row + (ry.hi - 1) * ow + rx.hi, out_row + oh * ow,
+                    0.0f);
+          if (rx.lo > 0 || rx.hi < ow) {
+            for (std::size_t oy = ry.lo; oy + 1 < ry.hi; ++oy) {
+              float* edge = out_row + oy * ow + rx.hi;
+              std::fill(edge, edge + (ow - (rx.hi - rx.lo)), 0.0f);
+            }
+          }
+          continue;
+        }
         for (std::size_t oy = 0; oy < oh; ++oy) {
           float* orow = out_row + oy * ow;
           if (oy < ry.lo || oy >= ry.hi) {
@@ -474,6 +507,10 @@ void conv2d_forward(KernelKind kind, const ConvShape& s, const float* x,
   const std::size_t gic = s.group_in_c(), goc = s.group_out_c();
   const std::size_t patch = s.patch();
   const std::size_t img_stride = s.in_c * s.in_h * s.in_w;
+  // A caller-provided cols slab means a training forward: backward will
+  // replay from it, so the direct (pointwise/depthwise) paths must retain
+  // the input there. Eval forwards pass none — skip that copy entirely.
+  const bool retain = cols != nullptr;
   if (!cols) cols = ws.get(kSlotCols, s.cols_size());
 
   if (kind == KernelKind::kReference) {
@@ -504,47 +541,56 @@ void conv2d_forward(KernelKind kind, const ConvShape& s, const float* x,
   if (pointwise(s)) {
     // Retain the input verbatim for backward; run the GEMMs directly on
     // the x/y slabs (contiguous per sample per group), no gather/scatter.
-    std::copy(x, x + s.n * img_stride, cols);
-    for (std::size_t smp = 0; smp < s.n; ++smp) {
-      for (std::size_t grp = 0; grp < s.groups; ++grp) {
-        gemm_nn(kind, w + grp * goc * gic,
-                x + smp * img_stride + grp * gic * ohow,
-                y + ((smp * s.out_c) + grp * goc) * ohow, goc, gic, ohow,
-                false);
-      }
-      if (bias) {
-        for (std::size_t c = 0; c < s.out_c; ++c) {
-          float* dst = y + ((smp * s.out_c) + c) * ohow;
-          for (std::size_t i = 0; i < ohow; ++i) dst[i] += bias[c];
-        }
-      }
-    }
+    // Samples write disjoint y slabs, so the intra-op split over them is
+    // bit-exact for any worker count.
+    if (retain) std::copy(x, x + s.n * img_stride, cols);
+    detail::intra_for(
+        s.n, 2.0 * static_cast<double>(s.n) * s.out_c * gic * ohow,
+        [&](std::size_t smp) {
+          for (std::size_t grp = 0; grp < s.groups; ++grp) {
+            gemm_nn(kind, w + grp * goc * gic,
+                    x + smp * img_stride + grp * gic * ohow,
+                    y + ((smp * s.out_c) + grp * goc) * ohow, goc, gic, ohow,
+                    false);
+          }
+          if (bias) {
+            for (std::size_t c = 0; c < s.out_c; ++c) {
+              float* dst = y + ((smp * s.out_c) + c) * ohow;
+              for (std::size_t i = 0; i < ohow; ++i) dst[i] += bias[c];
+            }
+          }
+        });
     return;
   }
 
   if (depthwise_direct(s)) {
     // Retain the input verbatim (backward reads it for dW) and convolve
     // each plane directly — no patch matrix, no per-group GEMM setup.
-    std::copy(x, x + s.n * img_stride, cols);
+    // Every (sample, channel) plane is independent.
+    if (retain) std::copy(x, x + s.n * img_stride, cols);
     const std::size_t ihw = s.in_h * s.in_w;
     const DwFwdFn fixed = dw_fixed(s).first;
     const DwFwdFn plane = fixed ? fixed : depthwise_forward_plane;
-    for (std::size_t smp = 0; smp < s.n; ++smp) {
-      for (std::size_t c = 0; c < s.out_c; ++c) {
-        plane(s, x + smp * img_stride + c * ihw, w + c * patch,
-              bias ? bias + c : nullptr, y + ((smp * s.out_c) + c) * ohow);
-      }
-    }
+    detail::intra_for(
+        s.n * s.out_c,
+        2.0 * static_cast<double>(s.n) * s.out_c * patch * ohow,
+        [&](std::size_t t) {
+          const std::size_t smp = t / s.out_c, c = t % s.out_c;
+          plane(s, x + smp * img_stride + c * ihw, w + c * patch,
+                bias ? bias + c : nullptr, y + ((smp * s.out_c) + c) * ohow);
+        });
     return;
   }
 
   const std::size_t ld = s.n * ohow;
   for (std::size_t grp = 0; grp < s.groups; ++grp) {
     float* cols_g = cols + grp * patch * ld;
-    for (std::size_t smp = 0; smp < s.n; ++smp) {
-      im2col_tiled(x + smp * img_stride, s, grp * gic, cols_g, ld,
-                   smp * ohow);
-    }
+    // Samples own disjoint column ranges of the group's patch matrix.
+    detail::intra_for(s.n, 2.0 * static_cast<double>(patch) * ld,
+                      [&](std::size_t smp) {
+                        im2col_tiled(x + smp * img_stride, s, grp * gic,
+                                     cols_g, ld, smp * ohow);
+                      });
     float* yt = ws.get(kSlotYt, goc * ld);
     gemm_nn(kind, w + grp * goc * patch, cols_g, yt, goc, patch, ld, false);
     // Scatter the (goc, n*oh*ow) result into (n, out_c, oh, ow) order,
@@ -612,9 +658,16 @@ void conv2d_backward(KernelKind kind, const ConvShape& s,
       for (std::size_t grp = 0; grp < s.groups; ++grp) {
         const float* go = grad_out + ((smp * s.out_c) + grp * goc) * ohow;
         const float* xs = cols + smp * img_stride + grp * gic * ohow;
-        float* xt = ws.get(kSlotColsT, ohow * gic);
-        transpose_to(xs, gic, ohow, xt);
-        gemm_nn(kind, go, xt, gw + grp * goc * gic, goc, ohow, gic, true);
+        if (kind == KernelKind::kFast) {
+          // The fast nt kernel packs its own B tiles, so the explicit
+          // transpose below is pure overhead for it. Same ascending
+          // reduction over oh*ow per element; FMA drift only.
+          gemm_nt(kind, go, xs, gw + grp * goc * gic, goc, ohow, gic, true);
+        } else {
+          float* xt = ws.get(kSlotColsT, ohow * gic);
+          transpose_to(xs, gic, ohow, xt);
+          gemm_nn(kind, go, xt, gw + grp * goc * gic, goc, ohow, gic, true);
+        }
         gemm_tn(kind, w + grp * goc * gic, go,
                 grad_in + smp * img_stride + grp * gic * ohow, goc, gic,
                 ohow, true);
@@ -626,16 +679,22 @@ void conv2d_backward(KernelKind kind, const ConvShape& s,
 
   if (depthwise_direct(s)) {
     // cols holds the forward input verbatim; one direct pass per plane.
+    // Split over channels, not samples: each channel's dW taps accumulate
+    // across the batch, so one task owns a channel and walks its samples in
+    // ascending order — the same per-tap chain as the serial smp-outer
+    // loop, which only interleaved independent channels differently.
     const std::size_t ihw = s.in_h * s.in_w;
     const DwBwdFn fixed = dw_fixed(s).second;
     const DwBwdFn plane = fixed ? fixed : depthwise_backward_plane;
-    for (std::size_t smp = 0; smp < s.n; ++smp) {
-      for (std::size_t c = 0; c < s.out_c; ++c) {
-        plane(s, grad_out + ((smp * s.out_c) + c) * ohow,
-              cols + smp * img_stride + c * ihw, w + c * patch,
-              gw + c * patch, grad_in + smp * img_stride + c * ihw);
-      }
-    }
+    detail::intra_for(
+        s.out_c, 4.0 * static_cast<double>(s.n) * s.out_c * patch * ohow,
+        [&](std::size_t c) {
+          for (std::size_t smp = 0; smp < s.n; ++smp) {
+            plane(s, grad_out + ((smp * s.out_c) + c) * ohow,
+                  cols + smp * img_stride + c * ihw, w + c * patch,
+                  gw + c * patch, grad_in + smp * img_stride + c * ihw);
+          }
+        });
     if (gb) add_bias_channel_sums(s, grad_out, gb);
     return;
   }
@@ -655,16 +714,26 @@ void conv2d_backward(KernelKind kind, const ConvShape& s,
     // dW_g += go_b · cols_g^T, computed as an f32 GEMM against the packed
     // transpose — one reduction over the whole batch per element, in
     // ascending column order (the tiled weight-gradient reassociation).
-    float* colst = ws.get(kSlotColsT, ld * patch);
-    transpose_to(cols_g, patch, ld, colst);
-    gemm_nn(kind, go_b, colst, gw + grp * goc * patch, goc, ld, patch, true);
+    // The fast nt kernel packs its own B tiles, so it takes cols_g
+    // directly and the explicit transpose is skipped.
+    if (kind == KernelKind::kFast) {
+      gemm_nt(kind, go_b, cols_g, gw + grp * goc * patch, goc, ld, patch,
+              true);
+    } else {
+      float* colst = ws.get(kSlotColsT, ld * patch);
+      transpose_to(cols_g, patch, ld, colst);
+      gemm_nn(kind, go_b, colst, gw + grp * goc * patch, goc, ld, patch,
+              true);
+    }
     // dCols = W_g^T · go_b, folded per sample straight into grad_in.
     float* dcols = ws.get(kSlotDcols, patch * ld);
     gemm_tn(kind, w + grp * goc * patch, go_b, dcols, goc, patch, ld, false);
-    for (std::size_t smp = 0; smp < s.n; ++smp) {
-      col2im_tiled_add(dcols, s, grp * gic, ld, smp * ohow,
-                       grad_in + smp * img_stride);
-    }
+    // Each sample folds its own column range into its own grad_in slab.
+    detail::intra_for(s.n, 2.0 * static_cast<double>(patch) * ld,
+                      [&](std::size_t smp) {
+                        col2im_tiled_add(dcols, s, grp * gic, ld, smp * ohow,
+                                         grad_in + smp * img_stride);
+                      });
   }
   if (gb) add_bias_channel_sums(s, grad_out, gb);
 }

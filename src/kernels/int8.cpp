@@ -1,0 +1,207 @@
+// Int8 dynamic-quantized forward kernels (HS_EVAL=int8).
+//
+// Symmetric per-row quantization: scale = amax/127, codes rounded half away
+// from zero and clamped to ±127. The i32 dot products are exact (integer
+// adds are associative), so all rounding lives in the two quantization
+// steps and the one f32 dequant multiply — which keeps the error model
+// simple and the result deterministic for any loop order or thread count.
+// The f32 eval path is untouched: these kernels only run when the nn layers
+// see int8_eval_active() (EvalMode kInt8 inside an EvalScope), i.e. for
+// HeteroSwitch's L_init probes and server-side eval, never for training.
+#include <algorithm>
+#include <cmath>
+
+#include "kernels/internal.h"
+#include "kernels/isa.h"
+#include "kernels/kernels.h"
+
+namespace hetero::kernels {
+
+namespace {
+
+// Workspace slots. 0-5 belong to the f32 conv paths (see conv.cpp's map);
+// the int8 scratch lives above them. Int8 code buffers are carved out of
+// float slots by reinterpretation — alignment is trivially satisfied and
+// the arena stays a single recycled allocation per slot.
+constexpr std::size_t kSlotYt = 1;     // dequantized (goc, n*oh*ow) tile
+constexpr std::size_t kSlotCols = 4;   // f32 im2col patch matrices
+constexpr std::size_t kSlotColsT = 5;  // transposed (pixel-major) patches
+constexpr std::size_t kSlotQa = 6;     // quantized weights
+constexpr std::size_t kSlotQb = 7;     // quantized activations/patches
+constexpr std::size_t kSlotSa = 8;     // weight row scales
+constexpr std::size_t kSlotSb = 9;     // activation row scales
+
+std::int8_t* int8_slot(Workspace& ws, std::size_t slot, std::size_t count) {
+  return reinterpret_cast<std::int8_t*>(ws.get(slot, (count + 3) / 4));
+}
+
+HS_TILED_CLONES
+void quantize_rows_impl(const float* HS_RESTRICT src, std::size_t rows,
+                        std::size_t cols, std::int8_t* HS_RESTRICT q,
+                        float* HS_RESTRICT scales) {
+  for (std::size_t r = 0; r < rows; ++r) {
+    const float* HS_RESTRICT s = src + r * cols;
+    std::int8_t* HS_RESTRICT d = q + r * cols;
+    float amax = 0.0f;
+    for (std::size_t i = 0; i < cols; ++i) {
+      const float a = std::fabs(s[i]);
+      amax = a > amax ? a : amax;
+    }
+    if (amax == 0.0f) {
+      scales[r] = 0.0f;
+      std::fill(d, d + cols, static_cast<std::int8_t>(0));
+      continue;
+    }
+    scales[r] = amax / 127.0f;
+    const float inv = 127.0f / amax;
+    for (std::size_t i = 0; i < cols; ++i) {
+      // Round half away from zero: branch-free, vectorizable, and
+      // deterministic (no dependence on the FP environment's mode).
+      const float v = s[i] * inv;
+      const int code = static_cast<int>(v + (v >= 0.0f ? 0.5f : -0.5f));
+      d[i] = static_cast<std::int8_t>(std::clamp(code, -127, 127));
+    }
+  }
+}
+
+HS_TILED_CLONES
+void gemm_nt_int8_impl(const std::int8_t* HS_RESTRICT aq,
+                       const float* HS_RESTRICT sa,
+                       const std::int8_t* HS_RESTRICT bq,
+                       const float* HS_RESTRICT sb, float* HS_RESTRICT c,
+                       std::size_t m, std::size_t k, std::size_t n) {
+  // 127*127*k stays far below 2^31 for any layer this repo lowers, so a
+  // plain i32 accumulator is exact.
+  for (std::size_t i = 0; i < m; ++i) {
+    const std::int8_t* HS_RESTRICT arow = aq + i * k;
+    const float si = sa[i];
+    float* HS_RESTRICT crow = c + i * n;
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::int8_t* HS_RESTRICT brow = bq + j * k;
+      std::int32_t acc = 0;
+      for (std::size_t kk = 0; kk < k; ++kk) {
+        acc += static_cast<std::int32_t>(arow[kk]) * brow[kk];
+      }
+      crow[j] = static_cast<float>(acc) * si * sb[j];
+    }
+  }
+}
+
+}  // namespace
+
+void quantize_rows_int8(const float* src, std::size_t rows, std::size_t cols,
+                        std::int8_t* q, float* scales) {
+  quantize_rows_impl(src, rows, cols, q, scales);
+}
+
+void gemm_nt_int8(const std::int8_t* aq, const float* sa,
+                  const std::int8_t* bq, const float* sb, float* c,
+                  std::size_t m, std::size_t k, std::size_t n) {
+  gemm_nt_int8_impl(aq, sa, bq, sb, c, m, k, n);
+}
+
+void linear_forward_int8(const float* x, const float* w, const float* bias,
+                         float* y, std::size_t n, std::size_t in,
+                         std::size_t out, Workspace& ws) {
+  std::int8_t* qw = int8_slot(ws, kSlotQa, out * in);
+  std::int8_t* qx = int8_slot(ws, kSlotQb, n * in);
+  float* sw = ws.get(kSlotSa, out);
+  float* sx = ws.get(kSlotSb, n);
+  quantize_rows_impl(w, out, in, qw, sw);
+  quantize_rows_impl(x, n, in, qx, sx);
+  gemm_nt_int8_impl(qx, sx, qw, sw, y, n, in, out);
+  if (bias) {
+    for (std::size_t i = 0; i < n; ++i) {
+      float* row = y + i * out;
+      for (std::size_t j = 0; j < out; ++j) row[j] += bias[j];
+    }
+  }
+}
+
+void conv2d_forward_int8(const ConvShape& s, const float* x, const float* w,
+                         const float* bias, float* y, Workspace& ws) {
+  const std::size_t ohow = s.out_h() * s.out_w();
+  const std::size_t gic = s.group_in_c(), goc = s.group_out_c();
+  const std::size_t patch = s.patch();
+  const std::size_t img_stride = s.in_c * s.in_h * s.in_w;
+
+  if (gic == 1 && goc == 1 && s.kernel > 1) {
+    // Depthwise: a 9-25 tap per-channel pass is memory-bound — quantizing
+    // it buys nothing and costs accuracy. Stay on the f32 tiled planes.
+    conv2d_forward(KernelKind::kTiled, s, x, w, bias, y, nullptr, ws);
+    return;
+  }
+
+  // Per-out-channel weight scales, quantized once per call (the weight
+  // matrix is shared by every sample and group iteration below).
+  std::int8_t* qw = int8_slot(ws, kSlotQa, s.out_c * patch);
+  float* sw = ws.get(kSlotSa, s.out_c);
+  quantize_rows_impl(w, s.out_c, patch, qw, sw);
+
+  if (s.kernel == 1 && s.stride == 1 && s.pad == 0) {
+    // Pointwise: the patch matrix is the input verbatim; transpose each
+    // sample's (gic, oh*ow) slab to pixel-major rows and quantize those
+    // (one scale per output pixel).
+    float* xt = ws.get(kSlotColsT, ohow * gic);
+    std::int8_t* qx = int8_slot(ws, kSlotQb, ohow * gic);
+    float* sx = ws.get(kSlotSb, ohow);
+    float* yt = ws.get(kSlotYt, goc * ohow);
+    for (std::size_t smp = 0; smp < s.n; ++smp) {
+      for (std::size_t grp = 0; grp < s.groups; ++grp) {
+        const float* xs = x + smp * img_stride + grp * gic * ohow;
+        detail::transpose_to(xs, gic, ohow, xt);
+        quantize_rows_impl(xt, ohow, gic, qx, sx);
+        gemm_nt_int8_impl(qw + grp * goc * gic, sw + grp * goc, qx, sx, yt,
+                          goc, gic, ohow);
+        for (std::size_t oc = 0; oc < goc; ++oc) {
+          const std::size_t ch = grp * goc + oc;
+          float* dst = y + ((smp * s.out_c) + ch) * ohow;
+          const float* src = yt + oc * ohow;
+          if (bias) {
+            const float bv = bias[ch];
+            for (std::size_t i = 0; i < ohow; ++i) dst[i] = src[i] + bv;
+          } else {
+            std::copy(src, src + ohow, dst);
+          }
+        }
+      }
+    }
+    return;
+  }
+
+  // Generic path: batched tiled im2col layout, transposed to pixel-major
+  // rows, one quantized GEMM per group for the whole mini-batch.
+  const std::size_t ld = s.n * ohow;
+  float* cols = ws.get(kSlotCols, s.cols_size());
+  float* colst = ws.get(kSlotColsT, ld * patch);
+  std::int8_t* qc = int8_slot(ws, kSlotQb, ld * patch);
+  float* sc = ws.get(kSlotSb, ld);
+  float* yt = ws.get(kSlotYt, goc * ld);
+  for (std::size_t grp = 0; grp < s.groups; ++grp) {
+    float* cols_g = cols + grp * patch * ld;
+    for (std::size_t smp = 0; smp < s.n; ++smp) {
+      im2col_strided(x + smp * img_stride, s, grp * gic, cols_g, ld,
+                     smp * ohow);
+    }
+    detail::transpose_to(cols_g, patch, ld, colst);
+    quantize_rows_impl(colst, ld, patch, qc, sc);
+    gemm_nt_int8_impl(qw + grp * goc * patch, sw + grp * goc, qc, sc, yt, goc,
+                      patch, ld);
+    for (std::size_t oc = 0; oc < goc; ++oc) {
+      const std::size_t ch = grp * goc + oc;
+      const float* src = yt + oc * ld;
+      for (std::size_t smp = 0; smp < s.n; ++smp) {
+        float* dst = y + ((smp * s.out_c) + ch) * ohow;
+        const float* ssrc = src + smp * ohow;
+        if (bias) {
+          const float bv = bias[ch];
+          for (std::size_t i = 0; i < ohow; ++i) dst[i] = ssrc[i] + bv;
+        } else {
+          std::copy(ssrc, ssrc + ohow, dst);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace hetero::kernels

@@ -12,6 +12,17 @@
 #define __has_attribute(x) 0
 #endif
 
+// Helpers called from a target_clones function MUST be force-inlined into
+// it: an out-of-line helper compiles for the default target only, so the
+// wide clone would funnel its hot loops through baseline-ISA code. GCC
+// honours always_inline across target boundaries when the callee has no
+// target attribute of its own (the inlined body adopts the caller's ISA).
+#if defined(__GNUC__) || defined(__clang__)
+#define HS_ALWAYS_INLINE inline __attribute__((always_inline))
+#else
+#define HS_ALWAYS_INLINE inline
+#endif
+
 // Tiled kernels carry a runtime-dispatched AVX2 clone (GNU ifunc, picked by
 // cpuid at load time). The clone list deliberately excludes "fma":
 // vectorization only widens across independent output lanes and never
@@ -23,6 +34,16 @@
     __has_attribute(target_clones) &&                     \
     !defined(__SANITIZE_THREAD__) && !defined(__SANITIZE_ADDRESS__)
 #define HS_TILED_CLONES __attribute__((target_clones("default", "avx2")))
+// The fast kernels (HS_KERNEL=fast) are the opposite trade: their clone
+// targets x86-64-v3 (AVX2 *and* FMA) and their translation unit compiles
+// with -ffp-contract=fast, so mul+add chains fuse into FMAs. Fused
+// contractions round once instead of twice, so fast results drift from the
+// tiled/reference bits by a documented, parity-suite-bounded amount
+// (DESIGN.md §13) — which is why they are a separate opt-in kind rather
+// than a wider tiled clone.
+#define HS_FAST_CLONES \
+  __attribute__((target_clones("default", "arch=x86-64-v3")))
 #else
 #define HS_TILED_CLONES
+#define HS_FAST_CLONES
 #endif

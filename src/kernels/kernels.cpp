@@ -5,6 +5,8 @@
 #include "kernels/kernels.h"
 
 #include <atomic>
+#include <stdexcept>
+#include <utility>
 
 #include "util/config.h"
 
@@ -12,16 +14,34 @@ namespace hetero::kernels {
 
 namespace {
 
+// Unknown HS_KERNEL values used to silently mean "tiled", which turned
+// typos (HS_KERNEL=Fast, HS_KERNEL=tilde) into quiet wrong-mode runs; both
+// env knobs now reject anything outside their mode lists.
 KernelKind kind_from_env() {
   const auto v = env_string("HS_KERNEL");
-  if (v && *v == "reference") return KernelKind::kReference;
-  return KernelKind::kTiled;
+  return v ? parse_kernel_kind(*v) : KernelKind::kTiled;
+}
+
+EvalMode eval_mode_from_env() {
+  const auto v = env_string("HS_EVAL");
+  return v ? parse_eval_mode(*v) : EvalMode::kF32;
 }
 
 std::atomic<KernelKind>& active_slot() {
   static std::atomic<KernelKind> slot{kind_from_env()};
   return slot;
 }
+
+std::atomic<EvalMode>& eval_slot() {
+  static std::atomic<EvalMode> slot{eval_mode_from_env()};
+  return slot;
+}
+
+// Thread-local intra-op / eval-scope state. Plain thread_locals: both are
+// strictly scope-managed (RAII installs/restores) and never observed from
+// another thread.
+thread_local IntraOpContext t_intra_op;
+thread_local int t_eval_depth = 0;
 
 }  // namespace
 
@@ -34,8 +54,60 @@ void set_active_kernel(KernelKind kind) {
 }
 
 const char* kernel_name(KernelKind kind) {
-  return kind == KernelKind::kReference ? "reference" : "tiled";
+  switch (kind) {
+    case KernelKind::kReference:
+      return "reference";
+    case KernelKind::kFast:
+      return "fast";
+    default:
+      return "tiled";
+  }
 }
+
+KernelKind parse_kernel_kind(const std::string& value) {
+  if (value == "reference") return KernelKind::kReference;
+  if (value == "tiled") return KernelKind::kTiled;
+  if (value == "fast") return KernelKind::kFast;
+  throw std::invalid_argument("HS_KERNEL: unknown kernel kind '" + value +
+                              "' (valid modes: reference, tiled, fast)");
+}
+
+EvalMode eval_mode() { return eval_slot().load(std::memory_order_relaxed); }
+
+void set_eval_mode(EvalMode mode) {
+  eval_slot().store(mode, std::memory_order_relaxed);
+}
+
+const char* eval_mode_name(EvalMode mode) {
+  return mode == EvalMode::kInt8 ? "int8" : "f32";
+}
+
+EvalMode parse_eval_mode(const std::string& value) {
+  if (value == "f32") return EvalMode::kF32;
+  if (value == "int8") return EvalMode::kInt8;
+  throw std::invalid_argument("HS_EVAL: unknown eval mode '" + value +
+                              "' (valid modes: f32, int8)");
+}
+
+EvalScope::EvalScope() { ++t_eval_depth; }
+EvalScope::~EvalScope() { --t_eval_depth; }
+
+bool int8_eval_active() {
+  return t_eval_depth > 0 && eval_mode() == EvalMode::kInt8;
+}
+
+const IntraOpContext& intra_op() { return t_intra_op; }
+
+ScopedIntraOp::ScopedIntraOp(
+    std::function<void(std::size_t, const std::function<void(std::size_t)>&)>
+        run,
+    std::size_t ways)
+    : saved_(std::move(t_intra_op)) {
+  t_intra_op.run = std::move(run);
+  t_intra_op.ways = ways;
+}
+
+ScopedIntraOp::~ScopedIntraOp() { t_intra_op = std::move(saved_); }
 
 void plane_moments(const float* p, std::size_t count, double& sum,
                    double& sumsq) {

@@ -11,35 +11,124 @@
 //     vectorizable inner kernels, and batched convolution (one im2col +
 //     one GEMM per layer per group for the whole mini-batch instead of
 //     per sample).
+//   * kFast      — the tiled structure recompiled for x86-64-v3 with FMA
+//     contraction and f32 nt accumulators: faster, but with documented
+//     drift against tiled/reference (DESIGN.md §13; the parity suite
+//     bounds it per layer). Opt-in via HS_KERNEL=fast.
 //
-// Determinism contract (DESIGN.md §9): for a fixed kernel kind, results are
-// bit-identical run-to-run and across thread counts. In addition the tiled
-// GEMMs reduce over k in increasing order with the same accumulation
-// precision as the reference loops, so gemm_nn / gemm_nt / gemm_tn — and
-// therefore conv2d_forward and the conv input gradient — are bit-identical
-// across kernel kinds for finite inputs. The only cross-kernel drift is the
-// convolution weight/bias gradient for batch sizes > 1, where batching
-// replaces per-sample rounding with one reduction over the whole batch
-// (called out in DESIGN.md §9; parity tests bound it).
+// Determinism contract (DESIGN.md §9/§13): for a fixed kernel kind, results
+// are bit-identical run-to-run and across thread counts — including any
+// intra-op worker count (ScopedIntraOp below): GEMMs split over a task grid
+// fixed by the problem shape, each task owning a disjoint output region
+// whose per-element reduction chains are untouched. The tiled GEMMs reduce
+// over k in increasing order with the same accumulation precision as the
+// reference loops, so gemm_nn / gemm_nt / gemm_tn — and therefore
+// conv2d_forward and the conv input gradient — are bit-identical across the
+// reference and tiled kinds for finite inputs. The only reference↔tiled
+// drift is the convolution weight/bias gradient for batch sizes > 1, where
+// batching replaces per-sample rounding with one reduction over the whole
+// batch (called out in DESIGN.md §9; parity tests bound it).
 //
-// HS_KERNEL=reference|tiled selects the process default (tiled when unset);
-// set_active_kernel() overrides it programmatically for tests and benches.
+// HS_KERNEL=reference|tiled|fast selects the process default (tiled when
+// unset; any other value is rejected with an error listing the valid
+// modes); set_active_kernel() overrides it programmatically.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
 
 #include "kernels/workspace.h"
 
 namespace hetero::kernels {
 
-enum class KernelKind { kReference, kTiled };
+enum class KernelKind { kReference, kTiled, kFast };
 
 /// Process-wide kernel selection: HS_KERNEL env var on first use
-/// ("reference" or "tiled"; anything else, including unset, means tiled),
-/// overridable at runtime via set_active_kernel(). Thread-safe.
+/// ("reference", "tiled" or "fast"; unset means tiled, anything else
+/// throws), overridable at runtime via set_active_kernel(). Thread-safe.
 KernelKind active_kernel();
 void set_active_kernel(KernelKind kind);
 const char* kernel_name(KernelKind kind);
+
+/// Strict mode parsing: returns the kind for "reference" / "tiled" /
+/// "fast", throws std::invalid_argument listing the valid modes otherwise.
+KernelKind parse_kernel_kind(const std::string& value);
+
+// ------------------------------------------------- forward-only eval mode --
+// HS_EVAL selects how inference-only passes (server-side eval and
+// HeteroSwitch's per-round L_init probe) run: "f32" (default) keeps the
+// active kernel kind; "int8" dynamically quantizes Linear and Conv2d
+// forwards (per-channel scales, i32 dot, f32 dequant). Training passes are
+// never quantized: the mode only applies inside an EvalScope, which
+// fl/eval.cpp installs around its batched forward loop.
+
+enum class EvalMode { kF32, kInt8 };
+
+/// Process-wide eval-mode selection: HS_EVAL env var on first use ("f32" or
+/// "int8"; unset means f32, anything else throws), overridable at runtime
+/// via set_eval_mode(). Thread-safe.
+EvalMode eval_mode();
+void set_eval_mode(EvalMode mode);
+const char* eval_mode_name(EvalMode mode);
+
+/// Strict mode parsing: "f32" / "int8" or std::invalid_argument.
+EvalMode parse_eval_mode(const std::string& value);
+
+/// Marks the calling thread as running a forward-only eval pass for the
+/// scope's lifetime (re-entrant). While active — and only then — an int8
+/// eval mode reroutes Linear/Conv2d forwards to the quantized kernels.
+class EvalScope {
+ public:
+  EvalScope();
+  ~EvalScope();
+  EvalScope(const EvalScope&) = delete;
+  EvalScope& operator=(const EvalScope&) = delete;
+};
+
+/// True when eval_mode() == kInt8 and the calling thread is inside an
+/// EvalScope.
+bool int8_eval_active();
+
+// ---------------------------------------------------- intra-op parallelism --
+// A thread-local context carrying an optional worker handle (type-erased so
+// this layer never depends on src/runtime). While installed, large GEMMs
+// and conv lowerings split their fixed task grids across it; results stay
+// bit-identical to the serial run for any worker count because block
+// ownership is a function of the problem shape alone (DESIGN.md §13).
+
+struct IntraOpContext {
+  /// Runs fn(t) for every t in [0, tasks), in any order, possibly
+  /// concurrently, and returns when all calls finished. Null → serial.
+  std::function<void(std::size_t, const std::function<void(std::size_t)>&)>
+      run;
+  /// Workers behind `run` (1 → serial; contexts with ways <= 1 are ignored).
+  std::size_t ways = 1;
+};
+
+/// The calling thread's current intra-op context (a serial default when no
+/// ScopedIntraOp is live).
+const IntraOpContext& intra_op();
+
+/// Installs an intra-op context on the calling thread for the scope's
+/// lifetime, restoring the previous one on exit. The context is
+/// deliberately not inherited by the workers `run` fans out to, so nested
+/// kernel calls inside a task run serially (no fork-bomb, no pool
+/// deadlock).
+class ScopedIntraOp {
+ public:
+  ScopedIntraOp(
+      std::function<void(std::size_t,
+                         const std::function<void(std::size_t)>&)> run,
+      std::size_t ways);
+  ~ScopedIntraOp();
+  ScopedIntraOp(const ScopedIntraOp&) = delete;
+  ScopedIntraOp& operator=(const ScopedIntraOp&) = delete;
+
+ private:
+  IntraOpContext saved_;
+};
 
 // ---------------------------------------------------------------- GEMM ----
 // All shapes are row-major. When `accumulate` is true the result is added
@@ -142,5 +231,37 @@ void scale_plane(float* plane, std::size_t count, float s);
 /// Σ dy[i]·x[i] in f64.
 double se_backward_plane(const float* dy, const float* x, float* dx,
                          std::size_t count, float g);
+
+// ------------------------------------------- int8 dynamic-quantized eval ----
+// Forward-only inference kernels for HS_EVAL=int8: symmetric per-row
+// dynamic quantization (scale = amax/127), int8×int8→i32 dot products
+// (integer adds are exact, so the i32 reduction is associativity-free), and
+// f32 dequantization. Used by the nn layers only while int8_eval_active().
+
+/// Quantizes each row of a (rows, cols) f32 matrix to int8 with its own
+/// symmetric scale: scales[r] = amax(row r)/127, q = round(src/scale)
+/// clamped to ±127. An all-zero row gets scale 0 (and all-zero codes).
+void quantize_rows_int8(const float* src, std::size_t rows, std::size_t cols,
+                        std::int8_t* q, float* scales);
+
+/// C(m,n) with c[i,j] = f32(dot_i32(aq row i, bq row j)) * sa[i] * sb[j].
+/// Overwrites C. Rows of both operands are length k.
+void gemm_nt_int8(const std::int8_t* aq, const float* sa,
+                  const std::int8_t* bq, const float* sb, float* c,
+                  std::size_t m, std::size_t k, std::size_t n);
+
+/// Quantized Linear forward: y(n, out) = q(x)·q(w)^T dequantized (+ bias
+/// when non-null). Per-sample input scales, per-out-feature weight scales.
+void linear_forward_int8(const float* x, const float* w, const float* bias,
+                         float* y, std::size_t n, std::size_t in,
+                         std::size_t out, Workspace& ws);
+
+/// Quantized Conv2d forward over the batched im2col lowering: per-output-
+/// pixel patch scales, per-out-channel weight scales, f32 bias fused into
+/// the scatter. Depthwise layers (one in/out channel per group) fall back
+/// to the f32 tiled planes — a 9-tap per-channel pass gains nothing from
+/// quantization. Allocation-free in steady state (all scratch via `ws`).
+void conv2d_forward_int8(const ConvShape& s, const float* x, const float* w,
+                         const float* bias, float* y, Workspace& ws);
 
 }  // namespace hetero::kernels

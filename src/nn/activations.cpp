@@ -5,18 +5,41 @@
 namespace hetero {
 
 Tensor ReLU::forward(const Tensor& x, bool train) {
-  if (train) cached_x_ = x;
-  Tensor y = x;
-  for (float& v : y.flat()) v = std::max(v, 0.0f);
+  // Single pass straight from x into uninitialized output storage — the
+  // copy-then-clamp form reads the activation twice for no reason.
+  Tensor y = Tensor::uninit(x.shape());
+  const float* xp = x.data();
+  float* yp = y.data();
+  const std::size_t size = x.size();
+  if (train) {
+    // Fused clamp + mask capture: backward only needs sign(x) > 0, so the
+    // mask replaces a full tensor copy of the input.
+    mask_.resize(size);
+    cached_shape_ = x.shape();
+    unsigned char* mp = mask_.data();
+    for (std::size_t i = 0; i < size; ++i) {
+      mp[i] = xp[i] > 0.0f ? 1 : 0;
+      yp[i] = std::max(xp[i], 0.0f);  // same bits as the eval path (-0.0)
+    }
+    return y;
+  }
+  for (std::size_t i = 0; i < size; ++i) yp[i] = std::max(xp[i], 0.0f);
   return y;
 }
 
 Tensor ReLU::backward(const Tensor& grad_out) {
-  HS_CHECK(!cached_x_.empty(), "ReLU::backward: no cached forward");
-  HS_CHECK(grad_out.same_shape(cached_x_), "ReLU::backward: shape mismatch");
+  HS_CHECK(!mask_.empty(), "ReLU::backward: no cached forward");
+  HS_CHECK(grad_out.shape() == cached_shape_,
+           "ReLU::backward: shape mismatch");
   Tensor g = grad_out;
-  for (std::size_t i = 0; i < g.size(); ++i) {
-    if (cached_x_[i] <= 0.0f) g[i] = 0.0f;
+  // Branchless select: the sign of the cached input is data-dependent and
+  // mispredicts heavily as a branch; the ternary compiles to a vectorized
+  // compare+mask with identical results.
+  float* gp = g.data();
+  const unsigned char* mp = mask_.data();
+  const std::size_t size = g.size();
+  for (std::size_t i = 0; i < size; ++i) {
+    gp[i] = mp[i] ? gp[i] : 0.0f;
   }
   return g;
 }
@@ -31,8 +54,10 @@ float HSigmoid::df(float x) {
 
 Tensor HSigmoid::forward(const Tensor& x, bool train) {
   if (train) cached_x_ = x;
-  Tensor y = x;
-  for (float& v : y.flat()) v = f(v);
+  Tensor y = Tensor::uninit(x.shape());
+  const float* xp = x.data();
+  float* yp = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) yp[i] = f(xp[i]);
   return y;
 }
 
@@ -47,8 +72,10 @@ Tensor HSigmoid::backward(const Tensor& grad_out) {
 
 Tensor HSwish::forward(const Tensor& x, bool train) {
   if (train) cached_x_ = x;
-  Tensor y = x;
-  for (float& v : y.flat()) v = v * HSigmoid::f(v);
+  Tensor y = Tensor::uninit(x.shape());
+  const float* xp = x.data();
+  float* yp = y.data();
+  for (std::size_t i = 0; i < x.size(); ++i) yp[i] = xp[i] * HSigmoid::f(xp[i]);
   return y;
 }
 

@@ -2,6 +2,8 @@
 // hard-swish / hard-sigmoid pair from MobileNetV3.
 #pragma once
 
+#include <vector>
+
 #include "nn/layer.h"
 
 namespace hetero {
@@ -16,7 +18,11 @@ class ReLU : public Layer {
   std::string name() const override { return "ReLU"; }
 
  private:
-  Tensor cached_x_;
+  /// Backward only needs the sign of the forward input, so the forward
+  /// caches a byte mask (x > 0) instead of copying the whole activation —
+  /// a quarter of the memory traffic, identical gradients.
+  std::vector<unsigned char> mask_;
+  std::vector<std::size_t> cached_shape_;
 };
 
 /// h-sigmoid(x) = clamp(x/6 + 0.5, 0, 1)  (the ReLU6(x+3)/6 formulation).

@@ -24,7 +24,16 @@ Tensor Linear::forward(const Tensor& x, bool train) {
   HS_CHECK(x.rank() == 2 && x.dim(1) == in_, "Linear: input shape mismatch");
   if (train) cached_x_ = x;
   const std::size_t n = x.dim(0);
-  Tensor y({n, out_});  // y = x W^T
+  Tensor y = Tensor::uninit({n, out_});  // y = x W^T (fully written below)
+  if (!train && kernels::int8_eval_active()) {
+    // Forward-only eval pass under HS_EVAL=int8: dynamic per-row
+    // quantization, bias fused by the kernel. Training forwards never take
+    // this branch (train == true bypasses the check entirely).
+    kernels::linear_forward_int8(x.data(), w_.data(),
+                                 has_bias_ ? b_.data() : nullptr, y.data(), n,
+                                 in_, out_, ws_);
+    return y;
+  }
   kernels::gemm_nt(kernels::active_kernel(), x.data(), w_.data(), y.data(), n,
                    in_, out_, /*accumulate=*/false);
   if (has_bias_) {
@@ -55,7 +64,8 @@ Tensor Linear::backward(const Tensor& grad_out) {
       for (std::size_t j = 0; j < out_; ++j) gb_[j] += row[j];
     }
   }
-  Tensor grad_in({n, in_});  // grad_in = grad_out W
+  // grad_in = grad_out W; the non-accumulating GEMM writes every element.
+  Tensor grad_in = Tensor::uninit({n, in_});
   kernels::gemm_nn(kind, grad_out.data(), w_.data(), grad_in.data(), n, out_,
                    in_, /*accumulate=*/false);
   return grad_in;

@@ -20,6 +20,10 @@ class MaxPool2d : public Layer {
  private:
   std::size_t kernel_, stride_;
   std::vector<std::size_t> argmax_;  // flat input index of each output max
+  /// 2x2 stride-2 forwards cache a 2-bit window code per output instead of
+  /// an absolute index (backward reconstructs the index from the output
+  /// position); exactly one of codes_ / argmax_ is populated.
+  std::vector<int> codes_;
   std::vector<std::size_t> in_shape_;
 };
 

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <exception>
 
+#include "kernels/kernels.h"
 #include "util/rng.h"
 
 namespace hetero {
@@ -179,17 +180,46 @@ RoundStats ClientExecutor::run_split(Model& model,
     if (d.corrupt) poison_update(updates[i], d);
   };
 
-  if (pool_) {
+  // Intra-op grant: hand idle pool workers to the kernels of the clients
+  // that do run. Results stay bit-identical for any thread count because
+  // kernel task grids are fixed by problem shape, never by worker count
+  // (DESIGN.md §13); the grant only changes who computes each block.
+  const auto intra_run = [this](std::size_t tasks,
+                                const std::function<void(std::size_t)>& fn) {
+    pool_->parallel_for(tasks, fn);
+  };
+
+  if (pool_ && n == 1) {
+    // Lone straggler: run the single client inline on the caller (which,
+    // like the serial path, trains on the shared model — local_update
+    // rewinds to `global` first) and grant it the whole pool.
+    const kernels::ScopedIntraOp intra(intra_run, num_threads_);
+    run_client(0, model, slots_[0]);
+  } else if (pool_) {
     // Fan out. Each worker lazily clones its own replica the first time it
     // picks up a client; after that only the replica's state is
     // overwritten (local_update starts with set_state(global)). The
     // worker's ClientSlot is equally private to it for the whole round.
+    //
+    // With fewer clients than workers the spare workers drain nested
+    // kernel tasks instead of idling. Safe from deadlock: a nested
+    // parallel_for only blocks the issuing worker, and with n < workers at
+    // least one worker never holds a client, so the nested queue always
+    // drains. Kernels never see a grant on the spare workers themselves
+    // (the context is thread-local and not inherited), so nesting stops at
+    // depth one.
+    const std::size_t spare = n < num_threads_ ? num_threads_ - n : 0;
     pool_->parallel_for(n, [&](std::size_t i) {
       const std::size_t w = ThreadPool::worker_index();
       HS_CHECK(w < replicas_.size() && w < slots_.size(),
                "ClientExecutor: bad worker index");
       if (!replicas_[w]) replicas_[w] = model.clone();
-      run_client(i, *replicas_[w], slots_[w]);
+      if (spare > 0) {
+        const kernels::ScopedIntraOp intra(intra_run, spare + 1);
+        run_client(i, *replicas_[w], slots_[w]);
+      } else {
+        run_client(i, *replicas_[w], slots_[w]);
+      }
     });
   } else {
     for (std::size_t i = 0; i < n; ++i) run_client(i, model, slots_[0]);

@@ -14,6 +14,13 @@
 // and aggregate folds updates in `selected` order, so the result is
 // bit-identical for any thread count, including 1.
 //
+// Intra-op parallelism (DESIGN.md §13): when a round has fewer clients
+// than workers, the executor installs a kernels::ScopedIntraOp grant so
+// the clients that do run can split large GEMMs / conv lowerings across
+// the idle workers — a lone straggler gets the whole pool. Kernel task
+// grids depend only on problem shape, so this changes wall time, never
+// bits.
+//
 // Fault tolerance (DESIGN.md §10): set_faults() installs a FaultOptions /
 // FaultPlan pair. Per client the executor applies the plan's deterministic
 // decision — dropout, virtual straggler delay checked against the timeout,

@@ -21,13 +21,20 @@ Tensor::Tensor(std::initializer_list<std::size_t> shape)
     : Tensor(std::vector<std::size_t>(shape)) {}
 
 Tensor::Tensor(std::vector<std::size_t> shape, std::vector<float> data)
-    : shape_(std::move(shape)), data_(std::move(data)) {
+    : shape_(std::move(shape)), data_(data.begin(), data.end()) {
   HS_CHECK(data_.size() == shape_volume(shape_),
            "Tensor: data size does not match shape volume");
 }
 
+Tensor::Tensor(UninitTag, std::vector<std::size_t> shape)
+    : shape_(std::move(shape)), data_(shape_volume(shape_)) {}
+
 Tensor Tensor::zeros(std::vector<std::size_t> shape) {
   return Tensor(std::move(shape));
+}
+
+Tensor Tensor::uninit(std::vector<std::size_t> shape) {
+  return Tensor(UninitTag{}, std::move(shape));
 }
 
 Tensor Tensor::ones(std::vector<std::size_t> shape) {
@@ -206,10 +213,11 @@ Tensor Tensor::slice0(std::size_t i) const {
   HS_CHECK(i < shape_[0], "Tensor::slice0: index out of range");
   std::vector<std::size_t> sub_shape(shape_.begin() + 1, shape_.end());
   const std::size_t stride = shape_volume(sub_shape);
-  std::vector<float> sub(data_.begin() + static_cast<std::ptrdiff_t>(i * stride),
-                         data_.begin() +
-                             static_cast<std::ptrdiff_t>((i + 1) * stride));
-  return Tensor(std::move(sub_shape), std::move(sub));
+  Tensor sub = Tensor::uninit(std::move(sub_shape));
+  std::copy(data_.begin() + static_cast<std::ptrdiff_t>(i * stride),
+            data_.begin() + static_cast<std::ptrdiff_t>((i + 1) * stride),
+            sub.data_.begin());
+  return sub;
 }
 
 void Tensor::set_slice0(std::size_t i, const Tensor& value) {

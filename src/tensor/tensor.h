@@ -10,12 +10,36 @@
 
 #include <cstddef>
 #include <initializer_list>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace hetero {
+
+/// std::allocator variant whose value-less construct() default-initializes
+/// instead of value-initializing, so vector<float, ...>(n) leaves the
+/// elements uninitialized. Tensor uses it as storage: the normal shape
+/// constructor still zero-fills explicitly (same contract as before), but
+/// Tensor::uninit can skip the memset for outputs that every code path
+/// overwrites in full before reading.
+template <typename T>
+struct DefaultInitAllocator : std::allocator<T> {
+  template <typename U>
+  struct rebind {
+    using other = DefaultInitAllocator<U>;
+  };
+  template <typename U, typename... Args>
+  void construct(U* p, Args&&... args) {
+    if constexpr (sizeof...(Args) == 0) {
+      ::new (static_cast<void*>(p)) U;  // default-init: no zeroing for floats
+    } else {
+      ::new (static_cast<void*>(p)) U(std::forward<Args>(args)...);
+    }
+  }
+};
 
 /// Throws std::invalid_argument with the given message when cond is false.
 /// Used for shape/argument validation on all tensor entry points.
@@ -42,6 +66,10 @@ class Tensor {
 
   // -- Factories ------------------------------------------------------------
   static Tensor zeros(std::vector<std::size_t> shape);
+  /// Tensor whose elements are left uninitialized. Only for outputs that the
+  /// caller overwrites in full before any read (layer forward outputs, gather
+  /// buffers); everything else should take the zeroing constructor.
+  static Tensor uninit(std::vector<std::size_t> shape);
   static Tensor ones(std::vector<std::size_t> shape);
   static Tensor full(std::vector<std::size_t> shape, float value);
   /// I.I.D. normal entries: mean 0, given stddev.
@@ -119,6 +147,10 @@ class Tensor {
   }
 
  private:
+  using Storage = std::vector<float, DefaultInitAllocator<float>>;
+  struct UninitTag {};
+  Tensor(UninitTag, std::vector<std::size_t> shape);
+
   std::size_t offset1(std::size_t i0) const;
   std::size_t offset2(std::size_t i0, std::size_t i1) const;
   std::size_t offset3(std::size_t i0, std::size_t i1, std::size_t i2) const;
@@ -126,7 +158,7 @@ class Tensor {
                       std::size_t i3) const;
 
   std::vector<std::size_t> shape_;
-  std::vector<float> data_;
+  Storage data_;
 };
 
 /// Number of elements implied by a shape (product of dims; 1 for rank 0).

@@ -88,7 +88,7 @@ Tensor softmax_rows(const Tensor& logits) {
   HS_CHECK(logits.rank() == 2, "softmax_rows: rank-2 input required");
   const std::size_t n = logits.dim(0), c = logits.dim(1);
   HS_CHECK(c > 0, "softmax_rows: zero classes");
-  Tensor out({n, c});
+  Tensor out = Tensor::uninit({n, c});  // every row exponentiated below
   for (std::size_t i = 0; i < n; ++i) {
     const float* in = logits.data() + i * c;
     float* o = out.data() + i * c;
