@@ -85,9 +85,11 @@ int main() {
   // rebuilt from the same seed each time so every mode trains the same
   // network on the same schedule.
   auto run_mode = [&](kernels::KernelKind kind, kernels::EvalMode eval,
-                      std::size_t threads) {
+                      std::size_t threads, bool int8_cache = true) {
     kernels::set_active_kernel(kind);
     kernels::set_eval_mode(eval);
+    const bool cache_was = kernels::int8_cache_enabled();
+    kernels::set_int8_cache_enabled(int8_cache);
     Rng mrng(7);
     auto model = make_model(spec, mrng);
     HeteroSwitchOptions options;
@@ -103,6 +105,7 @@ int main() {
     const SimulationResult res = run_simulation(*model, algo, pop, sim);
     r.seconds = t.elapsed_s();
     r.loss_history = res.train_loss_history;
+    kernels::set_int8_cache_enabled(cache_was);
     kernels::set_eval_mode(kernels::EvalMode::kF32);
     kernels::set_active_kernel(kernels::KernelKind::kTiled);
     return r;
@@ -112,12 +115,19 @@ int main() {
     const char* name;
     kernels::KernelKind kind;
     kernels::EvalMode eval;
+    bool int8_cache = true;
   };
+  // The nocache row isolates the HS_EVAL_CACHE weight-code cache: same
+  // kernels, same eval path, re-quantizing the weights on every batch
+  // instead of once per model version. Its delta against fast+int8 is the
+  // cache's contribution.
   const Mode modes[] = {
       {"reference", kernels::KernelKind::kReference, kernels::EvalMode::kF32},
       {"tiled", kernels::KernelKind::kTiled, kernels::EvalMode::kF32},
       {"fast", kernels::KernelKind::kFast, kernels::EvalMode::kF32},
       {"fast+int8", kernels::KernelKind::kFast, kernels::EvalMode::kInt8},
+      {"fast+int8:nocache", kernels::KernelKind::kFast,
+       kernels::EvalMode::kInt8, false},
   };
 
   // HS_E2E_MODES: comma list restricting which modes run (e.g.
@@ -162,7 +172,8 @@ int main() {
   std::vector<std::vector<double>> rep_seconds(selected.size());
   for (std::size_t rep = 0; rep < reps; ++rep) {
     for (std::size_t m = 0; m < selected.size(); ++m) {
-      ModeResult r = run_mode(selected[m]->kind, selected[m]->eval, threads);
+      ModeResult r = run_mode(selected[m]->kind, selected[m]->eval, threads,
+                              selected[m]->int8_cache);
       rep_seconds[m].push_back(r.seconds);
       if (rep == 0 || r.seconds < best[m].seconds) best[m] = std::move(r);
     }

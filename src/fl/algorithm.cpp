@@ -155,6 +155,70 @@ RoundStats SplitFederatedAlgorithm::do_run_round(
   return stats;
 }
 
+ClientUpdate SplitFederatedAlgorithm::partial_aggregate(
+    const Tensor& global, std::vector<ClientUpdate>& group) const {
+  (void)global;
+  HS_CHECK(!group.empty(), "partial_aggregate: empty group");
+  ClientUpdate digest;
+  digest.client_id = group.front().client_id;
+  std::vector<Tensor> states;
+  std::vector<double> weights;
+  states.reserve(group.size());
+  weights.reserve(group.size());
+  double weight_sum = 0.0;
+  double loss_sum = 0.0;
+  for (ClientUpdate& u : group) {
+    weight_sum += u.weight;
+    loss_sum += u.train_loss * u.weight;
+    states.push_back(std::move(u.state));
+    weights.push_back(u.weight);
+  }
+  digest.state = weighted_average_states(states, weights);
+  digest.weight = weight_sum;
+  digest.train_loss = loss_sum / weight_sum;
+  return digest;
+}
+
+std::size_t edge_group_of(std::size_t position, std::size_t n_selected,
+                          std::size_t edge_groups) {
+  HS_CHECK(edge_groups > 0, "edge_group_of: zero edge groups");
+  HS_CHECK(position < n_selected, "edge_group_of: position out of range");
+  return position * edge_groups / n_selected;
+}
+
+RoundStats hierarchical_aggregate(Model& model, SplitFederatedAlgorithm& split,
+                                  const Tensor& global,
+                                  std::vector<ClientUpdate>& updates,
+                                  const std::vector<std::size_t>& positions,
+                                  std::size_t n_selected,
+                                  std::size_t edge_groups) {
+  HS_CHECK(split.supports_partial_aggregation(),
+           "hierarchical_aggregate: algorithm does not support edge-tier "
+           "partial aggregation");
+  HS_CHECK(!updates.empty() && updates.size() == positions.size(),
+           "hierarchical_aggregate: updates/positions mismatch");
+  // Client-level summary before any state tensor moves: the round's
+  // loss/weight/byte stats describe clients, not digests.
+  RoundStats stats = summarize_updates(updates, model.state_size());
+  std::vector<std::vector<ClientUpdate>> groups(edge_groups);
+  for (std::size_t i = 0; i < updates.size(); ++i) {
+    groups[edge_group_of(positions[i], n_selected, edge_groups)].push_back(
+        std::move(updates[i]));
+  }
+  std::vector<ClientUpdate> digests;
+  digests.reserve(edge_groups);
+  for (std::vector<ClientUpdate>& group : groups) {
+    // An edge whose whole block dropped out contributes nothing (the
+    // renormalization over the remaining digests absorbs its weight).
+    if (group.empty()) continue;
+    digests.push_back(split.partial_aggregate(global, group));
+  }
+  const RoundStats agg = split.aggregate(model, global, digests);
+  for (const auto& [key, value] : agg.extras) stats.extras[key] = value;
+  stats.extras["net.edges"] = static_cast<double>(edge_groups);
+  return stats;
+}
+
 // ------------------------------------------------------------------ FedAvg
 
 ClientUpdate FedAvg::local_update(Model& model, const Tensor& global,

@@ -220,6 +220,34 @@ class SplitFederatedAlgorithm : public FederatedAlgorithm {
 
   SplitFederatedAlgorithm* as_split() override { return this; }
 
+  /// Edge-tier (hierarchical) aggregation capability (DESIGN.md §14): true
+  /// when aggregate() is a renormalized weighted mean over update states,
+  /// so folding a group of updates into one weighted digest first
+  /// (partial_aggregate) and then aggregating the digests is the same
+  /// mathematical average — the two-level tree merely re-associates the
+  /// sum. Algorithms whose aggregate consumes per-client payloads (control
+  /// variates, per-client flags, loss-reweighted deltas) must return false;
+  /// hierarchical_aggregate refuses them.
+  virtual bool supports_partial_aggregation() const { return false; }
+
+  /// Distributed-worker capability: true when local_update depends only on
+  /// (global, client_id, data, client_rng) — no server-held cross-round
+  /// state — so a remote worker's freshly constructed algorithm instance
+  /// produces bit-identical updates. Algorithms whose client phase reads
+  /// state mutated by aggregate (SCAFFOLD's control variates, HeteroSwitch's
+  /// EMA, error-feedback residuals) must return false; the wire layer
+  /// (src/net) refuses them.
+  virtual bool stateless_client_phase() const { return false; }
+
+  /// Folds one edge group's updates into a single weighted digest: state =
+  /// renormalized weighted mean over the group (the PR 4 partial-
+  /// aggregation primitive), weight = summed group weight, train_loss =
+  /// weighted mean group loss. The digest is a valid ClientUpdate, so the
+  /// root-side aggregate() consumes digests exactly like client updates.
+  /// Consumes the group's state tensors.
+  virtual ClientUpdate partial_aggregate(const Tensor& global,
+                                         std::vector<ClientUpdate>& group) const;
+
  protected:
   /// Serial reference implementation: local_update per selected client on
   /// the shared model (timed, reported through ctx), then aggregate. The
@@ -239,6 +267,8 @@ class FedAvg : public SplitFederatedAlgorithm {
                             Rng& client_rng) const override;
   RoundStats aggregate(Model& model, const Tensor& global,
                        std::vector<ClientUpdate>& updates) override;
+  bool supports_partial_aggregation() const override { return true; }
+  bool stateless_client_phase() const override { return true; }
   std::string name() const override { return "FedAvg"; }
 
  protected:
@@ -257,6 +287,9 @@ class QFedAvg : public SplitFederatedAlgorithm {
                             Rng& client_rng) const override;
   RoundStats aggregate(Model& model, const Tensor& global,
                        std::vector<ClientUpdate>& updates) override;
+  // aggregate needs every client's (delta, F_k) pair — a weighted digest
+  // loses the per-client loss reweighting, so no edge tier for q-FedAvg.
+  bool stateless_client_phase() const override { return true; }
   std::string name() const override { return "q-FedAvg"; }
 
  private:
@@ -276,6 +309,8 @@ class FedProx : public SplitFederatedAlgorithm {
                             Rng& client_rng) const override;
   RoundStats aggregate(Model& model, const Tensor& global,
                        std::vector<ClientUpdate>& updates) override;
+  bool supports_partial_aggregation() const override { return true; }
+  bool stateless_client_phase() const override { return true; }
   std::string name() const override { return "FedProx"; }
 
  private:
@@ -335,5 +370,28 @@ class FedAvgM : public FedAvg {
 /// shared by several methods.
 Tensor weighted_average_states(const std::vector<Tensor>& states,
                                const std::vector<double>& weights);
+
+/// Edge group owning a selection position in a two-level aggregation tree:
+/// contiguous blocks of the round's `selected` list, g = pos * E / n. The
+/// single source of truth for the client→edge mapping — the monolithic
+/// hierarchical path, the root server, and the edge nodes all call this, so
+/// the grouping (and therefore every floating-point fold) agrees bit-for-bit.
+std::size_t edge_group_of(std::size_t position, std::size_t n_selected,
+                          std::size_t edge_groups);
+
+/// Two-level aggregation (DESIGN.md §14): splits the survivors into
+/// edge_groups contiguous selection blocks (by their original positions in
+/// the round's `selected` list), folds each into one weighted digest via
+/// split.partial_aggregate, and feeds the digests — in edge order — to
+/// split.aggregate. The returned stats keep the *client-level* summary
+/// (summarize_updates over the survivors, computed before any state moves),
+/// merge the aggregate's extras on top, and add extras["net.edges"].
+/// Requires split.supports_partial_aggregation(). Consumes `updates`.
+RoundStats hierarchical_aggregate(Model& model, SplitFederatedAlgorithm& split,
+                                  const Tensor& global,
+                                  std::vector<ClientUpdate>& updates,
+                                  const std::vector<std::size_t>& positions,
+                                  std::size_t n_selected,
+                                  std::size_t edge_groups);
 
 }  // namespace hetero

@@ -17,7 +17,11 @@
 // on build order — which is what makes O(1) random access possible.
 #pragma once
 
+#include <cstdint>
+#include <list>
+#include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "data/builder.h"
@@ -140,7 +144,18 @@ class VirtualPopulation final : public ClientProvider {
   /// exactly what MaterializedPopulation serves. O(N) memory, by request.
   FlPopulation materialize_all() const;
 
+  /// Dataset-LRU introspection (see client_dataset): capacity comes from
+  /// HS_POP_CACHE (default 64 clients, 0 disables; anything that is not a
+  /// non-negative integer throws at construction).
+  std::size_t cache_capacity() const { return cache_capacity_; }
+  std::uint64_t cache_hits() const;
+  std::uint64_t cache_misses() const;
+
  private:
+  /// Runs the full recipe for `client` into `slot` (the pre-cache
+  /// client_dataset body). Pure function of (spec, root, client).
+  void generate_into(std::size_t client, ClientSlot& slot) const;
+
   PopulationSpec spec_;
   Rng root_;
   std::vector<double> assign_shares_;  ///< market shares, excluded zeroed
@@ -148,6 +163,25 @@ class VirtualPopulation final : public ClientProvider {
   std::vector<Dataset> device_test_;
   std::vector<std::string> device_names_;
   std::vector<double> device_speed_scale_;
+
+  // LRU of materialized client datasets, keyed by client id (the spec and
+  // root are fixed per provider, so the id alone identifies the bytes).
+  // client_dataset used to re-run the whole scene + ISP recipe every time a
+  // client repeated across rounds; now a repeat is one Dataset copy. Hits
+  // copy under the lock (an evicted entry must never be referenced by a
+  // caller); misses generate outside the lock so concurrent runtime workers
+  // only serialize on the map, not on the ISP pipeline.
+  struct CacheEntry {
+    std::size_t client;
+    Dataset data;
+  };
+  std::size_t cache_capacity_;
+  mutable std::mutex cache_mu_;
+  mutable std::list<CacheEntry> cache_lru_;  // front = most recent
+  mutable std::unordered_map<std::size_t, std::list<CacheEntry>::iterator>
+      cache_index_;
+  mutable std::uint64_t cache_hits_ = 0;
+  mutable std::uint64_t cache_misses_ = 0;
 };
 
 /// Eager population: serves a resident FlPopulation through the provider

@@ -166,6 +166,8 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
              "run_simulation: scheduled modes require a split algorithm");
     HS_CHECK(!cfg.checkpoint.enabled(),
              "run_simulation: checkpoint/resume supports the sync loop only");
+    HS_CHECK(cfg.edge_groups == 0,
+             "run_simulation: edge aggregation supports the sync loop only");
     SimulationResult result =
         run_scheduled(model, *split, population, cfg, observer);
     result.final_metrics = evaluate_per_device(model, population);
@@ -183,6 +185,7 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
     };
   }
   executor.set_faults(faults);
+  executor.set_edge_groups(cfg.edge_groups);
 
   SimulationResult result;
   std::size_t start_round = 0;

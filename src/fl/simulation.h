@@ -70,6 +70,14 @@ struct SimulationConfig {
   /// Populated from HS_CHECKPOINT by the benches/CLI via
   /// parse_checkpoint_spec.
   CheckpointOptions checkpoint;
+  /// Two-level edge-aggregation tree (DESIGN.md §14): >0 splits every
+  /// round's survivors into this many contiguous selection blocks, folds
+  /// each into one weighted digest (the PR 4 renormalized partial
+  /// aggregation), and aggregates the digests — exactly the fold the
+  /// distributed edge tier (src/net) runs, so a loopback run with matching
+  /// num_edges is byte-identical to this in-process path. 0 keeps the flat
+  /// fold. Sync loop only; requires supports_partial_aggregation().
+  std::size_t edge_groups = 0;
 };
 
 /// Wall- and virtual-time accounting of one simulation run. The two clocks

@@ -35,6 +35,17 @@ std::int8_t* int8_slot(Workspace& ws, std::size_t slot, std::size_t count) {
   return reinterpret_cast<std::int8_t*>(ws.get(slot, (count + 3) / 4));
 }
 
+/// True when `wcache` already holds valid codes for a weight matrix of
+/// `elems` elements at generation `version`. The generation is read once by
+/// the caller *before* quantizing and stamped afterwards, so a concurrent
+/// bump during the quantize at worst leaves an older stamp (extra
+/// re-quantize later), never a stale hit.
+bool cache_valid(const Int8WeightCache* wcache, std::uint64_t version,
+                 std::size_t elems) {
+  return wcache != nullptr && wcache->version == version &&
+         wcache->elems == elems;
+}
+
 HS_TILED_CLONES
 void quantize_rows_impl(const float* HS_RESTRICT src, std::size_t rows,
                         std::size_t cols, std::int8_t* HS_RESTRICT q,
@@ -102,12 +113,21 @@ void gemm_nt_int8(const std::int8_t* aq, const float* sa,
 
 void linear_forward_int8(const float* x, const float* w, const float* bias,
                          float* y, std::size_t n, std::size_t in,
-                         std::size_t out, Workspace& ws) {
+                         std::size_t out, Workspace& ws,
+                         Int8WeightCache* wcache) {
+  if (!int8_cache_enabled()) wcache = nullptr;
+  const std::uint64_t version = wcache ? weight_version() : 0;
   std::int8_t* qw = int8_slot(ws, kSlotQa, out * in);
   std::int8_t* qx = int8_slot(ws, kSlotQb, n * in);
   float* sw = ws.get(kSlotSa, out);
   float* sx = ws.get(kSlotSb, n);
-  quantize_rows_impl(w, out, in, qw, sw);
+  if (!cache_valid(wcache, version, out * in)) {
+    quantize_rows_impl(w, out, in, qw, sw);
+    if (wcache) {
+      wcache->version = version;
+      wcache->elems = out * in;
+    }
+  }
   quantize_rows_impl(x, n, in, qx, sx);
   gemm_nt_int8_impl(qx, sx, qw, sw, y, n, in, out);
   if (bias) {
@@ -119,7 +139,8 @@ void linear_forward_int8(const float* x, const float* w, const float* bias,
 }
 
 void conv2d_forward_int8(const ConvShape& s, const float* x, const float* w,
-                         const float* bias, float* y, Workspace& ws) {
+                         const float* bias, float* y, Workspace& ws,
+                         Int8WeightCache* wcache) {
   const std::size_t ohow = s.out_h() * s.out_w();
   const std::size_t gic = s.group_in_c(), goc = s.group_out_c();
   const std::size_t patch = s.patch();
@@ -132,11 +153,20 @@ void conv2d_forward_int8(const ConvShape& s, const float* x, const float* w,
     return;
   }
 
-  // Per-out-channel weight scales, quantized once per call (the weight
-  // matrix is shared by every sample and group iteration below).
+  // Per-out-channel weight scales, shared by every sample and group
+  // iteration below — and by every later call at the same weight
+  // generation, via the per-layer cache stamp.
+  if (!int8_cache_enabled()) wcache = nullptr;
+  const std::uint64_t version = wcache ? weight_version() : 0;
   std::int8_t* qw = int8_slot(ws, kSlotQa, s.out_c * patch);
   float* sw = ws.get(kSlotSa, s.out_c);
-  quantize_rows_impl(w, s.out_c, patch, qw, sw);
+  if (!cache_valid(wcache, version, s.out_c * patch)) {
+    quantize_rows_impl(w, s.out_c, patch, qw, sw);
+    if (wcache) {
+      wcache->version = version;
+      wcache->elems = s.out_c * patch;
+    }
+  }
 
   if (s.kernel == 1 && s.stride == 1 && s.pad == 0) {
     // Pointwise: the patch matrix is the input verbatim; transpose each

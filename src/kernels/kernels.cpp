@@ -27,6 +27,14 @@ EvalMode eval_mode_from_env() {
   return v ? parse_eval_mode(*v) : EvalMode::kF32;
 }
 
+bool cache_from_env() {
+  const auto v = env_string("HS_EVAL_CACHE");
+  if (!v || *v == "on") return true;
+  if (*v == "off") return false;
+  throw std::invalid_argument("HS_EVAL_CACHE: unknown value '" + *v +
+                              "' (valid values: on, off)");
+}
+
 std::atomic<KernelKind>& active_slot() {
   static std::atomic<KernelKind> slot{kind_from_env()};
   return slot;
@@ -36,6 +44,15 @@ std::atomic<EvalMode>& eval_slot() {
   static std::atomic<EvalMode> slot{eval_mode_from_env()};
   return slot;
 }
+
+std::atomic<bool>& cache_slot() {
+  static std::atomic<bool> slot{cache_from_env()};
+  return slot;
+}
+
+// Weight generation. Starts at 1 so the default Int8WeightCache stamp (0)
+// can never match a live generation.
+std::atomic<std::uint64_t> g_weight_version{1};
 
 // Thread-local intra-op / eval-scope state. Plain thread_locals: both are
 // strictly scope-managed (RAII installs/restores) and never observed from
@@ -94,6 +111,22 @@ EvalScope::~EvalScope() { --t_eval_depth; }
 
 bool int8_eval_active() {
   return t_eval_depth > 0 && eval_mode() == EvalMode::kInt8;
+}
+
+std::uint64_t weight_version() {
+  return g_weight_version.load(std::memory_order_relaxed);
+}
+
+void bump_weight_version() {
+  g_weight_version.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool int8_cache_enabled() {
+  return cache_slot().load(std::memory_order_relaxed);
+}
+
+void set_int8_cache_enabled(bool enabled) {
+  cache_slot().store(enabled, std::memory_order_relaxed);
 }
 
 const IntraOpContext& intra_op() { return t_intra_op; }

@@ -91,6 +91,42 @@ class EvalScope {
 /// EvalScope.
 bool int8_eval_active();
 
+// ------------------------------------------------ int8 weight-code cache --
+// The int8 eval path used to re-quantize every layer's weight matrix on
+// every eval batch even though the weights cannot change mid-eval. The
+// layers now keep the quantized weight codes in their Workspace and stamp
+// them with the process-wide weight generation below; the quantize is
+// skipped while the stamp matches. Any mutation of trained parameters
+// (Sgd::step, Model::set_params/set_state) bumps the generation, so a
+// stale code block can never be served.
+
+/// Current weight generation (starts at 1, monotone). Thread-safe.
+std::uint64_t weight_version();
+
+/// Marks all cached weight codes stale. Called by every parameter-mutating
+/// entry point; cheap enough (one relaxed atomic increment) to sit on the
+/// training hot path.
+void bump_weight_version();
+
+/// HS_EVAL_CACHE env knob: "on" (default) / "off"; anything else throws.
+/// Off forces the pre-cache behavior (re-quantize every call) — useful to
+/// rule the cache out when debugging quantized-eval drift.
+bool int8_cache_enabled();
+void set_int8_cache_enabled(bool enabled);
+
+/// Per-layer stamp for the quantized weight codes held in the layer's
+/// Workspace (slots kSlotQa/kSlotSa of the int8 kernels). version 0 means
+/// empty. Copies start cold, exactly like Workspace: a cloned layer's
+/// workspace has no codes, so its stamp must not claim otherwise.
+struct Int8WeightCache {
+  std::uint64_t version = 0;  ///< weight_version() at quantize time; 0=empty
+  std::size_t elems = 0;      ///< weight element count at quantize time
+
+  Int8WeightCache() = default;
+  Int8WeightCache(const Int8WeightCache&) {}
+  Int8WeightCache& operator=(const Int8WeightCache&) { return *this; }
+};
+
 // ---------------------------------------------------- intra-op parallelism --
 // A thread-local context carrying an optional worker handle (type-erased so
 // this layer never depends on src/runtime). While installed, large GEMMs
@@ -252,9 +288,13 @@ void gemm_nt_int8(const std::int8_t* aq, const float* sa,
 
 /// Quantized Linear forward: y(n, out) = q(x)·q(w)^T dequantized (+ bias
 /// when non-null). Per-sample input scales, per-out-feature weight scales.
+/// When `wcache` is non-null and the cache knob is on, the weight codes are
+/// reused across calls until the weight generation bumps (bit-identical to
+/// re-quantizing: the codes are a pure function of the weight bytes).
 void linear_forward_int8(const float* x, const float* w, const float* bias,
                          float* y, std::size_t n, std::size_t in,
-                         std::size_t out, Workspace& ws);
+                         std::size_t out, Workspace& ws,
+                         Int8WeightCache* wcache = nullptr);
 
 /// Quantized Conv2d forward over the batched im2col lowering: per-output-
 /// pixel patch scales, per-out-channel weight scales, f32 bias fused into
@@ -262,6 +302,7 @@ void linear_forward_int8(const float* x, const float* w, const float* bias,
 /// to the f32 tiled planes — a 9-tap per-channel pass gains nothing from
 /// quantization. Allocation-free in steady state (all scratch via `ws`).
 void conv2d_forward_int8(const ConvShape& s, const float* x, const float* w,
-                         const float* bias, float* y, Workspace& ws);
+                         const float* bias, float* y, Workspace& ws,
+                         Int8WeightCache* wcache = nullptr);
 
 }  // namespace hetero::kernels

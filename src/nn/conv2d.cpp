@@ -69,11 +69,13 @@ Tensor Conv2d::forward(const Tensor& x, bool train) {
   Tensor y = Tensor::uninit({n, out_c_, s.out_h(), s.out_w()});
   const kernels::KernelKind kind = kernels::active_kernel();
   if (!train && kernels::int8_eval_active()) {
-    // Forward-only eval pass under HS_EVAL=int8. Never caches: backward
-    // always replays the kind (and cols layout) of a f32 training forward.
+    // Forward-only eval pass under HS_EVAL=int8. Never caches patch
+    // matrices: backward always replays the kind (and cols layout) of a
+    // f32 training forward. The quantized weight codes *are* cached in the
+    // workspace, stamped against the weight generation.
     kernels::conv2d_forward_int8(s, x.data(), w_.data(),
                                  has_bias_ ? b_.data() : nullptr, y.data(),
-                                 ws_);
+                                 ws_, &int8_wcache_);
     return y;
   }
   float* cols = nullptr;

@@ -31,7 +31,7 @@ Tensor Linear::forward(const Tensor& x, bool train) {
     // this branch (train == true bypasses the check entirely).
     kernels::linear_forward_int8(x.data(), w_.data(),
                                  has_bias_ ? b_.data() : nullptr, y.data(), n,
-                                 in_, out_, ws_);
+                                 in_, out_, ws_, &int8_wcache_);
     return y;
   }
   kernels::gemm_nt(kernels::active_kernel(), x.data(), w_.data(), y.data(), n,

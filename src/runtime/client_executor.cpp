@@ -85,6 +85,8 @@ RoundStats ClientExecutor::run_round(Model& model,
     // one (virtual populations) are rejected rather than materialized.
     HS_CHECK(plan_ == nullptr,
              "ClientExecutor: fault injection requires a split algorithm");
+    HS_CHECK(edge_groups_ == 0,
+             "ClientExecutor: edge aggregation requires a split algorithm");
     const std::vector<Dataset>* data = provider.dataset_vector();
     HS_CHECK(data != nullptr,
              "ClientExecutor: this algorithm has no split client phase; "
@@ -278,9 +280,13 @@ RoundStats ClientExecutor::run_split(Model& model,
   // With the fault layer off this moves every update unchanged, so the
   // aggregate sees exactly the vector the pre-fault executor built.
   std::vector<ClientUpdate> survivors;
+  std::vector<std::size_t> survivor_pos;  // original `selected` positions
   survivors.reserve(n);
+  survivor_pos.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (usable(outcomes[i].kind)) survivors.push_back(std::move(updates[i]));
+    if (!usable(outcomes[i].kind)) continue;
+    survivors.push_back(std::move(updates[i]));
+    survivor_pos.push_back(i);
   }
 
   const std::size_t min_clients =
@@ -288,7 +294,10 @@ RoundStats ClientExecutor::run_split(Model& model,
   const bool aborted = survivors.size() < min_clients;
   RoundStats stats;
   if (!aborted) {
-    stats = split.aggregate(model, global, survivors);
+    stats = edge_groups_ > 0
+                ? hierarchical_aggregate(model, split, global, survivors,
+                                         survivor_pos, n, edge_groups_)
+                : split.aggregate(model, global, survivors);
   } else {
     // Too few usable updates: report the survivors' summary (if any) and
     // leave the global model untouched. On the serial path the shared

@@ -97,6 +97,17 @@ class ClientExecutor {
   void set_faults(const FaultOptions& options);
   const FaultOptions& fault_options() const { return fault_options_; }
 
+  /// Two-level edge aggregation (DESIGN.md §14): with groups > 0 the
+  /// round's survivors are split into that many contiguous selection
+  /// blocks, each folded into one weighted digest (partial_aggregate, the
+  /// PR 4 renormalization), and the digests — not the client updates — feed
+  /// the serial aggregate. Exactly the fold the distributed edge tier runs,
+  /// so a loopback run with matching edges is byte-identical. 0 (default)
+  /// keeps the flat fold. Requires a split algorithm with
+  /// supports_partial_aggregation().
+  void set_edge_groups(std::size_t groups) { edge_groups_ = groups; }
+  std::size_t edge_groups() const { return edge_groups_; }
+
   /// Runs one communication round, mutating the global model exactly like
   /// algorithm.run_round would. Per-client timing and fault outcomes are
   /// reported through `runtime` when non-null (every path, split or not).
@@ -135,6 +146,7 @@ class ClientExecutor {
   std::vector<ClientSlot> slots_;  // one materialization arena per worker
   FaultOptions fault_options_;
   std::unique_ptr<FaultPlan> plan_;  // null while fault injection is off
+  std::size_t edge_groups_ = 0;      // 0 = flat aggregation
 };
 
 }  // namespace hetero

@@ -26,6 +26,7 @@
 #include "nn/conv2d.h"
 #include "nn/linear.h"
 #include "nn/model_zoo.h"
+#include "nn/optimizer.h"
 #include "runtime/thread_pool.h"
 #include "util/rng.h"
 
@@ -409,6 +410,84 @@ TEST(Int8Eval, TrainedModelKeepsLossAndAccuracy) {
   EXPECT_NEAR(loss_f32, loss_int8, 0.05);
   // 16-sample test set: allow at most one flipped prediction.
   EXPECT_NEAR(acc_f32, acc_int8, 1.0 / 16.0 + 1e-9);
+}
+
+/// Restores the int8 weight-code cache knob on scope exit.
+struct CacheGuard {
+  bool saved = kernels::int8_cache_enabled();
+  ~CacheGuard() { kernels::set_int8_cache_enabled(saved); }
+};
+
+TEST(Int8Eval, WeightCodeCacheBitIdenticalAcrossEvalBatches) {
+  ModeGuard guard;
+  CacheGuard cache_guard;
+  kernels::set_active_kernel(KernelKind::kTiled);
+  kernels::set_eval_mode(EvalMode::kInt8);
+  Rng rng(406);
+  Linear fc(24, 10, rng, true);
+  Conv2d conv(4, 8, 3, 1, 1, 1, rng, true);
+  const Tensor x = Tensor::randn({5, 24}, rng, 1.0f);
+  const Tensor xc = Tensor::randn({2, 4, 8, 8}, rng, 1.0f);
+  const kernels::EvalScope scope;
+
+  // First eval forward quantizes and stamps; the second is served from the
+  // cached weight codes. A third pass with the cache disabled re-quantizes
+  // from scratch. All three must be bit-identical: the codes are a pure
+  // function of the weight bytes.
+  kernels::set_int8_cache_enabled(true);
+  const Tensor warm_fc = fc.forward(x, /*train=*/false);
+  const Tensor hit_fc = fc.forward(x, /*train=*/false);
+  const Tensor warm_cv = conv.forward(xc, /*train=*/false);
+  const Tensor hit_cv = conv.forward(xc, /*train=*/false);
+  kernels::set_int8_cache_enabled(false);
+  const Tensor cold_fc = fc.forward(x, /*train=*/false);
+  const Tensor cold_cv = conv.forward(xc, /*train=*/false);
+  ASSERT_EQ(warm_fc.size(), hit_fc.size());
+  for (std::size_t i = 0; i < warm_fc.size(); ++i) {
+    ASSERT_EQ(warm_fc[i], hit_fc[i]) << "linear cache hit diverged, elem " << i;
+    ASSERT_EQ(warm_fc[i], cold_fc[i]) << "linear cache off diverged, elem " << i;
+  }
+  ASSERT_EQ(warm_cv.size(), hit_cv.size());
+  for (std::size_t i = 0; i < warm_cv.size(); ++i) {
+    ASSERT_EQ(warm_cv[i], hit_cv[i]) << "conv cache hit diverged, elem " << i;
+    ASSERT_EQ(warm_cv[i], cold_cv[i]) << "conv cache off diverged, elem " << i;
+  }
+}
+
+TEST(Int8Eval, WeightCodeCacheInvalidatedByParameterMutations) {
+  ModeGuard guard;
+  CacheGuard cache_guard;
+  kernels::set_active_kernel(KernelKind::kTiled);
+  kernels::set_eval_mode(EvalMode::kInt8);
+  kernels::set_int8_cache_enabled(true);
+  Rng rng(407);
+  Linear fc(16, 6, rng, true);
+  const Tensor x = Tensor::randn({3, 16}, rng, 1.0f);
+  const kernels::EvalScope scope;
+
+  const Tensor before = fc.forward(x, /*train=*/false);  // stamps the cache
+
+  // Every parameter-mutating entry point must bump the generation.
+  const std::uint64_t v0 = kernels::weight_version();
+  Sgd opt(fc, SgdOptions{});
+  opt.step();  // zero grads: weights unchanged numerically, still a bump
+  EXPECT_GT(kernels::weight_version(), v0);
+
+  // A real weight change through the sanctioned path must be visible in the
+  // next quantized forward (no stale codes served), and must match a
+  // cache-disabled forward bit-for-bit.
+  fc.weight()[0] += 1.0f;
+  kernels::bump_weight_version();  // weight() writes bypass set_params
+  const Tensor after = fc.forward(x, /*train=*/false);
+  kernels::set_int8_cache_enabled(false);
+  const Tensor after_ref = fc.forward(x, /*train=*/false);
+  ASSERT_EQ(after.size(), after_ref.size());
+  bool any_diff = false;
+  for (std::size_t i = 0; i < after.size(); ++i) {
+    ASSERT_EQ(after[i], after_ref[i]) << "stale codes served, elem " << i;
+    any_diff = any_diff || after[i] != before[i];
+  }
+  EXPECT_TRUE(any_diff) << "weight mutation not visible after invalidation";
 }
 
 // ---------------------------------------------------- intra-op determinism --

@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -90,6 +92,70 @@ TEST(VirtualPopulation, MatchesMaterializedSingleLabel) {
   }
   EXPECT_EQ(lazy.device_names(), eager.device_names());
   EXPECT_EQ(lazy.device_speed_scale(), eager.device_speed_scale());
+}
+
+// ----------------------------------------------------- client-dataset LRU --
+
+TEST(VirtualPopulation, DatasetCacheHitsAreByteIdentical) {
+  SceneGenerator scenes(16);
+  const Rng root = Rng(13).fork(1);
+  const PopulationSpec spec = small_single_label(scenes, 12);
+
+  const VirtualPopulation cached(spec, root);  // default HS_POP_CACHE=64
+  ASSERT_GT(cached.cache_capacity(), 0u);
+
+  ClientSlot slot_a, slot_b;
+  const Dataset& first = cached.client_dataset(3, slot_a);   // miss
+  const Dataset& second = cached.client_dataset(3, slot_b);  // hit: a copy
+  EXPECT_EQ(cached.cache_misses(), 1u);
+  EXPECT_EQ(cached.cache_hits(), 1u);
+  expect_dataset_bits(first, second);
+
+  // The cached copy must match an uncached provider on the same recipe.
+  setenv("HS_POP_CACHE", "0", 1);
+  const VirtualPopulation uncached(spec, root);
+  unsetenv("HS_POP_CACHE");
+  EXPECT_EQ(uncached.cache_capacity(), 0u);
+  ClientSlot slot_c;
+  expect_dataset_bits(second, uncached.client_dataset(3, slot_c));
+  EXPECT_EQ(uncached.cache_hits(), 0u);
+  EXPECT_EQ(uncached.cache_misses(), 0u);
+}
+
+TEST(VirtualPopulation, DatasetCacheEvictsLeastRecentlyUsed) {
+  setenv("HS_POP_CACHE", "2", 1);
+  SceneGenerator scenes(16);
+  const Rng root = Rng(17).fork(1);
+  const PopulationSpec spec = small_single_label(scenes, 8);
+  const VirtualPopulation pop(spec, root);
+  unsetenv("HS_POP_CACHE");
+  ASSERT_EQ(pop.cache_capacity(), 2u);
+
+  ClientSlot slot;
+  pop.client_dataset(0, slot);  // miss        cache {0}
+  pop.client_dataset(1, slot);  // miss        cache {1, 0}
+  pop.client_dataset(0, slot);  // hit         cache {0, 1}
+  pop.client_dataset(2, slot);  // miss        cache {2, 0} — evicts 1
+  pop.client_dataset(1, slot);  // miss again: 1 was the LRU victim
+  EXPECT_EQ(pop.cache_hits(), 1u);
+  EXPECT_EQ(pop.cache_misses(), 4u);
+
+  // Re-materialized after eviction: still byte-identical to the recipe.
+  setenv("HS_POP_CACHE", "0", 1);
+  const VirtualPopulation plain(spec, root);
+  unsetenv("HS_POP_CACHE");
+  ClientSlot ref;
+  expect_dataset_bits(pop.client_dataset(1, slot),
+                      plain.client_dataset(1, ref));
+}
+
+TEST(VirtualPopulation, PopCacheEnvStrictlyParsed) {
+  setenv("HS_POP_CACHE", "lots", 1);
+  SceneGenerator scenes(16);
+  const Rng root = Rng(19).fork(1);
+  const PopulationSpec spec = small_single_label(scenes, 4);
+  EXPECT_THROW(VirtualPopulation(spec, root), std::invalid_argument);
+  unsetenv("HS_POP_CACHE");
 }
 
 TEST(VirtualPopulation, MatchesMaterializedFlair) {

@@ -18,7 +18,9 @@
 # per-worker slots — the provider's const-purity contract under watch. The
 # fast-kernel tests add the intra-op worker fan-out (detail::intra_for under
 # a ScopedIntraOp grant) and the HS_KERNEL=fast / HS_EVAL=int8 dispatch to
-# the raced surface.
+# the raced surface. The net tests run loopback daemon rounds with the root
+# epoll loop and worker/edge nodes on separate threads exchanging frames
+# over real sockets, plus the int8 weight-version generation counter.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -28,11 +30,11 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHETERO_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j "$(nproc)" --target test_runtime test_kernels test_kernels_fast test_faults test_sched test_population
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target test_runtime test_kernels test_kernels_fast test_faults test_sched test_population test_net
 
 # halt_on_error makes a race fail the run instead of just logging it.
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
-  ctest --test-dir "${BUILD_DIR}" -R '^(test_runtime|test_kernels|test_kernels_fast|test_faults|test_sched|test_population)$' \
+  ctest --test-dir "${BUILD_DIR}" -R '^(test_runtime|test_kernels|test_kernels_fast|test_faults|test_sched|test_population|test_net)$' \
   --output-on-failure "$@"
 
 echo "TSan check passed."

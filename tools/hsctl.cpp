@@ -9,8 +9,19 @@
 //   hsctl train [options]               centralized train-on-one-device,
 //                                       evaluate on all devices
 //   hsctl fl [options]                  run a federated simulation
+//   hsctl serve [options]               FL root server over TCP
+//   hsctl client [options]              FL worker node over TCP
+//   hsctl edge [options]                FL edge aggregator over TCP
 //
 // Common options: --seed N. See `hsctl <command> --help` for the rest.
+//
+// The distributed trio (serve/client/edge) speaks the binary wire protocol
+// of DESIGN.md §14. Every node must be launched with the SAME population /
+// method / seed flags: the protocol ships only round assignments and model
+// states, and relies on each node deterministically rebuilding the same
+// population and algorithm. A distributed run is then byte-identical to
+// `hsctl fl` with the same flags (plus --edges for the two-level tree).
+// HS_NET="maxframe=BYTES,trace=0|1" tunes the frame bound / net.* extras.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -29,6 +40,8 @@
 #include "hetero/hetero_metrics.h"
 #include "hetero/heteroswitch.h"
 #include "image/ppm.h"
+#include "net/event_loop.h"
+#include "net/node.h"
 #include "nn/model_zoo.h"
 #include "runtime/faults.h"
 #include "scene/scene_gen.h"
@@ -237,6 +250,171 @@ int cmd_train(const Args& args) {
   return 0;
 }
 
+/// Everything a federated run needs, built deterministically from the
+/// shared command-line flags. The scene generator is owned here because
+/// PopulationSpec borrows it. serve/client/edge build the same stack from
+/// the same flags, which is what makes a distributed run byte-identical to
+/// the monolithic `hsctl fl`.
+struct FlStack {
+  std::unique_ptr<SceneGenerator> scenes;
+  std::unique_ptr<ClientProvider> population;
+  std::unique_ptr<FederatedAlgorithm> algorithm;
+  std::unique_ptr<Model> model;
+};
+
+std::unique_ptr<FederatedAlgorithm> build_algorithm(const Args& args) {
+  const std::string method = args.get("method", "heteroswitch");
+  LocalTrainConfig local;
+  local.lr = 0.1f;
+  local.batch_size = 10;
+  if (method == "fedavg") return std::make_unique<FedAvg>(local);
+  if (method == "heteroswitch") {
+    return std::make_unique<HeteroSwitch>(local, HeteroSwitchOptions{});
+  }
+  if (method == "qfedavg") {
+    return std::make_unique<QFedAvg>(local, args.get_double("q", 1e-6));
+  }
+  if (method == "fedprox") {
+    return std::make_unique<FedProx>(
+        local, static_cast<float>(args.get_double("mu", 0.1)));
+  }
+  if (method == "scaffold") return std::make_unique<Scaffold>(local);
+  if (method == "fedavgm") {
+    return std::make_unique<FedAvgM>(
+        local, static_cast<float>(args.get_double("beta", 0.7)));
+  }
+  if (method == "compressed") {
+    CompressionOptions comp;
+    comp.top_k_fraction = static_cast<float>(args.get_double("topk", 0.1));
+    comp.quantize_bits = static_cast<int>(args.get_int("bits", 0));
+    return std::make_unique<CompressedFedAvg>(local, comp);
+  }
+  if (method == "dpfedavg") {
+    DpOptions dp;
+    dp.clip_norm = static_cast<float>(args.get_double("clip", 1.0));
+    dp.noise_multiplier = static_cast<float>(args.get_double("noise", 0.05));
+    return std::make_unique<DpFedAvg>(local, dp);
+  }
+  std::fprintf(stderr, "unknown method: %s\n", method.c_str());
+  return nullptr;
+}
+
+/// Builds the stack. `need_population` is false for edge aggregators, which
+/// only fold updates and never touch client data or the model.
+bool build_fl_stack(const Args& args, bool need_population, FlStack& out) {
+  out.algorithm = build_algorithm(args);
+  if (!out.algorithm) return false;
+  if (!need_population) return true;
+
+  const auto n_clients = static_cast<std::size_t>(args.get_int("clients", 30));
+  const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const std::string population_kind = args.get("population", "materialized");
+
+  out.scenes = std::make_unique<SceneGenerator>(64);
+  Rng root(seed);
+  PopulationConfig pcfg;
+  pcfg.num_clients = n_clients;
+  pcfg.samples_per_client = 20;
+  pcfg.test_per_class = 5;
+  pcfg.capture.tensor_size = 16;
+  pcfg.capture.illuminant_sigma_override = -1.0f;
+  const PopulationSpec pspec =
+      PopulationSpec::single_label(paper_devices(), pcfg, *out.scenes);
+  const Rng pop_root = root.fork(1);
+  if (population_kind == "virtual") {
+    std::printf("virtual population (%zu clients, lazy)...\n", n_clients);
+    out.population = std::make_unique<VirtualPopulation>(pspec, pop_root);
+  } else if (population_kind == "materialized") {
+    std::printf("building population (%zu clients)...\n", n_clients);
+    out.population = std::make_unique<MaterializedPopulation>(pspec, pop_root);
+  } else {
+    std::fprintf(stderr, "unknown population kind: %s\n",
+                 population_kind.c_str());
+    return false;
+  }
+
+  ModelSpec spec;
+  spec.image_size = 16;
+  Rng model_rng = root.fork(2);
+  out.model = make_model(spec, model_rng);
+  return true;
+}
+
+/// HS_NET="maxframe=BYTES,trace=0|1" — strict parse, throws on anything it
+/// does not recognise (the repo's env-knob convention).
+struct NetEnv {
+  std::size_t max_payload = net::kDefaultMaxPayload;
+  bool trace = false;
+};
+
+NetEnv parse_net_env() {
+  NetEnv out;
+  const char* env = std::getenv("HS_NET");
+  if (env == nullptr || *env == '\0') return out;
+  std::string spec(env);
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t comma = spec.find(',', pos);
+    const std::string item = spec.substr(
+        pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    pos = comma == std::string::npos ? spec.size() + 1 : comma + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    if (eq == std::string::npos) {
+      throw std::runtime_error("HS_NET: expected key=value, got '" + item +
+                               "'");
+    }
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "maxframe") {
+      char* end = nullptr;
+      const unsigned long long bytes = std::strtoull(value.c_str(), &end, 10);
+      if (end == value.c_str() || *end != '\0' || bytes == 0) {
+        throw std::runtime_error("HS_NET: bad maxframe '" + value + "'");
+      }
+      out.max_payload = static_cast<std::size_t>(bytes);
+    } else if (key == "trace") {
+      if (value != "0" && value != "1") {
+        throw std::runtime_error("HS_NET: trace must be 0 or 1, got '" +
+                                 value + "'");
+      }
+      out.trace = value == "1";
+    } else {
+      throw std::runtime_error("HS_NET: unknown key '" + key + "'");
+    }
+  }
+  return out;
+}
+
+bool split_host_port(const std::string& s, std::string& host,
+                     std::uint16_t& port) {
+  const std::size_t colon = s.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == s.size()) {
+    return false;
+  }
+  char* end = nullptr;
+  const unsigned long p = std::strtoul(s.c_str() + colon + 1, &end, 10);
+  if (*end != '\0' || p == 0 || p > 65535) return false;
+  host = s.substr(0, colon);
+  port = static_cast<std::uint16_t>(p);
+  return true;
+}
+
+/// The final-metrics table shared by `fl` and `serve`.
+void print_fl_result(const FederatedAlgorithm& algo, std::size_t rounds,
+                     const ClientProvider& pop, const SimulationResult& r) {
+  std::printf("\n%s after %zu rounds:\n", algo.name().c_str(), rounds);
+  Table table({"Device", "Accuracy"});
+  const std::vector<std::string>& device_names = pop.device_names();
+  for (std::size_t d = 0; d < device_names.size(); ++d) {
+    table.add_row({device_names[d], Table::pct(r.final_metrics.per_device[d])});
+  }
+  table.print(std::cout);
+  std::printf("average %.2f%%  variance %.2f  worst-case %.2f%%\n",
+              r.final_metrics.average * 100, r.final_metrics.variance * 1e4,
+              r.final_metrics.worst_case * 100);
+}
+
 int cmd_fl(const Args& args) {
   if (args.help()) {
     std::printf(
@@ -267,14 +445,17 @@ int cmd_fl(const Args& args) {
         "and resume from\n"
         "         it when present (sync loop only). HS_CHECKPOINT="
         "\"DIR[,every=N][,resume=0|1]\"\n"
-        "         is the env equivalent when --checkpoint is absent.\n");
+        "         is the env equivalent when --checkpoint is absent.\n"
+        "Edges:   --edges E folds each round through E partial digests (the "
+        "two-level\n"
+        "         tree of DESIGN.md §14; sync loop, partial-aggregation "
+        "methods only).\n");
     return 0;
   }
-  const std::string method = args.get("method", "heteroswitch");
   const auto rounds = static_cast<std::size_t>(args.get_int("rounds", 40));
-  const auto n_clients = static_cast<std::size_t>(args.get_int("clients", 30));
   const auto k = static_cast<std::size_t>(args.get_int("per-round", 8));
   const auto seed = static_cast<std::uint64_t>(args.get_int("seed", 42));
+  const auto edges = static_cast<std::size_t>(args.get_int("edges", 0));
   FaultOptions faults = parse_fault_spec(args.get("faults", ""));
   faults.min_clients = static_cast<std::size_t>(
       args.get_int("min-clients", static_cast<long>(faults.min_clients)));
@@ -285,7 +466,6 @@ int cmd_fl(const Args& args) {
   sched.staleness_exponent =
       args.get_double("staleness-exp", sched.staleness_exponent);
 
-  const std::string population_kind = args.get("population", "materialized");
   CheckpointOptions checkpoint;
   if (args.has("checkpoint")) {
     checkpoint.dir = args.get("checkpoint", "");
@@ -295,69 +475,9 @@ int cmd_fl(const Args& args) {
     checkpoint = parse_checkpoint_spec(env);
   }
 
-  SceneGenerator scenes(64);
-  Rng root(seed);
-  PopulationConfig pcfg;
-  pcfg.num_clients = n_clients;
-  pcfg.samples_per_client = 20;
-  pcfg.test_per_class = 5;
-  pcfg.capture.tensor_size = 16;
-  pcfg.capture.illuminant_sigma_override = -1.0f;
-  const PopulationSpec pspec =
-      PopulationSpec::single_label(paper_devices(), pcfg, scenes);
-  const Rng pop_root = root.fork(1);
-  std::unique_ptr<ClientProvider> pop;
-  if (population_kind == "virtual") {
-    std::printf("virtual population (%zu clients, lazy)...\n", n_clients);
-    pop = std::make_unique<VirtualPopulation>(pspec, pop_root);
-  } else if (population_kind == "materialized") {
-    std::printf("building population (%zu clients)...\n", n_clients);
-    pop = std::make_unique<MaterializedPopulation>(pspec, pop_root);
-  } else {
-    std::fprintf(stderr, "unknown population kind: %s\n",
-                 population_kind.c_str());
-    return 1;
-  }
+  FlStack stack;
+  if (!build_fl_stack(args, /*need_population=*/true, stack)) return 1;
 
-  LocalTrainConfig local;
-  local.lr = 0.1f;
-  local.batch_size = 10;
-  std::unique_ptr<FederatedAlgorithm> algo;
-  if (method == "fedavg") {
-    algo = std::make_unique<FedAvg>(local);
-  } else if (method == "heteroswitch") {
-    algo = std::make_unique<HeteroSwitch>(local, HeteroSwitchOptions{});
-  } else if (method == "qfedavg") {
-    algo = std::make_unique<QFedAvg>(local, args.get_double("q", 1e-6));
-  } else if (method == "fedprox") {
-    algo = std::make_unique<FedProx>(
-        local, static_cast<float>(args.get_double("mu", 0.1)));
-  } else if (method == "scaffold") {
-    algo = std::make_unique<Scaffold>(local);
-  } else if (method == "fedavgm") {
-    algo = std::make_unique<FedAvgM>(
-        local, static_cast<float>(args.get_double("beta", 0.7)));
-  } else if (method == "compressed") {
-    CompressionOptions comp;
-    comp.top_k_fraction =
-        static_cast<float>(args.get_double("topk", 0.1));
-    comp.quantize_bits = static_cast<int>(args.get_int("bits", 0));
-    algo = std::make_unique<CompressedFedAvg>(local, comp);
-  } else if (method == "dpfedavg") {
-    DpOptions dp;
-    dp.clip_norm = static_cast<float>(args.get_double("clip", 1.0));
-    dp.noise_multiplier =
-        static_cast<float>(args.get_double("noise", 0.05));
-    algo = std::make_unique<DpFedAvg>(local, dp);
-  } else {
-    std::fprintf(stderr, "unknown method: %s\n", method.c_str());
-    return 1;
-  }
-
-  ModelSpec spec;
-  spec.image_size = 16;
-  Rng model_rng = root.fork(2);
-  auto model = make_model(spec, model_rng);
   SimulationConfig sim;
   sim.rounds = rounds;
   sim.clients_per_round = k;
@@ -365,11 +485,12 @@ int cmd_fl(const Args& args) {
   sim.faults = faults;
   sim.sched = sched;
   sim.checkpoint = checkpoint;
+  sim.edge_groups = edges;
   ProgressObserver progress;
   sim.observer = &progress;
-  const SimulationResult r = run_simulation(*model, *algo, *pop, sim);
+  const SimulationResult r =
+      run_simulation(*stack.model, *stack.algorithm, *stack.population, sim);
 
-  std::printf("\n%s after %zu rounds:\n", algo->name().c_str(), rounds);
   if (sched.scheduled()) {
     std::printf(
         "sched: %s  buffer %zu  dispatched %zu  committed %zu  "
@@ -387,16 +508,182 @@ int cmd_fl(const Args& args) {
         r.runtime.clients_straggled, r.runtime.fault_retries,
         r.runtime.rounds_aborted);
   }
-  Table table({"Device", "Accuracy"});
-  const std::vector<std::string>& device_names = pop->device_names();
-  for (std::size_t d = 0; d < device_names.size(); ++d) {
-    table.add_row({device_names[d],
-                   Table::pct(r.final_metrics.per_device[d])});
+  print_fl_result(*stack.algorithm, rounds, *stack.population, r);
+  return 0;
+}
+
+int cmd_serve(const Args& args) {
+  if (args.help()) {
+    std::printf(
+        "hsctl serve --port P [--host H] (--workers W | --edges E)\n"
+        "            [fl flags: --method --rounds --clients --per-round "
+        "--seed --eval-every --population]\n"
+        "Aggregation root of a distributed run: accepts W workers (flat) or\n"
+        "E edge aggregators (two-level digest tree), drives --rounds rounds,\n"
+        "and prints the same result table as `hsctl fl`. Every node must be\n"
+        "launched with the same fl flags; the run is byte-identical to the\n"
+        "monolithic `hsctl fl` (with --edges E for the edge tree).\n"
+        "HS_NET=\"maxframe=BYTES,trace=0|1\" tunes the transport.\n");
+    return 0;
   }
-  table.print(std::cout);
-  std::printf("average %.2f%%  variance %.2f  worst-case %.2f%%\n",
-              r.final_metrics.average * 100, r.final_metrics.variance * 1e4,
-              r.final_metrics.worst_case * 100);
+  const auto port = static_cast<std::uint16_t>(args.get_int("port", 7433));
+  const std::string host = args.get("host", "127.0.0.1");
+  const auto workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  const auto edges = static_cast<std::size_t>(args.get_int("edges", 0));
+  if ((workers == 0) == (edges == 0)) {
+    std::fprintf(stderr, "serve: pass exactly one of --workers or --edges\n");
+    return 1;
+  }
+  const NetEnv env = parse_net_env();
+  FlStack stack;
+  if (!build_fl_stack(args, /*need_population=*/true, stack)) return 1;
+
+  net::EventLoop loop(env.max_payload);
+  net::NetSimConfig cfg;
+  cfg.rounds = static_cast<std::size_t>(args.get_int("rounds", 40));
+  cfg.clients_per_round =
+      static_cast<std::size_t>(args.get_int("per-round", 8));
+  cfg.seed = static_cast<std::uint64_t>(args.get_int("seed", 42)) + 3;
+  cfg.eval_every = static_cast<std::size_t>(args.get_int("eval-every", 0));
+  cfg.num_downstream = edges > 0 ? edges : workers;
+  cfg.edge_groups = edges;
+  ProgressObserver progress;
+  cfg.observer = &progress;
+  cfg.trace_extras = env.trace;
+  cfg.counters = &loop.counters();
+
+  net::RootServer root(*stack.model, *stack.algorithm, *stack.population, cfg,
+                       loop);
+  loop.set_handler([&root](std::size_t conn, const net::Frame& frame) {
+    root.on_frame(conn, frame);
+  });
+  loop.listen(host, port);
+  std::printf("serving on %s:%u (%zu %s, %zu rounds)\n", host.c_str(),
+              static_cast<unsigned>(port), cfg.num_downstream,
+              edges > 0 ? "edges" : "workers", cfg.rounds);
+  loop.run([&root] { return root.done() || root.failed(); });
+  if (root.failed()) {
+    std::fprintf(stderr, "serve: protocol failure: %s\n",
+                 root.error().c_str());
+    return 1;
+  }
+  const SimulationResult r = root.take_result();
+  const net::NetCounters& net_totals = loop.counters();
+  std::printf(
+      "net: %llu frames / %llu bytes out, %llu frames / %llu bytes in, "
+      "%llu bad\n",
+      static_cast<unsigned long long>(net_totals.frames_tx),
+      static_cast<unsigned long long>(net_totals.bytes_tx),
+      static_cast<unsigned long long>(net_totals.frames_rx),
+      static_cast<unsigned long long>(net_totals.bytes_rx),
+      static_cast<unsigned long long>(net_totals.frames_bad));
+  print_fl_result(*stack.algorithm, r.train_loss_history.size(),
+                  *stack.population, r);
+  return 0;
+}
+
+int cmd_client(const Args& args) {
+  if (args.help()) {
+    std::printf(
+        "hsctl client --connect HOST:PORT --index I [fl flags]\n"
+        "Worker node: connects to the root (or an edge), rebuilds the same\n"
+        "population/model/method from the same fl flags, and trains its\n"
+        "assigned clients each round until the server says Bye.\n");
+    return 0;
+  }
+  std::string host;
+  std::uint16_t port = 0;
+  if (!split_host_port(args.get("connect", ""), host, port)) {
+    std::fprintf(stderr, "client: --connect HOST:PORT required\n");
+    return 1;
+  }
+  const auto index = static_cast<std::uint64_t>(args.get_int("index", 0));
+  const NetEnv env = parse_net_env();
+  FlStack stack;
+  if (!build_fl_stack(args, /*need_population=*/true, stack)) return 1;
+
+  net::EventLoop loop(env.max_payload);
+  const std::size_t conn = loop.connect(host, port);
+  net::WorkerNode node(*stack.model, *stack.algorithm, *stack.population,
+                       loop, conn, index);
+  loop.set_handler([&node](std::size_t c, const net::Frame& frame) {
+    node.on_frame(c, frame);
+  });
+  bool closed = false;
+  loop.set_closed_handler([&closed](std::size_t) { closed = true; });
+  node.start();
+  loop.run([&] { return node.done() || node.failed() || closed; });
+  if (node.failed()) {
+    std::fprintf(stderr, "client: protocol failure: %s\n",
+                 node.error().c_str());
+    return 1;
+  }
+  if (!node.done()) {
+    std::fprintf(stderr, "client: connection lost before Bye\n");
+    return 1;
+  }
+  std::printf("client %llu: trained %zu rounds\n",
+              static_cast<unsigned long long>(index), node.rounds_trained());
+  return 0;
+}
+
+int cmd_edge(const Args& args) {
+  if (args.help()) {
+    std::printf(
+        "hsctl edge --connect HOST:PORT --port P [--host H] --index I "
+        "--workers W [--method ...]\n"
+        "Edge aggregator: connects upstream to the root, accepts W workers\n"
+        "on --port, relays round configs / model states, and folds each\n"
+        "round's surviving updates into one renormalized weighted digest\n"
+        "(DESIGN.md §14). Needs the same --method flags as the root; no\n"
+        "population or model.\n");
+    return 0;
+  }
+  std::string up_host;
+  std::uint16_t up_port = 0;
+  if (!split_host_port(args.get("connect", ""), up_host, up_port)) {
+    std::fprintf(stderr, "edge: --connect HOST:PORT required\n");
+    return 1;
+  }
+  const auto port = static_cast<std::uint16_t>(args.get_int("port", 7434));
+  const std::string host = args.get("host", "127.0.0.1");
+  const auto index = static_cast<std::uint64_t>(args.get_int("index", 0));
+  const auto workers = static_cast<std::size_t>(args.get_int("workers", 0));
+  if (workers == 0) {
+    std::fprintf(stderr, "edge: --workers W required\n");
+    return 1;
+  }
+  const NetEnv env = parse_net_env();
+  FlStack stack;
+  if (!build_fl_stack(args, /*need_population=*/false, stack)) return 1;
+
+  net::EventLoop loop(env.max_payload);
+  loop.listen(host, port);
+  const std::size_t up_conn = loop.connect(up_host, up_port);
+  net::EdgeNode node(*stack.algorithm, loop, up_conn, index, workers);
+  loop.set_handler([&node](std::size_t c, const net::Frame& frame) {
+    node.on_frame(c, frame);
+  });
+  bool upstream_closed = false;
+  loop.set_closed_handler([&upstream_closed, up_conn](std::size_t c) {
+    if (c == up_conn) upstream_closed = true;
+  });
+  node.start();
+  std::printf("edge %llu on %s:%u (upstream %s:%u, %zu workers)\n",
+              static_cast<unsigned long long>(index), host.c_str(),
+              static_cast<unsigned>(port), up_host.c_str(),
+              static_cast<unsigned>(up_port), workers);
+  loop.run([&] { return node.done() || node.failed() || upstream_closed; });
+  if (node.failed()) {
+    std::fprintf(stderr, "edge: protocol failure: %s\n", node.error().c_str());
+    return 1;
+  }
+  if (!node.done()) {
+    std::fprintf(stderr, "edge: upstream lost before Bye\n");
+    return 1;
+  }
+  std::printf("edge %llu: run complete\n",
+              static_cast<unsigned long long>(index));
   return 0;
 }
 
@@ -410,6 +697,9 @@ void print_usage() {
       "  signature   statistics-level device heterogeneity matrix\n"
       "  train       centralized cross-device characterization\n"
       "  fl          run a federated simulation\n"
+      "  serve       FL root server over TCP (binary wire protocol)\n"
+      "  client      FL worker node over TCP\n"
+      "  edge        FL edge aggregator over TCP\n"
       "run `hsctl <command> --help` for command options.\n");
 }
 
@@ -429,6 +719,9 @@ int main(int argc, char** argv) {
     if (command == "signature") return cmd_signature(args);
     if (command == "train") return cmd_train(args);
     if (command == "fl") return cmd_fl(args);
+    if (command == "serve") return cmd_serve(args);
+    if (command == "client") return cmd_client(args);
+    if (command == "edge") return cmd_edge(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "hsctl %s: %s\n", command.c_str(), e.what());
     return 1;

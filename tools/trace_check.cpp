@@ -23,7 +23,11 @@
 //     virtual times are non-decreasing within a round and never exceed the
 //     round_end's "sched.vt" clock; every client's staleness equals the
 //     pre-flush server version ("sched.version", minus one unless the
-//     flush aborted) minus the version it trained against.
+//     flush aborted) minus the version it trained against;
+//   * net-daemon traces reconcile: round_end's "net.edges" (the
+//     hierarchical edge tier's group count) is at least 1, and the
+//     cumulative "net.bytes_rx/tx" / "net.frames_rx/tx" counters are
+//     non-negative and never decrease across a run's rounds.
 // Then prints a summary with per-round and per-client latency percentiles
 // (when the trace carries timing fields; HS_TRACE_TIMINGS=0 omits them).
 // Exit code 0 = valid, 1 = violations found, 2 = usage / IO error.
@@ -113,6 +117,10 @@ int main(int argc, char** argv) {
   std::vector<std::pair<double, double>> round_staleness;
   double last_vt = 0.0;
   bool round_scheduled = false;
+  // Net daemon reconciliation state: the previous round_end's cumulative
+  // wire counters for this run (they must never decrease).
+  double last_net_bytes_rx = -1.0, last_net_bytes_tx = -1.0;
+  double last_net_frames_rx = -1.0, last_net_frames_tx = -1.0;
 
   std::string line;
   while (std::getline(in, line)) {
@@ -151,6 +159,8 @@ int main(int argc, char** argv) {
         check.fail("run_begin without string \"label\"");
       }
       in_round = false;
+      last_net_bytes_rx = last_net_bytes_tx = -1.0;
+      last_net_frames_rx = last_net_frames_tx = -1.0;
     } else if (type == "round_begin") {
       if (in_round) check.fail("round_begin inside an open round");
       round_id = check.num(obj, "round");
@@ -272,6 +282,34 @@ int main(int argc, char** argv) {
       } else if (round_scheduled) {
         check.fail("scheduled client_end events without round_end "
                    "sched.version");
+      }
+      // Net daemon extras: net.edges announces the hierarchical edge
+      // tier's group count (>= 1 whenever an edge tier ran); the
+      // net.bytes_* / net.frames_* counters are cumulative over the whole
+      // run, so within a run they can only grow.
+      double net_edges = 0.0;
+      if (check.opt_num(obj, "net.edges", &net_edges) && net_edges < 1.0) {
+        check.fail("round_end net.edges < 1");
+      }
+      const struct {
+        const char* name;
+        double* last;
+      } net_counters[] = {
+          {"net.bytes_rx", &last_net_bytes_rx},
+          {"net.bytes_tx", &last_net_bytes_tx},
+          {"net.frames_rx", &last_net_frames_rx},
+          {"net.frames_tx", &last_net_frames_tx},
+      };
+      for (const auto& c : net_counters) {
+        double v = 0.0;
+        if (!check.opt_num(obj, c.name, &v)) continue;
+        if (v < 0.0) {
+          check.fail(std::string("round_end negative ") + c.name);
+        } else if (v < *c.last) {
+          check.fail(std::string("round_end ") + c.name +
+                     " decreased across rounds");
+        }
+        *c.last = v;
       }
       double secs = 0.0;
       if (check.opt_num(obj, "seconds", &secs)) round_seconds.observe(secs);
