@@ -26,6 +26,7 @@
 
 #include "bench_common.h"
 #include "fl/population.h"
+#include "image/fastpath.h"
 
 using namespace hetero;
 using namespace hetero::bench;
@@ -212,6 +213,59 @@ int main() {
                  speedup, identical ? "bit-identical" : "RESULTS DIVERGED");
   }
 
+  // Phase 4: cold generation. With the cache disabled every client_dataset
+  // call re-runs scene synthesis + the full capture pipeline, so this row
+  // isolates the ISP substrate's share of materialization cost:
+  // HS_ISP=reference vs the vectorized fast path (bit-identical —
+  // tests/test_isp_parity.cpp), same clients, same bytes out.
+  {
+    const std::size_t n = 16;
+    const char* prev = std::getenv("HS_POP_CACHE");
+    const std::string saved = prev ? prev : "";
+    setenv("HS_POP_CACHE", "0", 1);
+    const VirtualPopulation pop(bench_spec(n, scenes), pop_root);
+    if (prev) {
+      setenv("HS_POP_CACHE", saved.c_str(), 1);
+    } else {
+      unsetenv("HS_POP_CACHE");
+    }
+    const img::PathKind env_path = img::active_path();
+    auto materialize_all = [&](img::PathKind kind) {
+      img::set_active_path(kind);
+      ClientSlot slot;
+      Timer t;
+      for (std::size_t c = 0; c < n; ++c) (void)pop.client_dataset(c, slot);
+      return t.elapsed_s() * 1e6;
+    };
+    const std::size_t reps = std::max<std::size_t>(scale.repeats(), 3);
+    std::vector<double> ratios, ref_all, fast_all;
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      const double ref_us = materialize_all(img::PathKind::kReference);
+      const double fast_us = materialize_all(img::PathKind::kFast);
+      ref_all.push_back(ref_us);
+      fast_all.push_back(fast_us);
+      ratios.push_back(ref_us / fast_us);
+    }
+    img::set_active_path(env_path);
+    std::sort(ratios.begin(), ratios.end());
+    std::sort(ref_all.begin(), ref_all.end());
+    std::sort(fast_all.begin(), fast_all.end());
+    const double speedup = ratios[ratios.size() / 2];
+    const double ref_med = ref_all[ref_all.size() / 2];
+    const double fast_med = fast_all[fast_all.size() / 2];
+    char sp_s[32];
+    std::snprintf(sp_s, sizeof sp_s, "%.2fx", speedup);
+    table.add_row({"cold", std::to_string(n), "-", "-", "-", "-", sp_s, "-"});
+    jsonl << "{\"bench\":\"micro_population\",\"population\":\"cold\","
+          << "\"n\":" << n << ",\"reference_us\":" << ref_med
+          << ",\"fast_us\":" << fast_med << ",\"speedup\":" << speedup
+          << "}\n";
+    std::fprintf(stderr,
+                 "[micro_population] cold N=%zu: %.0f us reference vs %.0f us "
+                 "fast (%.2fx, median paired)\n",
+                 n, ref_med, fast_med, speedup);
+  }
+
   finish(table, "micro_population");
   std::printf(
       "\n[jsonl] BENCH_population.json (appended)\n"
@@ -219,6 +273,8 @@ int main() {
       "provider's working set is O(k), not O(N)); the parity row's Identical "
       "column must read yes (virtual and materialized populations are the "
       "same recipe); the lru row's Identical column must read yes too, with "
-      "RSSRatio showing its speedup over an HS_POP_CACHE=0 run.\n");
+      "RSSRatio showing its speedup over an HS_POP_CACHE=0 run; the cold "
+      "row's RSSRatio column shows HS_ISP=fast's speedup over reference on "
+      "cache-off materialization.\n");
   return 0;
 }

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -34,6 +35,20 @@ struct ClientSlot {
   Tensor xs;
   std::vector<std::size_t> labels;
   Tensor targets;
+};
+
+/// Cumulative materialization counters a lazy provider may expose (see
+/// ClientProvider::population_counters). Invariant for providers that
+/// report them: every client_dataset call is exactly one materialization
+/// and resolves as exactly one cache hit or one miss, so
+/// hits + misses == materializations at every instant — the executor
+/// stamps per-round deltas as pop.* round extras and tools/trace_check.cpp
+/// re-validates the identity per round.
+struct PopulationCounters {
+  std::uint64_t materializations = 0;  ///< client_dataset calls served
+  std::uint64_t cache_hits = 0;        ///< served from the dataset LRU
+  std::uint64_t cache_misses = 0;      ///< ran the generation recipe
+  double gen_seconds = 0.0;            ///< wall time inside the recipe
 };
 
 /// Abstract population: per-client device assignment, work size, and
@@ -80,6 +95,13 @@ class ClientProvider {
     if (scale.empty()) return 1.0;
     const std::size_t dev = device_of(client);
     return dev < scale.size() ? scale[dev] : 1.0;
+  }
+
+  /// Fills `out` with cumulative materialization counters and returns true
+  /// when this provider tracks them (lazy populations); eager providers
+  /// keep the default false and the executor stamps no pop.* extras.
+  virtual bool population_counters(PopulationCounters& /*out*/) const {
+    return false;
   }
 
   /// The resident dataset vector, when this provider has one. Serial-only

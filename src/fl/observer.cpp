@@ -126,7 +126,14 @@ void TracingObserver::on_round_end(std::size_t round, const RoundStats& stats) {
   // rounds stay byte-identical to pre-scheduler traces).
   if (stats.virtual_seconds > 0.0) b.add("vseconds", stats.virtual_seconds);
   // std::map iterates keys sorted, keeping the emitted field order stable.
-  for (const auto& [key, value] : stats.extras) b.add(key, value);
+  // pop.* extras are timing-class data: gen_seconds is wall time, and under
+  // LRU eviction the hit/miss split can depend on worker interleaving — so
+  // they are gated with the timings flag to keep deterministic traces
+  // byte-identical across thread counts.
+  for (const auto& [key, value] : stats.extras) {
+    if (!tracer_.include_timings() && key.rfind("pop.", 0) == 0) continue;
+    b.add(key, value);
+  }
   if (tracer_.include_timings()) b.add("seconds", stats.round_seconds);
   tracer_.write(b);
 }

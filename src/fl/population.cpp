@@ -1,9 +1,11 @@
 #include "fl/population.h"
 
 #include <algorithm>
+#include <chrono>
 #include <stdexcept>
 #include <utility>
 
+#include "kernels/internal.h"
 #include "runtime/sched/delay_model.h"
 #include "util/config.h"
 #include "util/rng.h"
@@ -22,6 +24,12 @@ constexpr std::uint64_t kSingleDataBase = 1000;       // 1000 + client
 constexpr std::uint64_t kFlairDataBase = 2000;        // 2000 + client
 constexpr std::uint64_t kSingleTestTag = 0x7E5701;    // (kSingleTestTag, dev)
 constexpr std::uint64_t kFlairTestTag = 0x7E5702;     // (kFlairTestTag, dev)
+// Per-image render stream inside one client: forked off the client stream
+// AFTER its serial metadata draws, keyed on the image index. This is what
+// lets the image loop run on any intra-op worker count with bit-identical
+// output — stream contents depend only on (client stream state, i), never
+// on execution order.
+constexpr std::uint64_t kImageTag = 0x1316E;          // (kImageTag, image)
 
 void check_spec(const PopulationSpec& spec) {
   HS_CHECK(!spec.devices.empty(), "PopulationSpec: no devices");
@@ -165,15 +173,17 @@ const Dataset& VirtualPopulation::client_dataset(std::size_t client,
     std::lock_guard<std::mutex> lock(cache_mu_);
     const auto it = cache_index_.find(client);
     if (it != cache_index_.end()) {
-      ++cache_hits_;
+      cache_hits_.fetch_add(1, std::memory_order_relaxed);
       cache_lru_.splice(cache_lru_.begin(), cache_lru_, it->second);
       // Copy while holding the lock: a later insert may evict this entry,
       // so the caller must never see a reference into the list.
       slot.data = it->second->data;
       return slot.data;
     }
-    ++cache_misses_;
   }
+  // Every non-hit call is one miss — also with the cache disabled, so
+  // hits + misses == materializations holds unconditionally.
+  cache_misses_.fetch_add(1, std::memory_order_relaxed);
   generate_into(client, slot);
   if (cache_capacity_ > 0) {
     std::lock_guard<std::mutex> lock(cache_mu_);
@@ -193,17 +203,24 @@ const Dataset& VirtualPopulation::client_dataset(std::size_t client,
 }
 
 std::uint64_t VirtualPopulation::cache_hits() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  return cache_hits_;
+  return cache_hits_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t VirtualPopulation::cache_misses() const {
-  std::lock_guard<std::mutex> lock(cache_mu_);
-  return cache_misses_;
+  return cache_misses_.load(std::memory_order_relaxed);
+}
+
+bool VirtualPopulation::population_counters(PopulationCounters& out) const {
+  out.cache_hits = cache_hits_.load(std::memory_order_relaxed);
+  out.cache_misses = cache_misses_.load(std::memory_order_relaxed);
+  out.materializations = out.cache_hits + out.cache_misses;
+  out.gen_seconds = gen_seconds_.load(std::memory_order_relaxed);
+  return true;
 }
 
 void VirtualPopulation::generate_into(std::size_t client,
                                       ClientSlot& slot) const {
+  const auto t0 = std::chrono::steady_clock::now();
   const DeviceProfile& device = spec_.devices[device_of(client)];
   const std::size_t n = spec_.samples_per_client;
 
@@ -212,8 +229,15 @@ void VirtualPopulation::generate_into(std::size_t client,
   // change, and hand them back to a fresh Dataset below.
   slot.data.release_buffers(slot.xs, slot.labels, slot.targets);
 
+  // Per-image rendering fans out over any installed intra-op context: each
+  // image draws from its own (kImageTag, i) fork of the client stream —
+  // taken AFTER the serial metadata draws below — and writes a disjoint
+  // slot slice, so output bytes are identical for every worker count. A
+  // capture is far above the helper's FLOP floor; pass the slab size as a
+  // stand-in estimate.
+  const double est_flops = 1e9;
+
   if (spec_.kind == PopulationSpec::Kind::kSingleLabel) {
-    // Identical draw sequence to the pre-provider build_client_dataset.
     const CaptureConfig& cap = spec_.capture;
     const std::size_t side =
         cap.raw_mode ? cap.raw_tensor_size : cap.tensor_size;
@@ -222,16 +246,19 @@ void VirtualPopulation::generate_into(std::size_t client,
     if (slot.xs.shape() != shape) slot.xs = Tensor(shape);
     slot.labels.assign(n, 0);
     Rng rng = root_.fork(kSingleDataBase + client);
+    // Serial metadata pass: one class draw per image, in image order.
     for (std::size_t i = 0; i < n; ++i) {
-      const std::size_t cls = rng.uniform_int(SceneGenerator::kNumClasses);
-      const Image scene = spec_.scenes->generate(cls, rng);
-      slot.xs.set_slice0(i, capture_to_tensor(scene, device, cap, rng));
-      slot.labels[i] = cls;
+      slot.labels[i] = rng.uniform_int(SceneGenerator::kNumClasses);
     }
+    kernels::detail::intra_for(n, est_flops, [&](std::size_t i) {
+      Rng img_rng = rng.fork(kImageTag, i);
+      const Image scene = spec_.scenes->generate(slot.labels[i], img_rng);
+      slot.xs.set_slice0(i, capture_to_tensor(scene, device, cap, img_rng));
+    });
     slot.data = Dataset(std::move(slot.xs), std::move(slot.labels));
   } else {
-    // Identical draw sequence to the pre-provider build_flair_population
-    // client loop: preferences then samples from one stream.
+    // Preferences from the client stream, then per-image label set + scene
+    // + capture from the image stream.
     HS_CHECK(!spec_.capture.raw_mode,
              "VirtualPopulation: RAW mode not supported for FLAIR");
     const std::size_t side = spec_.capture.tensor_size;
@@ -247,15 +274,20 @@ void VirtualPopulation::generate_into(std::size_t client,
     Rng rng = root_.fork(kFlairDataBase + client);
     const std::vector<double> prefs =
         spec_.flair_scenes->sample_user_preferences(rng);
-    for (std::size_t i = 0; i < n; ++i) {
-      const auto label_set = spec_.flair_scenes->sample_label_set(prefs, rng);
-      const Image scene = spec_.flair_scenes->generate(label_set, rng);
-      slot.xs.set_slice0(i,
-                         capture_to_tensor(scene, device, spec_.capture, rng));
+    kernels::detail::intra_for(n, est_flops, [&](std::size_t i) {
+      Rng img_rng = rng.fork(kImageTag, i);
+      const auto label_set =
+          spec_.flair_scenes->sample_label_set(prefs, img_rng);
+      const Image scene = spec_.flair_scenes->generate(label_set, img_rng);
+      slot.xs.set_slice0(
+          i, capture_to_tensor(scene, device, spec_.capture, img_rng));
       for (std::size_t l : label_set) slot.targets.at(i, l) = 1.0f;
-    }
+    });
     slot.data = Dataset(std::move(slot.xs), std::move(slot.targets));
   }
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - t0;
+  gen_seconds_.fetch_add(dt.count(), std::memory_order_relaxed);
 }
 
 FlPopulation VirtualPopulation::materialize_all() const {

@@ -17,6 +17,7 @@
 // on build order — which is what makes O(1) random access possible.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -151,9 +152,19 @@ class VirtualPopulation final : public ClientProvider {
   std::uint64_t cache_hits() const;
   std::uint64_t cache_misses() const;
 
+  /// Cumulative materialization accounting: every client_dataset call is
+  /// one materialization and exactly one hit or miss (a disabled cache
+  /// counts every call as a miss), so hits + misses == materializations by
+  /// construction. gen_seconds is wall time inside the generation recipe.
+  bool population_counters(PopulationCounters& out) const override;
+
  private:
   /// Runs the full recipe for `client` into `slot` (the pre-cache
-  /// client_dataset body). Pure function of (spec, root, client).
+  /// client_dataset body). Pure function of (spec, root, client): the
+  /// serial draws (class/label-set metadata) come first, then each image
+  /// renders from its own fork of the client stream, so the per-image loop
+  /// fans out over any installed kernels::IntraOpContext with bit-identical
+  /// results for every worker count.
   void generate_into(std::size_t client, ClientSlot& slot) const;
 
   PopulationSpec spec_;
@@ -180,8 +191,11 @@ class VirtualPopulation final : public ClientProvider {
   mutable std::list<CacheEntry> cache_lru_;  // front = most recent
   mutable std::unordered_map<std::size_t, std::list<CacheEntry>::iterator>
       cache_index_;
-  mutable std::uint64_t cache_hits_ = 0;
-  mutable std::uint64_t cache_misses_ = 0;
+  // Counted outside the LRU lock (misses are tallied even when the cache is
+  // disabled), so plain atomics instead of mutex-guarded integers.
+  mutable std::atomic<std::uint64_t> cache_hits_{0};
+  mutable std::atomic<std::uint64_t> cache_misses_{0};
+  mutable std::atomic<double> gen_seconds_{0.0};
 };
 
 /// Eager population: serves a resident FlPopulation through the provider

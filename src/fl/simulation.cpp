@@ -222,6 +222,10 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
   result.runtime.threads = executor.num_threads();
   result.runtime.round_seconds.reserve(
       cfg.rounds > start_round ? cfg.rounds - start_round : 0);
+  // Provider counters are cumulative over the provider's lifetime (it may
+  // back several runs); report this run's share as a delta.
+  PopulationCounters pop_begin;
+  const bool has_pop_counters = population.population_counters(pop_begin);
   for (std::size_t round = start_round; round < cfg.rounds; ++round) {
     const auto selected =
         rng.sample_without_replacement(num_clients, cfg.clients_per_round);
@@ -270,6 +274,18 @@ SimulationResult run_simulation(Model& model, FederatedAlgorithm& algorithm,
       algorithm.save_state(ck.algo);
       write_checkpoint(checkpoint_path(cfg.checkpoint), ck);
     }
+  }
+  if (has_pop_counters) {
+    PopulationCounters pop_end;
+    population.population_counters(pop_end);
+    result.runtime.pop_materializations = static_cast<std::size_t>(
+        pop_end.materializations - pop_begin.materializations);
+    result.runtime.pop_cache_hits =
+        static_cast<std::size_t>(pop_end.cache_hits - pop_begin.cache_hits);
+    result.runtime.pop_cache_misses = static_cast<std::size_t>(
+        pop_end.cache_misses - pop_begin.cache_misses);
+    result.runtime.pop_gen_seconds =
+        pop_end.gen_seconds - pop_begin.gen_seconds;
   }
   result.final_metrics = evaluate_per_device(model, population);
   if (observer) observer->on_eval(cfg.rounds, result.final_metrics);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "image/fastpath.h"
+#include "kernels/isa.h"
 #include "util/rng.h"
 
 namespace hetero {
@@ -10,6 +12,13 @@ namespace {
 
 void check_chw(const Tensor& t) {
   HS_CHECK(t.rank() == 3, "transform: tensor must be (C, H, W)");
+}
+
+HS_TILED_CLONES
+void clamp_scale_plane(float* HS_RESTRICT plane, std::size_t n, float gain) {
+  for (std::size_t i = 0; i < n; ++i) {
+    plane[i] = std::clamp(plane[i] * gain, 0.0f, 1.0f);
+  }
 }
 
 // Raw-buffer bodies shared by the Tensor entry points and the in-place
@@ -20,6 +29,10 @@ void white_balance_planes(float* data, std::size_t c, std::size_t hw,
   for (std::size_t ch = 0; ch < c; ++ch) {
     const float gain = rng.uniform_f(1.0f - degree, 1.0f + degree);
     float* plane = data + ch * hw;
+    if (img::fast_path()) {
+      clamp_scale_plane(plane, hw, gain);
+      continue;
+    }
     for (std::size_t i = 0; i < hw; ++i) {
       plane[i] = std::clamp(plane[i] * gain, 0.0f, 1.0f);
     }
@@ -30,6 +43,42 @@ void gamma_flat(float* data, std::size_t n, float degree, Rng& rng) {
   const float gamma = rng.uniform_f(1.0f - degree, 1.0f + degree);
   for (std::size_t i = 0; i < n; ++i) {
     data[i] = std::pow(std::clamp(data[i], 0.0f, 1.0f), gamma);
+  }
+}
+
+// Fast-path inverse-map resample: the seed per-pixel chain verbatim with the
+// row-invariant dy hoisted and raw plane pointers instead of checked at().
+HS_TILED_CLONES
+void affine_rows(const float* HS_RESTRICT src, float* HS_RESTRICT dst,
+                 std::size_t c, std::size_t h, std::size_t w, float ca,
+                 float sa, float tx, float ty, float cx, float cy) {
+  const std::size_t hw = h * w;
+  for (std::size_t y = 0; y < h; ++y) {
+    const float dy = static_cast<float>(y) - cy - ty;
+    for (std::size_t x = 0; x < w; ++x) {
+      const float dx = static_cast<float>(x) - cx - tx;
+      const float sx = ca * dx + sa * dy + cx;
+      const float sy = -sa * dx + ca * dy + cy;
+      const int x0 = static_cast<int>(std::floor(sx));
+      const int y0 = static_cast<int>(std::floor(sy));
+      const float fx = sx - static_cast<float>(x0);
+      const float fy = sy - static_cast<float>(y0);
+      auto sample = [&](std::size_t ch, int yy, int xx) -> float {
+        if (yy < 0 || yy >= static_cast<int>(h) || xx < 0 ||
+            xx >= static_cast<int>(w)) {
+          return 0.0f;  // zero padding outside the frame
+        }
+        return src[ch * hw + static_cast<std::size_t>(yy) * w +
+                   static_cast<std::size_t>(xx)];
+      };
+      for (std::size_t ch = 0; ch < c; ++ch) {
+        const float top =
+            sample(ch, y0, x0) * (1 - fx) + sample(ch, y0, x0 + 1) * fx;
+        const float bot =
+            sample(ch, y0 + 1, x0) * (1 - fx) + sample(ch, y0 + 1, x0 + 1) * fx;
+        dst[ch * hw + y * w + x] = top * (1 - fy) + bot * fy;
+      }
+    }
   }
 }
 
@@ -60,6 +109,11 @@ void random_affine(Tensor& chw, float degree, Rng& rng) {
   const float cx = static_cast<float>(w) / 2.0f;
 
   Tensor out({c, h, w});
+  if (img::fast_path()) {
+    affine_rows(chw.data(), out.data(), c, h, w, ca, sa, tx, ty, cx, cy);
+    chw = std::move(out);
+    return;
+  }
   for (std::size_t y = 0; y < h; ++y) {
     for (std::size_t x = 0; x < w; ++x) {
       // Inverse-map output pixel to source coordinates.

@@ -71,13 +71,19 @@ std::array<double, 3> Image::channel_max() const {
 }
 
 Tensor Image::to_tensor() const {
+  // Mechanically identical to the per-element at() loops (same clamp per
+  // element), just deinterleaving via raw plane pointers.
   Tensor t({3, h_, w_});
-  for (std::size_t y = 0; y < h_; ++y) {
-    for (std::size_t x = 0; x < w_; ++x) {
-      for (std::size_t c = 0; c < 3; ++c) {
-        t.at(c, y, x) = std::clamp(data_[(y * w_ + x) * 3 + c], 0.0f, 1.0f);
-      }
-    }
+  const std::size_t n = h_ * w_;
+  float* tp = t.data();
+  const float* src = data_.data();
+  float* r = tp;
+  float* g = tp + n;
+  float* b = tp + 2 * n;
+  for (std::size_t i = 0; i < n; ++i) {
+    r[i] = std::clamp(src[3 * i], 0.0f, 1.0f);
+    g[i] = std::clamp(src[3 * i + 1], 0.0f, 1.0f);
+    b[i] = std::clamp(src[3 * i + 2], 0.0f, 1.0f);
   }
   return t;
 }
@@ -101,6 +107,25 @@ Image resize_bilinear(const Image& src, std::size_t out_h, std::size_t out_w) {
   Image dst(out_h, out_w);
   const double sy = static_cast<double>(src.height()) / out_h;
   const double sx = static_cast<double>(src.width()) / out_w;
+  // The column sample positions are row-invariant: hoist them into grow-only
+  // per-thread tables (same expressions as the original per-pixel loop, so
+  // the output is unchanged down to the bit).
+  thread_local std::vector<std::size_t> tx0, tx1;
+  thread_local std::vector<float> twx;
+  if (tx0.size() < out_w) {
+    tx0.resize(out_w);
+    tx1.resize(out_w);
+    twx.resize(out_w);
+  }
+  for (std::size_t x = 0; x < out_w; ++x) {
+    const double fx = std::max(0.0, (x + 0.5) * sx - 0.5);
+    tx0[x] = std::min(static_cast<std::size_t>(fx), src.width() - 1);
+    tx1[x] = std::min(tx0[x] + 1, src.width() - 1);
+    twx[x] = static_cast<float>(fx - tx0[x]);
+  }
+  const float* sp = src.data();
+  float* dp = dst.data();
+  const std::size_t sw = src.width();
   for (std::size_t y = 0; y < out_h; ++y) {
     // Sample at pixel centres for alignment-stable scaling.
     const double fy = std::max(0.0, (y + 0.5) * sy - 0.5);
@@ -108,18 +133,16 @@ Image resize_bilinear(const Image& src, std::size_t out_h, std::size_t out_w) {
                                     src.height() - 1);
     const std::size_t y1 = std::min(y0 + 1, src.height() - 1);
     const float wy = static_cast<float>(fy - y0);
+    const float* r0 = sp + y0 * sw * 3;
+    const float* r1 = sp + y1 * sw * 3;
+    float* drow = dp + y * out_w * 3;
     for (std::size_t x = 0; x < out_w; ++x) {
-      const double fx = std::max(0.0, (x + 0.5) * sx - 0.5);
-      const std::size_t x0 = std::min(static_cast<std::size_t>(fx),
-                                      src.width() - 1);
-      const std::size_t x1 = std::min(x0 + 1, src.width() - 1);
-      const float wx = static_cast<float>(fx - x0);
+      const std::size_t a = tx0[x] * 3, b = tx1[x] * 3;
+      const float wx = twx[x];
       for (std::size_t c = 0; c < 3; ++c) {
-        const float top =
-            src.at(y0, x0, c) * (1 - wx) + src.at(y0, x1, c) * wx;
-        const float bot =
-            src.at(y1, x0, c) * (1 - wx) + src.at(y1, x1, c) * wx;
-        dst.at(y, x, c) = top * (1 - wy) + bot * wy;
+        const float top = r0[a + c] * (1 - wx) + r0[b + c] * wx;
+        const float bot = r1[a + c] * (1 - wx) + r1[b + c] * wx;
+        drow[x * 3 + c] = top * (1 - wy) + bot * wy;
       }
     }
   }
@@ -141,35 +164,60 @@ Image gaussian_blur(const Image& src, float sigma) {
   const int w = static_cast<int>(src.width());
   Image tmp(src.height(), src.width());
   Image dst(src.height(), src.width());
-  // Horizontal pass with clamped borders.
+  const float* kp = kernel.data();
+  const float* sp = src.data();
+  float* tp = tmp.data();
+  float* dp = dst.data();
+  // Horizontal pass with clamped borders; interior columns skip the clamp
+  // (where it is a no-op anyway), keeping each tap sum in the same order.
+  const int xlo = std::min(radius, w);
+  const int xhi = std::max(w - radius, xlo);
   for (int y = 0; y < h; ++y) {
+    const float* srow = sp + static_cast<std::ptrdiff_t>(y) * w * 3;
+    float* trow = tp + static_cast<std::ptrdiff_t>(y) * w * 3;
     for (int x = 0; x < w; ++x) {
+      const bool interior = x >= xlo && x < xhi;
       for (std::size_t c = 0; c < 3; ++c) {
         float acc = 0.0f;
-        for (int i = -radius; i <= radius; ++i) {
-          const int xx = std::clamp(x + i, 0, w - 1);
-          acc += kernel[i + radius] *
-                 src.at(static_cast<std::size_t>(y),
-                        static_cast<std::size_t>(xx), c);
+        if (interior) {
+          const float* s = srow + static_cast<std::ptrdiff_t>(x - radius) * 3 +
+                           static_cast<std::ptrdiff_t>(c);
+          const int taps = 2 * radius + 1;
+          for (int i = 0; i < taps; ++i) acc += kp[i] * s[3 * i];
+        } else {
+          for (int i = -radius; i <= radius; ++i) {
+            const int xx = std::clamp(x + i, 0, w - 1);
+            acc += kp[i + radius] * srow[xx * 3 + static_cast<int>(c)];
+          }
         }
-        tmp.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x), c) =
-            acc;
+        trow[x * 3 + static_cast<int>(c)] = acc;
       }
     }
   }
   // Vertical pass.
   for (int y = 0; y < h; ++y) {
+    const bool interior = y >= radius && y + radius < h;
+    float* drow = dp + static_cast<std::ptrdiff_t>(y) * w * 3;
     for (int x = 0; x < w; ++x) {
       for (std::size_t c = 0; c < 3; ++c) {
         float acc = 0.0f;
-        for (int i = -radius; i <= radius; ++i) {
-          const int yy = std::clamp(y + i, 0, h - 1);
-          acc += kernel[i + radius] *
-                 tmp.at(static_cast<std::size_t>(yy),
-                        static_cast<std::size_t>(x), c);
+        if (interior) {
+          const float* s = tp +
+                           (static_cast<std::ptrdiff_t>(y - radius) * w + x) *
+                               3 +
+                           static_cast<std::ptrdiff_t>(c);
+          const int taps = 2 * radius + 1;
+          const std::ptrdiff_t stride = static_cast<std::ptrdiff_t>(w) * 3;
+          for (int i = 0; i < taps; ++i) acc += kp[i] * s[stride * i];
+        } else {
+          for (int i = -radius; i <= radius; ++i) {
+            const int yy = std::clamp(y + i, 0, h - 1);
+            acc += kp[i + radius] *
+                   tp[(static_cast<std::ptrdiff_t>(yy) * w + x) * 3 +
+                      static_cast<std::ptrdiff_t>(c)];
+          }
         }
-        dst.at(static_cast<std::size_t>(y), static_cast<std::size_t>(x), c) =
-            acc;
+        drow[x * 3 + static_cast<int>(c)] = acc;
       }
     }
   }

@@ -73,11 +73,10 @@ Image run_isp(const RawImage& raw, const IspConfig& config) {
   if (config.black_level > 0.0f && config.black_level < 1.0f) {
     const float bl = config.black_level;
     const float scale = 1.0f / (1.0f - bl);
-    for (std::size_t y = 0; y < levelled.height(); ++y) {
-      for (std::size_t x = 0; x < levelled.width(); ++x) {
-        levelled.at(y, x) =
-            std::max(0.0f, (levelled.at(y, x) - bl) * scale);
-      }
+    float* p = levelled.data();
+    const std::size_t n = levelled.height() * levelled.width();
+    for (std::size_t i = 0; i < n; ++i) {
+      p[i] = std::max(0.0f, (p[i] - bl) * scale);
     }
   }
   RawImage clean = denoise(levelled, config.denoise);

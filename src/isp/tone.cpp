@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "image/color.h"
+#include "image/fastpath.h"
+#include "kernels/isa.h"
 
 namespace hetero {
 namespace {
@@ -49,6 +51,53 @@ Image tone_equalize(const Image& img) {
   return out;
 }
 
+// ---------------------------------------------------------------- fast path
+
+/// Second pass of tone_equalize over raw rows. The CDF is pre-cast to float
+/// (same cast the scalar loop performs per pixel), every per-pixel chain is
+/// untouched, so outputs are byte-identical.
+HS_TILED_CLONES
+void equalize_rows(float* HS_RESTRICT dst, std::size_t n,
+                   const float* HS_RESTRICT cdf, int bins, float blend) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const float y = luminance(dst[3 * i], dst[3 * i + 1], dst[3 * i + 2]);
+    if (y <= 1e-6f) continue;
+    const int bin = std::clamp(static_cast<int>(y * static_cast<float>(bins)),
+                               0, bins - 1);
+    const float target = (1.0f - blend) * y + blend * cdf[bin];
+    const float gain = target / y;
+    for (std::size_t c = 0; c < 3; ++c) {
+      dst[3 * i + c] = std::clamp(dst[3 * i + c] * gain, 0.0f, 1.0f);
+    }
+  }
+}
+
+Image tone_equalize_fast(const Image& img) {
+  constexpr int kBins = 64;
+  constexpr float kBlend = 0.3f;
+  const std::size_t n = img.num_pixels();
+  if (n == 0) return img;
+
+  // Histogram counts are sums of exact 1.0s — order-independent.
+  std::array<double, kBins> hist{};
+  const float* data = img.data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const float y = luminance(data[3 * i], data[3 * i + 1], data[3 * i + 2]);
+    const int bin = std::clamp(static_cast<int>(y * kBins), 0, kBins - 1);
+    hist[static_cast<std::size_t>(bin)] += 1.0;
+  }
+  float* cdf = img::scratch(img::kSlotTone, kBins);
+  double acc = 0.0;
+  for (int b = 0; b < kBins; ++b) {
+    acc += hist[static_cast<std::size_t>(b)];
+    cdf[b] = static_cast<float>(acc / static_cast<double>(n));
+  }
+
+  Image out = img;
+  equalize_rows(out.data(), n, cdf, kBins, kBlend);
+  return out;
+}
+
 }  // namespace
 
 const char* tone_name(ToneAlgo algo) {
@@ -68,7 +117,8 @@ Image tone_transform(const Image& img, ToneAlgo algo) {
     case ToneAlgo::kSrgbGamma:
       return srgb_encode(img);
     case ToneAlgo::kSrgbGammaEq:
-      return tone_equalize(srgb_encode(img));
+      return img::fast_path() ? tone_equalize_fast(srgb_encode(img))
+                              : tone_equalize(srgb_encode(img));
   }
   return img;
 }

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <vector>
 
+#include "image/fastpath.h"
+#include "kernels/isa.h"
+
 namespace hetero {
 namespace {
 
@@ -25,6 +28,36 @@ std::array<float, 3> channel_quantile(const Image& img, double q) {
     out[c] = vals[k];
   }
   return out;
+}
+
+// ---------------------------------------------------------------- fast path
+
+/// channel_quantile over the arena: same k-th order statistic (value is
+/// independent of how nth_element permutes the rest), zero allocation.
+std::array<float, 3> channel_quantile_fast(const Image& img, double q) {
+  std::array<float, 3> out{1.0f, 1.0f, 1.0f};
+  const std::size_t n = img.num_pixels();
+  if (n == 0) return out;
+  float* HS_RESTRICT vals = img::scratch(img::kSlotQuantile, n);
+  const float* HS_RESTRICT data = img.data();
+  const std::size_t k = std::min(
+      n - 1, static_cast<std::size_t>(q * static_cast<double>(n - 1)));
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < n; ++i) vals[i] = data[3 * i + c];
+    std::nth_element(vals, vals + k, vals + n);
+    out[c] = vals[k];
+  }
+  return out;
+}
+
+HS_TILED_CLONES
+void apply_gains(float* HS_RESTRICT data, std::size_t n, float g0, float g1,
+                 float g2) {
+  for (std::size_t i = 0; i < n; ++i) {
+    data[3 * i] *= g0;
+    data[3 * i + 1] *= g1;
+    data[3 * i + 2] *= g2;
+  }
 }
 
 }  // namespace
@@ -52,7 +85,8 @@ std::array<float, 3> white_balance_gains(const Image& img,
     }
     case WhiteBalanceAlgo::kWhitePatch: {
       // Anchor to the 99th-percentile highlights ("the white patch").
-      const auto peaks = channel_quantile(img, 0.99);
+      const auto peaks = img::fast_path() ? channel_quantile_fast(img, 0.99)
+                                          : channel_quantile(img, 0.99);
       const float g = std::max(peaks[1], kEps);
       return {g / std::max(peaks[0], kEps), 1.0f,
               g / std::max(peaks[2], kEps)};
@@ -68,6 +102,10 @@ Image white_balance(const Image& img, WhiteBalanceAlgo algo) {
   Image out = img;
   float* data = out.data();
   const std::size_t n = out.num_pixels();
+  if (img::fast_path()) {
+    apply_gains(data, n, gains[0], gains[1], gains[2]);
+    return out;
+  }
   for (std::size_t i = 0; i < n; ++i) {
     for (std::size_t c = 0; c < 3; ++c) data[3 * i + c] *= gains[c];
   }

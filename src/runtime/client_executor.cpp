@@ -71,6 +71,11 @@ RoundStats ClientExecutor::run_round(Model& model,
 
   if (runtime) *runtime = RoundRuntime{};
   RoundStats stats;
+  // Lazy providers expose cumulative materialization counters; stamp this
+  // round's deltas as pop.* extras (same idiom as the fault extras) so
+  // traces carry per-round cache behaviour.
+  PopulationCounters pop_begin;
+  const bool has_pop_counters = provider.population_counters(pop_begin);
   SplitFederatedAlgorithm* split = algorithm.as_split();
   const bool parallel = split != nullptr && pool_ != nullptr;
   if (split) {
@@ -95,6 +100,18 @@ RoundStats ClientExecutor::run_round(Model& model,
   }
 
   stats.round_seconds = seconds_since(start);
+  if (has_pop_counters) {
+    PopulationCounters pop_end;
+    provider.population_counters(pop_end);
+    stats.extras["pop.materializations"] = static_cast<double>(
+        pop_end.materializations - pop_begin.materializations);
+    stats.extras["pop.hits"] =
+        static_cast<double>(pop_end.cache_hits - pop_begin.cache_hits);
+    stats.extras["pop.misses"] =
+        static_cast<double>(pop_end.cache_misses - pop_begin.cache_misses);
+    stats.extras["pop.gen_seconds"] =
+        pop_end.gen_seconds - pop_begin.gen_seconds;
+  }
   if (runtime) {
     runtime->parallel = parallel;
     runtime->serial_fallback = split == nullptr;

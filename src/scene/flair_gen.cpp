@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "image/color.h"
+#include "image/fastpath.h"
+#include "kernels/isa.h"
 #include "util/rng.h"
 
 namespace hetero {
@@ -29,6 +31,46 @@ constexpr std::array<LabelArchetype, FlairSceneGenerator::kNumLabels>
         {"light", 50, 0.2f, 3},       {"road", 30, 0.15f, 4},
         {"flower", 330, 0.85f, 3},
     }};
+
+// Fast-path object stamp: the seed per-pixel membership test verbatim, with
+// the row-invariant v hoisted and writes through raw row pointers. Pure
+// overwrite, so the result is byte-identical.
+HS_TILED_CLONES
+void stamp_object_rows(int shape, float cx, float cy, float sc,
+                       const float* HS_RESTRICT fg, std::size_t size,
+                       float* HS_RESTRICT out) {
+  for (std::size_t y = 0; y < size; ++y) {
+    const float v = (static_cast<float>(y) / size - cy) / sc;
+    float* row = out + y * size * 3;
+    for (std::size_t x = 0; x < size; ++x) {
+      const float u = (static_cast<float>(x) / size - cx) / sc;
+      float inside = 0.0f;
+      switch (shape) {
+        case 0: inside = (u * u + v * v < 1.0f) ? 1.0f : 0.0f; break;
+        case 1:
+          inside = (std::abs(u) < 0.9f && std::abs(v) < 0.9f) ? 1.0f : 0.0f;
+          break;
+        case 2: {
+          const float t = (v + 1.0f) / 2.0f;
+          inside =
+              (t >= 0.0f && t <= 1.0f && std::abs(u) < 1.0f - t) ? 1.0f : 0.0f;
+          break;
+        }
+        case 3: {
+          const float rad = std::sqrt(u * u + v * v);
+          inside = (rad > 0.55f && rad < 1.0f) ? 1.0f : 0.0f;
+          break;
+        }
+        case 4:
+        default:
+          inside = (std::abs(u) < 1.4f && std::abs(v) < 0.35f) ? 1.0f : 0.0f;
+      }
+      if (inside > 0.0f) {
+        for (std::size_t c = 0; c < 3; ++c) row[x * 3 + c] = fg[c];
+      }
+    }
+  }
+}
 
 }  // namespace
 
@@ -67,6 +109,11 @@ Image FlairSceneGenerator::generate(const std::vector<std::size_t>& labels,
                std::clamp(a.sat + rng.uniform_f(-0.1f, 0.1f), 0.0f, 1.0f),
                rng.uniform_f(0.5f, 0.9f), r, g, b);
     const float fg[3] = {srgb_decode(r), srgb_decode(g), srgb_decode(b)};
+
+    if (img::fast_path()) {
+      stamp_object_rows(a.shape, cx, cy, sc, fg, size_, img.data());
+      continue;
+    }
 
     for (std::size_t y = 0; y < size_; ++y) {
       for (std::size_t x = 0; x < size_; ++x) {

@@ -5,6 +5,8 @@
 #include <cmath>
 
 #include "image/color.h"
+#include "image/fastpath.h"
+#include "kernels/isa.h"
 #include "util/rng.h"
 
 namespace hetero {
@@ -40,7 +42,8 @@ struct Instance {
 
 /// Signed distance-ish membership test: returns coverage in [0,1] for the
 /// pixel at rotated local coordinates (u, v) in units of the shape scale.
-float shape_coverage(ShapeKind shape, float u, float v, float freq) {
+HS_ALWAYS_INLINE float shape_coverage(ShapeKind shape, float u, float v,
+                                      float freq) {
   auto soft = [](float d) {  // smooth step around the boundary
     return std::clamp(0.5f - d * 8.0f, 0.0f, 1.0f);
   };
@@ -93,6 +96,68 @@ float shape_coverage(ShapeKind shape, float u, float v, float freq) {
     }
   }
   return 0.0f;
+}
+
+// ---------------------------------------------------------------- fast path
+//
+// All randomness is drawn before the pixel loop, so rendering is a pure
+// per-pixel function; this variant only hoists the row/column-invariant
+// subexpressions (same expressions, evaluated once) and writes through raw
+// row pointers — per-pixel math is the seed loop verbatim.
+HS_TILED_CLONES
+void render_scene_rows(const ClassRecipe& r, const Instance& inst,
+                       const float* HS_RESTRICT fg, const float* HS_RESTRICT bg,
+                       float phase, float ca, float sa, std::size_t size,
+                       float* HS_RESTRICT out) {
+  float* fxs = img::scratch(img::kSlotScene, size);
+  for (std::size_t x = 0; x < size; ++x) {
+    fxs[x] = (static_cast<float>(x) / size - inst.cx) / inst.scale;
+  }
+  for (std::size_t y = 0; y < size; ++y) {
+    const float fy = (static_cast<float>(y) / size - inst.cy) / inst.scale;
+    const float shade =
+        1.0f + inst.grad * (static_cast<float>(y) / size - 0.5f) * 2.0f;
+    float* row = out + y * size * 3;
+    for (std::size_t x = 0; x < size; ++x) {
+      const float fx = fxs[x];
+      const float u = ca * fx + sa * fy;
+      const float v = -sa * fx + ca * fy;
+      const float cov = shape_coverage(r.shape, u, v, inst.freq);
+
+      float px[3];
+      for (int c = 0; c < 3; ++c) px[c] = bg[c] + cov * (fg[c] - bg[c]);
+
+      if (cov > 0.0f && r.texture != TextureKind::kNone) {
+        float t = 0.0f;
+        switch (r.texture) {
+          case TextureKind::kNoise: {
+            const float n = std::sin((fx * 57.0f + phase) * 1.7f) *
+                            std::sin((fy * 61.0f + phase) * 1.9f);
+            t = n;
+            break;
+          }
+          case TextureKind::kSpots: {
+            const float s = std::sin(u * 9.0f + phase) * std::sin(v * 9.0f);
+            t = s > 0.55f ? -1.0f : 0.0f;
+            break;
+          }
+          case TextureKind::kScanlines:
+            t = std::sin(v * 22.0f + phase) > 0.0f ? 0.5f : -0.5f;
+            break;
+          case TextureKind::kNone:
+            break;
+        }
+        for (int c = 0; c < 3; ++c) {
+          px[c] = std::clamp(px[c] * (1.0f + r.texture_strength * t * cov),
+                             0.0f, 1.0f);
+        }
+      }
+
+      for (std::size_t c = 0; c < 3; ++c) {
+        row[x * 3 + c] = std::clamp(px[c] * shade, 0.0f, 1.0f);
+      }
+    }
+  }
 }
 
 }  // namespace
@@ -148,6 +213,11 @@ Image SceneGenerator::generate(std::size_t cls, Rng& rng) const {
   const float ca = std::cos(inst.angle), sa = std::sin(inst.angle);
   // Deterministic per-instance texture phase.
   const float phase = rng.uniform_f(0.0f, 100.0f);
+
+  if (img::fast_path()) {
+    render_scene_rows(r, inst, fg, bg, phase, ca, sa, size_, img.data());
+    return img;
+  }
 
   for (std::size_t y = 0; y < size_; ++y) {
     for (std::size_t x = 0; x < size_; ++x) {

@@ -6,6 +6,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <functional>
 #include <set>
 #include <stdexcept>
 #include <string>
@@ -15,6 +16,8 @@
 #include "fl/checkpoint.h"
 #include "fl/population.h"
 #include "fl/simulation.h"
+#include "kernels/kernels.h"
+#include "runtime/thread_pool.h"
 #include "nn/model_zoo.h"
 #include "scene/flair_gen.h"
 #include "scene/scene_gen.h"
@@ -118,8 +121,17 @@ TEST(VirtualPopulation, DatasetCacheHitsAreByteIdentical) {
   EXPECT_EQ(uncached.cache_capacity(), 0u);
   ClientSlot slot_c;
   expect_dataset_bits(second, uncached.client_dataset(3, slot_c));
+  // A disabled cache still counts every materialization as a miss, so the
+  // hits + misses == materializations identity holds regardless of capacity.
   EXPECT_EQ(uncached.cache_hits(), 0u);
-  EXPECT_EQ(uncached.cache_misses(), 0u);
+  EXPECT_EQ(uncached.cache_misses(), 1u);
+
+  PopulationCounters counters;
+  ASSERT_TRUE(cached.population_counters(counters));
+  EXPECT_EQ(counters.materializations, counters.cache_hits +
+                                           counters.cache_misses);
+  EXPECT_EQ(counters.materializations, 2u);
+  EXPECT_GT(counters.gen_seconds, 0.0);
 }
 
 TEST(VirtualPopulation, DatasetCacheEvictsLeastRecentlyUsed) {
@@ -147,6 +159,42 @@ TEST(VirtualPopulation, DatasetCacheEvictsLeastRecentlyUsed) {
   ClientSlot ref;
   expect_dataset_bits(pop.client_dataset(1, slot),
                       plain.client_dataset(1, ref));
+}
+
+TEST(VirtualPopulation, ParallelMaterializationIsBitIdentical) {
+  // generate_into fans its per-image loop over any installed intra-op
+  // context; image streams are keyed on (client stream, image index), so
+  // the dataset bytes must not depend on the worker count. Cache disabled
+  // so every read below re-runs the recipe.
+  setenv("HS_POP_CACHE", "0", 1);
+  SceneGenerator single_scenes(16);
+  FlairSceneGenerator flair_scenes(16);
+  CaptureConfig capture;
+  capture.tensor_size = 8;
+  const Rng root = Rng(29).fork(1);
+  const PopulationSpec specs[] = {
+      small_single_label(single_scenes, 6),
+      PopulationSpec::flair(paper_devices(), 6, 4, 4, capture, flair_scenes),
+  };
+  for (const PopulationSpec& spec : specs) {
+    const VirtualPopulation pop(spec, root);
+    ClientSlot serial_slot;
+    for (std::size_t c = 0; c < pop.num_clients(); ++c) {
+      const Dataset serial = pop.client_dataset(c, serial_slot);
+      for (std::size_t workers : {std::size_t{2}, std::size_t{3}}) {
+        ThreadPool pool(workers);
+        const kernels::ScopedIntraOp intra(
+            [&pool](std::size_t tasks,
+                    const std::function<void(std::size_t)>& fn) {
+              pool.parallel_for(tasks, fn);
+            },
+            workers);
+        ClientSlot pooled_slot;
+        expect_dataset_bits(serial, pop.client_dataset(c, pooled_slot));
+      }
+    }
+  }
+  unsetenv("HS_POP_CACHE");
 }
 
 TEST(VirtualPopulation, PopCacheEnvStrictlyParsed) {

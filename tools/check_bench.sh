@@ -2,7 +2,16 @@
 # Bench regression gate: re-runs the end-to-end round bench and compares the
 # per-mode round throughput against the committed BENCH_round_e2e.json
 # baseline. A mode that lands more than TOLERANCE (default 10%) below its
-# committed rounds_per_s fails the gate.
+# committed rounds_per_s fails the gate. Also re-runs the ISP microbench,
+# whose own exit code enforces the HS_ISP=fast >= 3x paired-median contract
+# on the full raw->RGB pipeline (bench/micro_isp.cpp).
+#
+# Known non-gating regression: the fast+int8 combination lands ~0.78x of
+# tiled in the committed BENCH_round_e2e.json. int8 eval is a semantics
+# path (quantized inference), not a throughput path, and at this model size
+# the quantize/dequantize overhead outweighs the narrower arithmetic — so
+# int8 is deliberately absent from HS_E2E_MODES below and nothing gates on
+# it. Revisit if int8 becomes a throughput claim.
 #
 # Usage: tools/check_bench.sh [tolerance-fraction]
 #   tools/check_bench.sh          # 10% tolerance
@@ -34,8 +43,17 @@ case "${BUILD_DIR}" in
 esac
 BASELINE="${REPO_ROOT}/BENCH_round_e2e.json"
 
+case "${BUILD_DIR}" in
+  /*) ISP_BENCH="${BUILD_DIR}/bench/micro_isp" ;;
+  *)  ISP_BENCH="${REPO_ROOT}/${BUILD_DIR}/bench/micro_isp" ;;
+esac
+
 if [[ ! -x "${BENCH}" ]]; then
   echo "check_bench: ${BENCH} not built; run: cmake --build ${BUILD_DIR} --target micro_round_e2e" >&2
+  exit 2
+fi
+if [[ ! -x "${ISP_BENCH}" ]]; then
+  echo "check_bench: ${ISP_BENCH} not built; run: cmake --build ${BUILD_DIR} --target micro_isp" >&2
   exit 2
 fi
 if [[ ! -f "${BASELINE}" ]]; then
@@ -81,5 +99,14 @@ awk -v tol="${TOLERANCE}" '
     exit bad ? 1 : 0
   }
 ' "${BASELINE}" "${FRESH}"
+
+# ISP vectorization gate: micro_isp exits nonzero if HS_ISP=fast drops
+# below 3x reference on the full ISP pipeline (median of paired per-rep
+# ratios, so box-speed noise cancels). No baseline-file comparison — the
+# contract is the ratio itself.
+(
+  cd "${SCRATCH}"
+  HS_SEED=${HS_SEED:-1} "${ISP_BENCH}"
+)
 
 echo "Bench regression gate passed (tolerance $(awk -v t="${TOLERANCE}" 'BEGIN{printf "%.0f", t*100}')%)."

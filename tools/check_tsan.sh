@@ -15,7 +15,12 @@
 # bit-identical async/buffered results while TSan watches the fan-out. The
 # population tests run multi-threaded simulations over VirtualPopulation,
 # where worker threads materialize client datasets concurrently through
-# per-worker slots — the provider's const-purity contract under watch. The
+# per-worker slots — the provider's const-purity contract under watch —
+# and fan single-client materialization out over an intra-op pool,
+# asserting the parallel bytes match the serial ones bit-for-bit. The
+# isp-parity tests run the HS_ISP=fast rewrites against the reference
+# loops (the clones compile out under TSan; the fast row-major loops and
+# their scratch arenas are what gets checked). The
 # fast-kernel tests add the intra-op worker fan-out (detail::intra_for under
 # a ScopedIntraOp grant) and the HS_KERNEL=fast / HS_EVAL=int8 dispatch to
 # the raced surface. The net tests run loopback daemon rounds with the root
@@ -30,11 +35,11 @@ BUILD_DIR=${BUILD_DIR:-build-tsan}
 cmake -B "${BUILD_DIR}" -S . \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo \
   -DHETERO_SANITIZE=thread
-cmake --build "${BUILD_DIR}" -j "$(nproc)" --target test_runtime test_kernels test_kernels_fast test_faults test_sched test_population test_net
+cmake --build "${BUILD_DIR}" -j "$(nproc)" --target test_runtime test_kernels test_kernels_fast test_faults test_sched test_population test_isp_parity test_net
 
 # halt_on_error makes a race fail the run instead of just logging it.
 TSAN_OPTIONS=${TSAN_OPTIONS:-halt_on_error=1} \
-  ctest --test-dir "${BUILD_DIR}" -R '^(test_runtime|test_kernels|test_kernels_fast|test_faults|test_sched|test_population|test_net)$' \
+  ctest --test-dir "${BUILD_DIR}" -R '^(test_runtime|test_kernels|test_kernels_fast|test_faults|test_sched|test_population|test_isp_parity|test_net)$' \
   --output-on-failure "$@"
 
 echo "TSan check passed."

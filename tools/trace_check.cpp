@@ -27,7 +27,11 @@
 //   * net-daemon traces reconcile: round_end's "net.edges" (the
 //     hierarchical edge tier's group count) is at least 1, and the
 //     cumulative "net.bytes_rx/tx" / "net.frames_rx/tx" counters are
-//     non-negative and never decrease across a run's rounds.
+//     non-negative and never decrease across a run's rounds;
+//   * lazy-population traces reconcile: round_end's "pop.hits" +
+//     "pop.misses" equals "pop.materializations" (every served dataset is
+//     exactly one LRU hit or one generation-recipe miss), and
+//     "pop.gen_seconds" is non-negative.
 // Then prints a summary with per-round and per-client latency percentiles
 // (when the trace carries timing fields; HS_TRACE_TIMINGS=0 omits them).
 // Exit code 0 = valid, 1 = violations found, 2 = usage / IO error.
@@ -310,6 +314,25 @@ int main(int argc, char** argv) {
                      " decreased across rounds");
         }
         *c.last = v;
+      }
+      // Population materialization extras: every materialization resolves
+      // as exactly one cache hit or one miss (pop.* appear together, from
+      // one executor stamp), and generation time can only be non-negative.
+      double pop_mat = 0.0;
+      if (check.opt_num(obj, "pop.materializations", &pop_mat)) {
+        double pop_hits = 0.0, pop_misses = 0.0, pop_gen = 0.0;
+        if (!check.opt_num(obj, "pop.hits", &pop_hits) ||
+            !check.opt_num(obj, "pop.misses", &pop_misses)) {
+          check.fail("round_end pop.materializations without pop.hits / "
+                     "pop.misses");
+        } else if (pop_hits + pop_misses != pop_mat) {
+          check.fail("round_end pop.hits + pop.misses != "
+                     "pop.materializations");
+        }
+        if (check.opt_num(obj, "pop.gen_seconds", &pop_gen) &&
+            pop_gen < 0.0) {
+          check.fail("round_end negative pop.gen_seconds");
+        }
       }
       double secs = 0.0;
       if (check.opt_num(obj, "seconds", &secs)) round_seconds.observe(secs);
